@@ -1,0 +1,93 @@
+// Command pgmr-bench runs the paper-reproduction experiments by id and
+// prints the tables/series each figure or table of the paper reports.
+//
+// Usage:
+//
+//	pgmr-bench -list
+//	pgmr-bench fig9 tab3
+//	pgmr-bench all
+//
+// Set PGMR_FULL=1 for paper-scale sweeps (slower).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/report"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	quiet := flag.Bool("quiet", false, "suppress training progress")
+	csvDir := flag.String("csv", "", "also write each result as CSV into this directory")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: pgmr-bench [-list] [-quiet] <experiment-id>... | all\n")
+		fmt.Fprintf(os.Stderr, "experiments: %s\n", strings.Join(experiments.IDs(), ", "))
+	}
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if len(args) == 1 && args[0] == "all" {
+		args = experiments.IDs()
+	}
+
+	ctx := experiments.NewContext()
+	if !*quiet {
+		ctx.Zoo.Progress = func(f string, a ...any) {
+			fmt.Fprintf(os.Stderr, "# "+f+"\n", a...)
+		}
+	}
+	failed := false
+	for _, id := range args {
+		start := time.Now()
+		res, err := experiments.Run(ctx, id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pgmr-bench: %s: %v\n", id, err)
+			failed = true
+			continue
+		}
+		fmt.Println(res)
+		fmt.Printf("(%s completed in %s)\n\n", id, time.Since(start).Round(time.Millisecond))
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, res); err != nil {
+				fmt.Fprintf(os.Stderr, "pgmr-bench: %s: %v\n", id, err)
+				failed = true
+			}
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// writeCSV stores one result as <dir>/<id>.csv.
+func writeCSV(dir string, res *experiments.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, res.ID+".csv"))
+	if err != nil {
+		return err
+	}
+	if err := report.CSV(f, res); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,90 @@
+// Command pgmr builds a PolygraphMR system for one benchmark and classifies
+// images from the held-out synthetic test split, printing a per-image
+// verdict and a summary of the reliability gate's effect.
+//
+// Usage:
+//
+//	pgmr -benchmark convnet -n 200
+//	pgmr -benchmark alexnet -members 6 -gpus 2 -bits 14 -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	benchmark := flag.String("benchmark", "convnet", "benchmark name: "+strings.Join(polygraph.BenchmarkNames(), ", "))
+	members := flag.Int("members", 4, "number of member networks (2-8)")
+	n := flag.Int("n", 100, "number of test images to classify")
+	gpus := flag.Int("gpus", 1, "concurrent member executions (models GPU count)")
+	bits := flag.Int("bits", 0, "RAMR precision bits (0 = full precision)")
+	noStage := flag.Bool("no-stage", false, "disable RADE staged activation")
+	verbose := flag.Bool("v", false, "print one line per image")
+	flag.Parse()
+
+	sys, err := polygraph.Build(*benchmark, polygraph.Options{
+		Members:       *members,
+		GPUs:          *gpus,
+		PrecisionBits: *bits,
+		DisableStaged: *noStage,
+		Progress:      func(f string, a ...any) { fmt.Fprintf(os.Stderr, "# "+f+"\n", a...) },
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pgmr:", err)
+		os.Exit(1)
+	}
+	conf, freq := sys.Thresholds()
+	fmt.Printf("system: %s members=[%s] Thr_Conf=%.2f Thr_Freq=%d\n",
+		*benchmark, strings.Join(sys.Members(), ", "), conf, freq)
+
+	images, labels, err := polygraph.TestImages(*benchmark, *n)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pgmr:", err)
+		os.Exit(1)
+	}
+
+	var tp, fp, tn, fn, activations int
+	for i, im := range images {
+		pred, err := sys.Classify(im)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pgmr:", err)
+			os.Exit(1)
+		}
+		activations += pred.Activated
+		correct := pred.Label == labels[i]
+		switch {
+		case pred.Reliable && correct:
+			tp++
+		case pred.Reliable && !correct:
+			fp++
+		case !pred.Reliable && !correct:
+			tn++
+		default:
+			fn++
+		}
+		if *verbose {
+			verdict := "UNRELIABLE"
+			if pred.Reliable {
+				verdict = "reliable"
+			}
+			mark := " "
+			if !correct {
+				mark = "x"
+			}
+			fmt.Printf("img %4d: pred=%3d true=%3d %s conf=%.2f nets=%d %s\n",
+				i, pred.Label, labels[i], mark, pred.Confidence, pred.Activated, verdict)
+		}
+	}
+	total := float64(len(images))
+	fmt.Printf("\nclassified %d images:\n", len(images))
+	fmt.Printf("  reliable & correct (TP):   %4d (%.1f%%)\n", tp, 100*float64(tp)/total)
+	fmt.Printf("  reliable & wrong   (FP):   %4d (%.1f%%)  <- undetected mispredictions\n", fp, 100*float64(fp)/total)
+	fmt.Printf("  flagged  & wrong   (TN):   %4d (%.1f%%)  <- caught by PolygraphMR\n", tn, 100*float64(tn)/total)
+	fmt.Printf("  flagged  & correct (FN):   %4d (%.1f%%)\n", fn, 100*float64(fn)/total)
+	fmt.Printf("  mean networks activated:   %.2f of %d\n", float64(activations)/total, *members)
+}

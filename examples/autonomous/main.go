@@ -1,0 +1,91 @@
+// Autonomous-driving example: a streaming frame classifier under a tail-
+// latency budget (the paper's §IV-C discussion — self-driving systems
+// budget ~100 ms per input).
+//
+// A PolygraphMR system on the ImageNet substitute (the "pedestrian vs
+// everything else" stand-in) classifies a stream of frames with RADE staged
+// activation. The example reports, per frame and in aggregate:
+//
+//   - how many member networks actually ran (most frames resolve with two),
+//   - wall-clock latency against the frame budget,
+//   - the reliability verdict that a planner would use to decide between
+//     acting and falling back (brake / hand over).
+//
+// Run from the repository root:
+//
+//	go run ./examples/autonomous
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro"
+)
+
+const frameBudget = 100 * time.Millisecond
+
+func main() {
+	// Two concurrent member executions models the NVIDIA DRIVE-AGX-style
+	// two-GPU platform from the paper; on this CPU build it bounds the
+	// number of *stages*, which is what the latency model scales with.
+	sys, err := polygraph.Build("alexnet", polygraph.Options{
+		Members:  4,
+		GPUs:     2,
+		Progress: func(f string, a ...any) { log.Printf(f, a...) },
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	frames, labels, err := polygraph.TestImages("alexnet", 120)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var (
+		acted, escalated, missed int
+		overBudget               int
+		totalActivated           int
+		worst                    time.Duration
+	)
+	for i, frame := range frames {
+		start := time.Now()
+		pred, err := sys.Classify(frame)
+		if err != nil {
+			log.Fatal(err)
+		}
+		elapsed := time.Since(start)
+		if elapsed > worst {
+			worst = elapsed
+		}
+		if elapsed > frameBudget {
+			overBudget++
+		}
+		totalActivated += pred.Activated
+
+		switch {
+		case pred.Reliable && pred.Label == labels[i]:
+			acted++
+		case pred.Reliable: // undetected misprediction — the dangerous case
+			missed++
+		default:
+			escalated++ // planner falls back to a safe behaviour
+		}
+		if i < 10 {
+			fmt.Printf("frame %3d: label=%3d reliable=%-5v nets=%d latency=%v\n",
+				i, pred.Label, pred.Reliable, pred.Activated, elapsed.Round(time.Microsecond))
+		}
+	}
+
+	n := len(frames)
+	fmt.Printf("\nprocessed %d frames with a %v budget:\n", n, frameBudget)
+	fmt.Printf("  acted on reliable predictions: %d (%.1f%%)\n", acted, pc(acted, n))
+	fmt.Printf("  escalated to fallback:         %d (%.1f%%)\n", escalated, pc(escalated, n))
+	fmt.Printf("  undetected mispredictions:     %d (%.1f%%)  <- PolygraphMR minimizes this\n", missed, pc(missed, n))
+	fmt.Printf("  mean networks per frame:       %.2f of 4 (RADE staged activation)\n", float64(totalActivated)/float64(n))
+	fmt.Printf("  worst frame latency:           %v (over budget: %d frames)\n", worst.Round(time.Microsecond), overBudget)
+}
+
+func pc(a, n int) float64 { return 100 * float64(a) / float64(n) }

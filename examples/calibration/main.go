@@ -1,0 +1,94 @@
+// Calibration study example (paper §IV-E): shows why temperature scaling —
+// the standard network-calibration fix — does not solve the reliability
+// problem that PolygraphMR targets. Scaling lowers the confidence of
+// overconfident predictions (ECE improves, the TP/FP-vs-threshold curves
+// shift), but the achievable (TP, FP) operating set is unchanged: every
+// threshold on the scaled network corresponds to a threshold on the
+// original one.
+//
+// This example uses the repository's internal packages directly, as it
+// inspects logits rather than the public classify-and-gate API.
+//
+// Run from the repository root:
+//
+//	go run ./examples/calibration
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/calibrate"
+	"repro/internal/metrics"
+	"repro/internal/model"
+)
+
+func main() {
+	zoo := model.DefaultZoo()
+	zoo.Progress = func(f string, a ...any) { log.Printf(f, a...) }
+	b, err := model.ByName("alexnet")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	valLogits, err := zoo.Logits(b, model.Variant{}, model.SplitVal)
+	if err != nil {
+		log.Fatal(err)
+	}
+	valLabels, err := zoo.Labels(b, model.SplitVal)
+	if err != nil {
+		log.Fatal(err)
+	}
+	testLogits, err := zoo.Logits(b, model.Variant{}, model.SplitTest)
+	if err != nil {
+		log.Fatal(err)
+	}
+	testLabels, err := zoo.Labels(b, model.SplitTest)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rep, err := calibrate.Evaluate(valLogits, valLabels, testLogits, testLabels)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fitted temperature: T = %.3f\n", rep.Temperature)
+	fmt.Printf("expected calibration error: %.4f -> %.4f\n", rep.ECEBefore, rep.ECEAfter)
+	fmt.Printf("mean NLL:                   %.4f -> %.4f\n\n", rep.NLLBefore, rep.NLLAfter)
+
+	before := metrics.SoftmaxAll(testLogits)
+	after := metrics.SoftmaxAllTemp(testLogits, rep.Temperature)
+
+	fmt.Println("TP/FP rates vs confidence threshold (original | scaled):")
+	fmt.Printf("%-10s %22s %22s\n", "threshold", "TP orig | scaled", "FP orig | scaled")
+	for _, t := range []float64{0.3, 0.5, 0.7, 0.9} {
+		pb := metrics.ThresholdSweep(before, testLabels, []float64{t})[0].Rates
+		pa := metrics.ThresholdSweep(after, testLabels, []float64{t})[0].Rates
+		fmt.Printf("%-10.2f %9.1f%% | %6.1f%% %9.1f%% | %6.1f%%\n",
+			t, 100*pb.TP, 100*pa.TP, 100*pb.FP, 100*pa.FP)
+	}
+
+	// The decisive comparison: minimum FP achievable at the baseline TP,
+	// before vs after scaling.
+	orgAcc := metrics.Accuracy(before, testLabels)
+	fmt.Printf("\nbest FP at TP >= baseline accuracy (%.1f%%):\n", 100*orgAcc)
+	fmt.Printf("  original: %s\n", bestFP(before, testLabels, orgAcc))
+	fmt.Printf("  scaled:   %s\n", bestFP(after, testLabels, orgAcc))
+	fmt.Println("\nIdentical frontiers: calibration relabels thresholds, it does not")
+	fmt.Println("separate correct from wrong answers — PolygraphMR's diversity does.")
+}
+
+func bestFP(probs [][]float64, labels []int, floor float64) string {
+	ths := []float64{0}
+	for _, p := range probs {
+		ths = append(ths, p[metrics.Argmax(p)])
+	}
+	var pts []metrics.Point
+	for _, p := range metrics.ThresholdSweep(probs, labels, ths) {
+		pts = append(pts, metrics.Point{TP: p.Rates.TP, FP: p.Rates.FP})
+	}
+	if best, ok := metrics.BestUnderTPFloor(metrics.ParetoFrontier(pts), floor); ok {
+		return fmt.Sprintf("%.2f%%", 100*best.FP)
+	}
+	return "unreachable"
+}

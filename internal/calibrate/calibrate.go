@@ -1,0 +1,85 @@
+// Package calibrate implements temperature scaling (Guo et al., referenced
+// by the paper's §IV-E) — the network-calibration baseline PolygraphMR is
+// compared against. A single scalar temperature T is fitted on validation
+// logits by minimizing the negative log-likelihood; scaled probabilities are
+// softmax(logits/T).
+package calibrate
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/metrics"
+)
+
+// FitTemperature finds the temperature minimizing the mean NLL of
+// softmax(logits/T) against the labels, via golden-section search over
+// [0.05, 20]. It returns the fitted temperature.
+func FitTemperature(logits [][]float64, labels []int) (float64, error) {
+	if len(logits) == 0 || len(logits) != len(labels) {
+		return 0, fmt.Errorf("calibrate: need matching non-empty logits and labels (%d vs %d)", len(logits), len(labels))
+	}
+	nll := func(t float64) float64 {
+		probs := metrics.SoftmaxAllTemp(logits, t)
+		total := 0.0
+		for i, p := range probs {
+			total += -math.Log(math.Max(p[labels[i]], 1e-300))
+		}
+		return total / float64(len(probs))
+	}
+	lo, hi := 0.05, 20.0
+	const phi = 0.6180339887498949
+	a, b := hi-phi*(hi-lo), lo+phi*(hi-lo)
+	fa, fb := nll(a), nll(b)
+	for i := 0; i < 80 && hi-lo > 1e-4; i++ {
+		if fa < fb {
+			hi, b, fb = b, a, fa
+			a = hi - phi*(hi-lo)
+			fa = nll(a)
+		} else {
+			lo, a, fa = a, b, fb
+			b = lo + phi*(hi-lo)
+			fb = nll(b)
+		}
+	}
+	return (lo + hi) / 2, nil
+}
+
+// Report summarizes the effect of temperature scaling.
+type Report struct {
+	Temperature float64
+	// ECEBefore/ECEAfter are expected calibration errors at T=1 and T.
+	ECEBefore, ECEAfter float64
+	// NLLBefore/NLLAfter are mean negative log-likelihoods.
+	NLLBefore, NLLAfter float64
+}
+
+// Evaluate fits a temperature on validation logits and reports calibration
+// quality on evaluation logits (paper methodology: fit on val, report on
+// test).
+func Evaluate(valLogits [][]float64, valLabels []int, testLogits [][]float64, testLabels []int) (Report, error) {
+	t, err := FitTemperature(valLogits, valLabels)
+	if err != nil {
+		return Report{}, err
+	}
+	before := metrics.SoftmaxAll(testLogits)
+	after := metrics.SoftmaxAllTemp(testLogits, t)
+	return Report{
+		Temperature: t,
+		ECEBefore:   metrics.ECE(before, testLabels, 15),
+		ECEAfter:    metrics.ECE(after, testLabels, 15),
+		NLLBefore:   meanNLL(before, testLabels),
+		NLLAfter:    meanNLL(after, testLabels),
+	}, nil
+}
+
+func meanNLL(probs [][]float64, labels []int) float64 {
+	if len(probs) == 0 {
+		return 0
+	}
+	total := 0.0
+	for i, p := range probs {
+		total += -math.Log(math.Max(p[labels[i]], 1e-300))
+	}
+	return total / float64(len(probs))
+}

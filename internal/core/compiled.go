@@ -1,0 +1,107 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// compiled caches, per Recorded instance, the per-member top-1 predictions
+// and confidences plus the mean-distribution fallback labels, so that
+// threshold sweeps (hundreds of Evaluate calls over the same outputs) do
+// not recompute argmaxes. Semantics are identical to Decide.
+type compiled struct {
+	preds    [][]int     // [member][sample]
+	confs    [][]float64 // [member][sample]
+	fallback []int       // argmax of the mean distribution per sample
+	classes  int
+}
+
+var compileCache sync.Map // *Recorded -> *compiled
+
+func (r *Recorded) compiled() *compiled {
+	if c, ok := compileCache.Load(r); ok {
+		return c.(*compiled)
+	}
+	n, s := r.Members(), r.Samples()
+	c := &compiled{
+		preds: make([][]int, n),
+		confs: make([][]float64, n),
+	}
+	if s > 0 && n > 0 {
+		c.classes = len(r.Probs[0][0])
+	}
+	for m := 0; m < n; m++ {
+		c.preds[m] = make([]int, s)
+		c.confs[m] = make([]float64, s)
+		for i, row := range r.Probs[m] {
+			p := metrics.Argmax(row)
+			c.preds[m][i] = p
+			c.confs[m][i] = row[p]
+		}
+	}
+	c.fallback = make([]int, s)
+	mean := make([]float64, c.classes)
+	for i := 0; i < s; i++ {
+		for j := range mean {
+			mean[j] = 0
+		}
+		for m := 0; m < n; m++ {
+			for j, v := range r.Probs[m][i] {
+				mean[j] += v
+			}
+		}
+		c.fallback[i] = metrics.Argmax(mean)
+	}
+	compileCache.Store(r, c)
+	return c
+}
+
+// evalOutcomes is the fast Evaluate path: identical vote semantics to
+// Decide, using the compiled prediction cache and a reusable vote buffer.
+func (r *Recorded) evalOutcomes(th Thresholds) []metrics.Outcome {
+	c := r.compiled()
+	n, s := r.Members(), r.Samples()
+	out := make([]metrics.Outcome, s)
+	votes := make([]int, c.classes)
+	touched := make([]int, 0, n)
+	for i := 0; i < s; i++ {
+		for _, cl := range touched {
+			votes[cl] = 0
+		}
+		touched = touched[:0]
+		accepted := 0
+		for m := 0; m < n; m++ {
+			if c.confs[m][i] >= th.Conf {
+				cl := c.preds[m][i]
+				if votes[cl] == 0 {
+					touched = append(touched, cl)
+				}
+				votes[cl]++
+				accepted++
+			}
+		}
+		if accepted == 0 {
+			out[i] = metrics.Outcome{Label: c.fallback[i], Reliable: false}
+			continue
+		}
+		// Modal label: smallest label with the maximal count; unique mode.
+		leader, leaderVotes, unique := -1, -1, true
+		for _, cl := range touched {
+			switch {
+			case votes[cl] > leaderVotes:
+				leader, leaderVotes, unique = cl, votes[cl], true
+			case votes[cl] == leaderVotes:
+				unique = false
+				if cl < leader {
+					leader = cl
+				}
+			}
+		}
+		out[i] = metrics.Outcome{
+			Label:    leader,
+			Reliable: unique && leaderVotes >= th.Freq,
+		}
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/metrics"
+)
+
+// TestEvalOutcomesMatchesDecide is the equivalence oracle for the fast
+// sweep path: for random member outputs and thresholds, the compiled
+// evaluation must agree exactly with per-sample Decide calls.
+func TestEvalOutcomesMatchesDecide(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		members := 1 + rng.Intn(6)
+		samples := 1 + rng.Intn(40)
+		classes := 2 + rng.Intn(5)
+		accs := make([]float64, members)
+		for i := range accs {
+			accs[i] = rng.Float64()
+		}
+		r := syntheticRecorded(rng, members, samples, classes, accs)
+		th := Thresholds{Conf: rng.Float64(), Freq: 1 + rng.Intn(members)}
+
+		fast := r.Outcomes(th)
+		for s := 0; s < samples; s++ {
+			rows := make([][]float64, members)
+			for m := 0; m < members; m++ {
+				rows[m] = r.Probs[m][s]
+			}
+			want := Decide(rows, th).Outcome()
+			if fast[s] != want {
+				t.Logf("seed %d sample %d: fast %+v, Decide %+v (th %v)", seed, s, fast[s], want, th)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEvalOutcomesTieSemantics exercises the tie edge cases directly.
+func TestEvalOutcomesTieSemantics(t *testing.T) {
+	// Two members, two distinct confident predictions: tie -> unreliable,
+	// smallest label reported.
+	probs := [][][]float64{
+		{{0.1, 0.9, 0}},
+		{{0.1, 0, 0.9}},
+	}
+	r, err := NewRecorded(probs, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := r.Outcomes(Thresholds{Conf: 0, Freq: 1})
+	if out[0].Reliable {
+		t.Error("tie marked reliable")
+	}
+	if out[0].Label != 1 {
+		t.Errorf("tie label %d, want 1 (smallest)", out[0].Label)
+	}
+
+	// All votes gated: fallback to mean argmax, unreliable.
+	out = r.Outcomes(Thresholds{Conf: 0.95, Freq: 1})
+	if out[0].Reliable {
+		t.Error("gated sample marked reliable")
+	}
+	mean := []float64{0.1, 0.45, 0.45}
+	if out[0].Label != metrics.Argmax(mean) {
+		t.Errorf("fallback label %d", out[0].Label)
+	}
+}
+
+func BenchmarkEvaluateSweep(b *testing.B) {
+	rng := rand.New(rand.NewSource(57))
+	r := syntheticRecorded(rng, 6, 500, 10, []float64{0.8, 0.8, 0.8, 0.8, 0.8, 0.8})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.SweepPoints(DefaultConfGrid(), FreqGrid(6))
+	}
+}

@@ -1,0 +1,139 @@
+// Package core implements PolygraphMR (paper §III): the three-layer system
+// that combines preprocessor-diversified member CNNs (Layers 1–2) with a
+// threshold-based decision engine (Layer 3), the offline profiling that
+// selects thresholds from a (TP, FP) Pareto frontier, the greedy
+// preprocessor-selection procedure (§III-G), and the resource-aware staged
+// activation of members (RADE, §III-F).
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/metrics"
+)
+
+// Thresholds are the decision-engine parameters of §III-E:
+//
+//   - Conf (Thr_Conf): a member's vote is accepted only when the confidence
+//     of its top-1 prediction is at least Conf.
+//   - Freq (Thr_Freq): the final prediction is reliable only when at least
+//     Freq accepted votes agree on the same label.
+type Thresholds struct {
+	Conf float64
+	Freq int
+}
+
+// String renders "Thr_Conf=0.75/Thr_Freq=3".
+func (t Thresholds) String() string {
+	return fmt.Sprintf("Thr_Conf=%.2f/Thr_Freq=%d", t.Conf, t.Freq)
+}
+
+// Majority returns the traditional-MR majority-vote policy for n members:
+// no confidence gate, and strictly more than half the members must agree.
+func Majority(n int) Thresholds { return Thresholds{Conf: 0, Freq: n/2 + 1} }
+
+// AllIdentical returns the most restrictive frequency policy: every member
+// must agree (paper Fig. 5 "All identical").
+func AllIdentical(n int) Thresholds { return Thresholds{Conf: 0, Freq: n} }
+
+// Decide runs the Layer-3 decision over one sample's member outputs. Each
+// row of memberProbs is one member's softmax vector. The engine histograms
+// the accepted votes (top-1 label of every member whose confidence passes
+// Thr_Conf), reports the modal label as the prediction, and marks it
+// reliable when the modal frequency reaches Thr_Freq and the mode is unique.
+//
+// When no vote passes the confidence gate, the prediction falls back to the
+// argmax of the mean member distribution and is always unreliable.
+func Decide(memberProbs [][]float64, th Thresholds) Decision {
+	votes := make(map[int]int)
+	var accepted int
+	for _, row := range memberProbs {
+		pred := metrics.Argmax(row)
+		if pred < 0 {
+			continue
+		}
+		if row[pred] >= th.Conf {
+			votes[pred]++
+			accepted++
+		}
+	}
+	d := Decision{Votes: votes, Activated: len(memberProbs)}
+	if accepted == 0 {
+		d.Label = argmaxMean(memberProbs)
+		d.Reliable = false
+		return d
+	}
+	leader, leaderVotes, unique := modalVote(votes)
+	d.Label = leader
+	d.Confidence = meanConfidenceOf(memberProbs, leader)
+	d.Reliable = unique && leaderVotes >= th.Freq
+	return d
+}
+
+// Decision is the outcome of the decision engine for one input.
+type Decision struct {
+	// Label is the system prediction.
+	Label int
+	// Reliable reports whether the prediction passed the reliability gate.
+	Reliable bool
+	// Confidence is the mean member confidence assigned to Label.
+	Confidence float64
+	// Votes is the accepted-vote histogram.
+	Votes map[int]int
+	// Activated is the number of member networks consulted.
+	Activated int
+}
+
+// Outcome converts the decision to the metrics accounting type.
+func (d Decision) Outcome() metrics.Outcome {
+	return metrics.Outcome{Label: d.Label, Reliable: d.Reliable}
+}
+
+// modalVote returns the label with the most votes, its count, and whether
+// the mode is unique. Ties resolve to the smallest label for determinism.
+func modalVote(votes map[int]int) (label, count int, unique bool) {
+	labels := make([]int, 0, len(votes))
+	for l := range votes {
+		labels = append(labels, l)
+	}
+	sort.Ints(labels)
+	count = -1
+	unique = true
+	for _, l := range labels {
+		switch {
+		case votes[l] > count:
+			label, count, unique = l, votes[l], true
+		case votes[l] == count:
+			unique = false
+		}
+	}
+	return label, count, unique
+}
+
+// argmaxMean returns the argmax of the mean distribution over members.
+func argmaxMean(rows [][]float64) int {
+	if len(rows) == 0 {
+		return -1
+	}
+	mean := make([]float64, len(rows[0]))
+	for _, r := range rows {
+		for i, v := range r {
+			mean[i] += v
+		}
+	}
+	return metrics.Argmax(mean)
+}
+
+// meanConfidenceOf returns the mean probability that members assign to the
+// given label.
+func meanConfidenceOf(rows [][]float64, label int) float64 {
+	if len(rows) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, r := range rows {
+		s += r[label]
+	}
+	return s / float64(len(rows))
+}

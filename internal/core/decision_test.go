@@ -1,0 +1,162 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDecideUnanimous(t *testing.T) {
+	rows := [][]float64{
+		{0.9, 0.1, 0},
+		{0.8, 0.1, 0.1},
+		{0.7, 0.2, 0.1},
+	}
+	d := Decide(rows, Thresholds{Conf: 0.5, Freq: 3})
+	if d.Label != 0 || !d.Reliable {
+		t.Errorf("unanimous: %+v", d)
+	}
+	if math.Abs(d.Confidence-(0.9+0.8+0.7)/3) > 1e-12 {
+		t.Errorf("confidence = %v", d.Confidence)
+	}
+}
+
+func TestDecideConfidenceGate(t *testing.T) {
+	rows := [][]float64{
+		{0.9, 0.1},
+		{0.55, 0.45}, // below Thr_Conf 0.6: vote rejected
+	}
+	d := Decide(rows, Thresholds{Conf: 0.6, Freq: 2})
+	if d.Reliable {
+		t.Errorf("gated vote still counted: %+v", d)
+	}
+	if d.Votes[0] != 1 {
+		t.Errorf("votes = %v, want only the confident one", d.Votes)
+	}
+}
+
+func TestDecideDisagreementUnreliable(t *testing.T) {
+	rows := [][]float64{
+		{0.9, 0.1, 0},
+		{0.1, 0.9, 0},
+	}
+	d := Decide(rows, Thresholds{Conf: 0, Freq: 2})
+	if d.Reliable {
+		t.Errorf("tie marked reliable: %+v", d)
+	}
+}
+
+func TestDecideMajority(t *testing.T) {
+	rows := [][]float64{
+		{0.9, 0.1},
+		{0.8, 0.2},
+		{0.2, 0.8},
+	}
+	d := Decide(rows, Majority(3))
+	if d.Label != 0 || !d.Reliable {
+		t.Errorf("majority: %+v", d)
+	}
+	if AllIdentical(3) != (Thresholds{Conf: 0, Freq: 3}) {
+		t.Error("AllIdentical wrong")
+	}
+}
+
+func TestDecideNoAcceptedVotesFallsBack(t *testing.T) {
+	rows := [][]float64{
+		{0.4, 0.6},
+		{0.55, 0.45},
+	}
+	d := Decide(rows, Thresholds{Conf: 0.99, Freq: 1})
+	if d.Reliable {
+		t.Error("no accepted votes must be unreliable")
+	}
+	// Fallback label: argmax of mean = class 1 (0.95+... mean0=0.475, mean1=0.525).
+	if d.Label != 1 {
+		t.Errorf("fallback label = %d, want 1", d.Label)
+	}
+}
+
+func TestDecideTieBreaksToLowestLabel(t *testing.T) {
+	rows := [][]float64{
+		{0, 1, 0},
+		{0, 0, 1},
+	}
+	d := Decide(rows, Thresholds{Conf: 0, Freq: 1})
+	if d.Label != 1 {
+		t.Errorf("tie label = %d, want lowest (1)", d.Label)
+	}
+	if d.Reliable {
+		t.Error("non-unique mode must be unreliable")
+	}
+}
+
+func TestThresholdsString(t *testing.T) {
+	got := (Thresholds{Conf: 0.75, Freq: 3}).String()
+	if got != "Thr_Conf=0.75/Thr_Freq=3" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+// Property: raising Thr_Freq can only turn reliable decisions unreliable,
+// never the reverse (gate monotonicity).
+func TestQuickFreqMonotonicity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5)
+		classes := 2 + rng.Intn(4)
+		rows := make([][]float64, n)
+		for i := range rows {
+			rows[i] = randDist(rng, classes)
+		}
+		conf := rng.Float64() * 0.9
+		prevReliable := true
+		for freq := 1; freq <= n; freq++ {
+			d := Decide(rows, Thresholds{Conf: conf, Freq: freq})
+			if d.Reliable && !prevReliable {
+				return false
+			}
+			prevReliable = d.Reliable
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the decision label never changes with Thr_Freq (only the gate
+// does), as the histogram is frequency-independent.
+func TestQuickLabelIndependentOfFreq(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5)
+		rows := make([][]float64, n)
+		for i := range rows {
+			rows[i] = randDist(rng, 3)
+		}
+		first := Decide(rows, Thresholds{Conf: 0.2, Freq: 1}).Label
+		for freq := 2; freq <= n; freq++ {
+			if Decide(rows, Thresholds{Conf: 0.2, Freq: freq}).Label != first {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randDist(rng *rand.Rand, classes int) []float64 {
+	row := make([]float64, classes)
+	sum := 0.0
+	for i := range row {
+		row[i] = rng.Float64()
+		sum += row[i]
+	}
+	for i := range row {
+		row[i] /= sum
+	}
+	return row
+}

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/metrics"
+	"repro/internal/model"
+)
+
+// BuildRecorded assembles the Recorded member outputs for the given variants
+// of a benchmark over a split, using the zoo's cached logits.
+func BuildRecorded(zoo *model.Zoo, b model.Benchmark, variants []model.Variant, split model.Split) (*Recorded, error) {
+	labels, err := zoo.Labels(b, split)
+	if err != nil {
+		return nil, err
+	}
+	probs := make([][][]float64, 0, len(variants))
+	for _, v := range variants {
+		logits, err := zoo.Logits(b, v, split)
+		if err != nil {
+			return nil, fmt.Errorf("core: outputs for %s/%s: %w", b.Name, v.Key(), err)
+		}
+		probs = append(probs, metrics.SoftmaxAll(logits))
+	}
+	return NewRecorded(probs, labels)
+}
+
+// DesignStep records one greedy-design iteration.
+type DesignStep struct {
+	// Added is the variant selected in this iteration.
+	Added model.Variant
+	// Thresholds is the best decision-engine setting after the addition.
+	Thresholds Thresholds
+	// Rates is the validation performance at those thresholds.
+	Rates metrics.Rates
+}
+
+// Design is the result of the §III-G greedy system-design procedure.
+type Design struct {
+	// Variants are the selected members, starting with ORG.
+	Variants []model.Variant
+	// Steps records the FP improvement trajectory (one entry per added
+	// member after ORG).
+	Steps []DesignStep
+	// BaselineTP is the ORG validation accuracy used as the TP floor.
+	BaselineTP float64
+	// BaselineFP is the ORG validation misprediction rate.
+	BaselineFP float64
+}
+
+// GreedyDesign runs the paper's two-step system-design procedure on the
+// validation split: starting from the baseline ORG network, it repeatedly
+// adds the candidate preprocessed network that minimizes the FP rate at a
+// TP floor equal to the ORG accuracy, until maxN members are selected.
+//
+// Candidates that fail to produce any design point at the TP floor are
+// scored by the best-TP point instead, which keeps the procedure total; in
+// practice a Freq=1 policy always restores the floor.
+func GreedyDesign(zoo *model.Zoo, b model.Benchmark, candidates []model.Variant, maxN int) (*Design, error) {
+	if maxN < 2 {
+		return nil, fmt.Errorf("core: GreedyDesign needs maxN >= 2, got %d", maxN)
+	}
+	org := model.Variant{}
+	baseAcc, err := zoo.Accuracy(b, org, model.SplitVal)
+	if err != nil {
+		return nil, err
+	}
+	design := &Design{
+		Variants:   []model.Variant{org},
+		BaselineTP: baseAcc,
+		BaselineFP: 1 - baseAcc,
+	}
+
+	// Pre-filter candidates whose standalone accuracy is far below the
+	// baseline: the paper observes that preprocessors which destroy the
+	// vital input features are not useful diversity sources (§III-B), and
+	// a near-chance member only adds noise to the vote histogram.
+	var remaining []model.Variant
+	for _, cand := range candidates {
+		acc, err := zoo.Accuracy(b, cand, model.SplitVal)
+		if err != nil {
+			return nil, err
+		}
+		if acc >= 0.5*baseAcc {
+			remaining = append(remaining, cand)
+		}
+	}
+	for len(design.Variants) < maxN && len(remaining) > 0 {
+		bestIdx := -1
+		var bestTh Thresholds
+		var bestRates metrics.Rates
+		bestFP := math.Inf(1)
+
+		for i, cand := range remaining {
+			trial := append(append([]model.Variant(nil), design.Variants...), cand)
+			rec, err := BuildRecorded(zoo, b, trial, model.SplitVal)
+			if err != nil {
+				return nil, err
+			}
+			th, rates, ok := rec.SelectThresholds(design.BaselineTP)
+			if !ok {
+				// Fall back to the max-TP frontier point.
+				frontier := rec.Pareto()
+				if len(frontier) == 0 {
+					continue
+				}
+				best := frontier[len(frontier)-1]
+				th = best.Meta.(Thresholds)
+				rates = rec.Evaluate(th)
+			}
+			if rates.FP < bestFP {
+				bestFP, bestIdx, bestTh, bestRates = rates.FP, i, th, rates
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		design.Variants = append(design.Variants, remaining[bestIdx])
+		design.Steps = append(design.Steps, DesignStep{
+			Added:      remaining[bestIdx],
+			Thresholds: bestTh,
+			Rates:      bestRates,
+		})
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+	}
+	return design, nil
+}
+
+// DeltaProfile is the Fig. 8 preprocessor-comparison statistic: the
+// distribution of confidence deltas between a preprocessed member and the
+// baseline, partitioned by whether the baseline prediction was correct.
+// Negative deltas on mispredicted inputs indicate the preprocessor is less
+// likely to repeat the baseline's misprediction (good); negative deltas on
+// correct inputs indicate it is less likely to confirm correct answers
+// (bad).
+type DeltaProfile struct {
+	// WrongDeltas are sorted deltas over inputs the baseline mispredicts.
+	WrongDeltas []float64
+	// RightDeltas are sorted deltas over inputs the baseline gets right.
+	RightDeltas []float64
+}
+
+// NegativeShare returns the fraction of sorted deltas below zero.
+func NegativeShare(deltas []float64) float64 {
+	if len(deltas) == 0 {
+		return 0
+	}
+	// Sorted input: binary search for the first non-negative element.
+	i := sort.SearchFloat64s(deltas, 0)
+	return float64(i) / float64(len(deltas))
+}
+
+// CDFAt returns the empirical CDF of the sorted deltas at x.
+func CDFAt(deltas []float64, x float64) float64 {
+	if len(deltas) == 0 {
+		return 0
+	}
+	i := sort.SearchFloat64s(deltas, x)
+	return float64(i) / float64(len(deltas))
+}
+
+// PreprocessorDelta computes the Fig. 8 delta profile of a candidate
+// preprocessor variant against the ORG baseline on the given split. The
+// delta of a sample is the candidate's top-1 confidence minus the
+// baseline's top-1 confidence.
+func PreprocessorDelta(zoo *model.Zoo, b model.Benchmark, cand model.Variant, split model.Split) (*DeltaProfile, error) {
+	baseLogits, err := zoo.Logits(b, model.Variant{}, split)
+	if err != nil {
+		return nil, err
+	}
+	candLogits, err := zoo.Logits(b, cand, split)
+	if err != nil {
+		return nil, err
+	}
+	labels, err := zoo.Labels(b, split)
+	if err != nil {
+		return nil, err
+	}
+	base := metrics.SoftmaxAll(baseLogits)
+	cp := metrics.SoftmaxAll(candLogits)
+
+	var p DeltaProfile
+	for i := range base {
+		bPred := metrics.Argmax(base[i])
+		cPred := metrics.Argmax(cp[i])
+		delta := cp[i][cPred] - base[i][bPred]
+		if bPred == labels[i] {
+			p.RightDeltas = append(p.RightDeltas, delta)
+		} else {
+			p.WrongDeltas = append(p.WrongDeltas, delta)
+		}
+	}
+	sort.Float64s(p.WrongDeltas)
+	sort.Float64s(p.RightDeltas)
+	return &p, nil
+}
+
+// CompareDeltas implements the paper's preprocessor-ranking rule: candidate
+// A is preferred over candidate B when A has a larger negative-delta share
+// on baseline-mispredicted inputs (more likely to break mispredictions) —
+// with the share on correct inputs as an inverse tie-breaker.
+func CompareDeltas(a, b *DeltaProfile) int {
+	aw, bw := NegativeShare(a.WrongDeltas), NegativeShare(b.WrongDeltas)
+	switch {
+	case aw > bw:
+		return -1
+	case aw < bw:
+		return 1
+	}
+	ar, br := NegativeShare(a.RightDeltas), NegativeShare(b.RightDeltas)
+	switch {
+	case ar < br:
+		return -1
+	case ar > br:
+		return 1
+	}
+	return 0
+}

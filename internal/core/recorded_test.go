@@ -1,0 +1,221 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/metrics"
+)
+
+// syntheticRecorded builds a Recorded with controllable member behaviour:
+// each member predicts the true label with probability acc, with confidence
+// drawn high; otherwise a random wrong label.
+func syntheticRecorded(rng *rand.Rand, members, samples, classes int, accs []float64) *Recorded {
+	labels := make([]int, samples)
+	for s := range labels {
+		labels[s] = rng.Intn(classes)
+	}
+	probs := make([][][]float64, members)
+	for m := 0; m < members; m++ {
+		probs[m] = make([][]float64, samples)
+		for s := 0; s < samples; s++ {
+			pred := labels[s]
+			if rng.Float64() >= accs[m] {
+				pred = (labels[s] + 1 + rng.Intn(classes-1)) % classes
+			}
+			conf := 0.5 + 0.49*rng.Float64()
+			row := make([]float64, classes)
+			rest := (1 - conf) / float64(classes-1)
+			for c := range row {
+				row[c] = rest
+			}
+			row[pred] = conf
+			probs[m][s] = row
+		}
+	}
+	r, err := NewRecorded(probs, labels)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+func TestNewRecordedValidation(t *testing.T) {
+	if _, err := NewRecorded(nil, nil); err == nil {
+		t.Error("empty Recorded accepted")
+	}
+	if _, err := NewRecorded([][][]float64{{{0.5, 0.5}}}, []int{0, 1}); err == nil {
+		t.Error("row/label mismatch accepted")
+	}
+}
+
+func TestRecordedEvaluateAccuracyIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	r := syntheticRecorded(rng, 1, 400, 5, []float64{0.8})
+	// Single member, Freq 1, Conf 0: TP = accuracy, FP = 1-accuracy.
+	rates := r.Evaluate(Thresholds{Conf: 0, Freq: 1})
+	acc := r.MemberAccuracy()[0]
+	if math.Abs(rates.TP-acc) > 1e-12 || math.Abs(rates.FP-(1-acc)) > 1e-12 {
+		t.Errorf("rates %+v vs accuracy %v", rates, acc)
+	}
+	if rates.TN != 0 || rates.FN != 0 {
+		t.Errorf("gateless rates should have no negatives: %+v", rates)
+	}
+}
+
+func TestRecordedAgreementReducesFP(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	r := syntheticRecorded(rng, 4, 600, 5, []float64{0.7, 0.7, 0.7, 0.7})
+	loose := r.Evaluate(Thresholds{Conf: 0, Freq: 1})
+	strict := r.Evaluate(AllIdentical(4))
+	if strict.FP >= loose.FP {
+		t.Errorf("all-identical FP %v not below loose FP %v", strict.FP, loose.FP)
+	}
+	if strict.TP >= loose.TP {
+		t.Errorf("all-identical should sacrifice TPs: %v vs %v", strict.TP, loose.TP)
+	}
+}
+
+func TestRecordedSubset(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	r := syntheticRecorded(rng, 4, 50, 3, []float64{0.9, 0.8, 0.7, 0.6})
+	sub := r.Subset([]int{0, 2})
+	if sub.Members() != 2 || sub.Samples() != 50 {
+		t.Fatalf("subset dims %d/%d", sub.Members(), sub.Samples())
+	}
+	if sub.MemberAccuracy()[1] != r.MemberAccuracy()[2] {
+		t.Error("subset member 1 should be original member 2")
+	}
+}
+
+func TestSweepAndPareto(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	r := syntheticRecorded(rng, 3, 300, 4, []float64{0.8, 0.75, 0.7})
+	pts := r.SweepPoints([]float64{0, 0.5, 0.9}, FreqGrid(3))
+	if len(pts) != 9 {
+		t.Fatalf("sweep points = %d, want 9", len(pts))
+	}
+	frontier := r.Pareto()
+	if len(frontier) == 0 {
+		t.Fatal("empty frontier")
+	}
+	for _, p := range frontier {
+		if _, ok := p.Meta.(Thresholds); !ok {
+			t.Fatal("frontier point missing Thresholds meta")
+		}
+	}
+}
+
+func TestSelectThresholds(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	r := syntheticRecorded(rng, 4, 500, 5, []float64{0.8, 0.8, 0.8, 0.8})
+	base := r.MemberAccuracy()[0]
+	th, rates, ok := r.SelectThresholds(base)
+	if !ok {
+		t.Fatal("no thresholds found at baseline floor")
+	}
+	if rates.TP < base-1e-9 {
+		t.Errorf("selected TP %v below floor %v", rates.TP, base)
+	}
+	// The whole point: FP must improve on the single-member baseline.
+	single := r.Subset([]int{0}).Evaluate(Thresholds{Conf: 0, Freq: 1})
+	if rates.FP >= single.FP {
+		t.Errorf("system FP %v not below baseline %v (th %v)", rates.FP, single.FP, th)
+	}
+	// Unreachable floor reports ok=false.
+	if _, _, ok := r.SelectThresholds(1.01); ok {
+		t.Error("impossible floor accepted")
+	}
+}
+
+func TestPriorityOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	r := syntheticRecorded(rng, 3, 400, 4, []float64{0.6, 0.9, 0.75})
+	order := r.PriorityOrder()
+	want := []int{1, 2, 0}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("PriorityOrder = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestStagedMatchesFullOnRates(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	r := syntheticRecorded(rng, 4, 400, 5, []float64{0.85, 0.8, 0.75, 0.7})
+	th := Thresholds{Conf: 0.5, Freq: 2}
+	full := r.Evaluate(th)
+	staged := r.Staged(th, nil, 1)
+	// RADE may differ slightly from full activation (early exits), but TPs
+	// should be close and the mean activation strictly below the member
+	// count.
+	if math.Abs(staged.Rates.TP-full.TP) > 0.05 {
+		t.Errorf("staged TP %v far from full %v", staged.Rates.TP, full.TP)
+	}
+	if staged.MeanActivated() >= 4 {
+		t.Errorf("staged mean activation %v shows no saving", staged.MeanActivated())
+	}
+	if staged.MeanActivated() < float64(th.Freq) {
+		t.Errorf("staged mean activation %v below Thr_Freq", staged.MeanActivated())
+	}
+	// Histogram sums to 1 over 0..N.
+	sum := 0.0
+	for _, v := range staged.ActivationHist {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("activation histogram sums to %v", sum)
+	}
+}
+
+func TestStagedBatchActivatesInPairs(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	r := syntheticRecorded(rng, 4, 200, 5, []float64{0.8, 0.8, 0.8, 0.8})
+	th := Thresholds{Conf: 0.5, Freq: 2}
+	staged := r.Staged(th, nil, 2)
+	for _, a := range staged.Activations {
+		if a != 2 && a != 4 {
+			t.Fatalf("batch=2 activated %d members; want 2 or 4", a)
+		}
+	}
+}
+
+// Property: staged activation counts are always within [min(Freq,N), N].
+func TestQuickStagedActivationBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		accs := make([]float64, n)
+		for i := range accs {
+			accs[i] = 0.4 + 0.5*rng.Float64()
+		}
+		r := syntheticRecorded(rng, n, 60, 3, accs)
+		freq := 1 + rng.Intn(n)
+		staged := r.Staged(Thresholds{Conf: 0.4 * rng.Float64(), Freq: freq}, nil, 1)
+		for _, a := range staged.Activations {
+			if a < freq || a > n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMemberPredsAndAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(48))
+	r := syntheticRecorded(rng, 4, 300, 5, []float64{0.9, 0.9, 0.9, 0.9})
+	preds := r.MemberPreds()
+	if len(preds) != 4 || len(preds[0]) != 300 {
+		t.Fatalf("preds dims %dx%d", len(preds), len(preds[0]))
+	}
+	hist := metrics.AgreementHistogram(preds)
+	// With four accurate members, full agreement dominates.
+	if hist[4] < 0.5 {
+		t.Errorf("full-agreement share %v; want > 0.5", hist[4])
+	}
+}

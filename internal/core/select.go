@@ -1,0 +1,57 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/metrics"
+)
+
+// SelectByFPBudget picks, from the Pareto frontier, the thresholds with the
+// highest TP among design points whose FP does not exceed budget — the
+// paper's alternative user demand ("a specific ... FP limit", §III-E),
+// natural for FP-averse deployments such as medical triage. It reports
+// ok=false when even the strictest design point exceeds the budget.
+func (r *Recorded) SelectByFPBudget(budget float64) (Thresholds, metrics.Rates, bool) {
+	best := metrics.Point{TP: math.Inf(-1)}
+	ok := false
+	for _, p := range r.Pareto() {
+		if p.FP <= budget+1e-12 && p.TP > best.TP {
+			best = p
+			ok = true
+		}
+	}
+	if !ok {
+		return Thresholds{}, metrics.Rates{}, false
+	}
+	th := best.Meta.(Thresholds)
+	return th, r.Evaluate(th), true
+}
+
+// OracleRates computes the upper bound the paper's §III-F sketches: an
+// oracle decision engine that activates, per input, the single member that
+// answers correctly whenever one exists (cost: one activation per input).
+// It returns the resulting rates — FP occurs only when *every* member is
+// wrong — and the oracle's mean activation count (always 1).
+//
+// No realizable engine reaches this bound; it contextualizes how much of
+// the FP mass is reachable by member diversity at all.
+func (r *Recorded) OracleRates() metrics.Rates {
+	outcomes := make([]metrics.Outcome, r.Samples())
+	for s := range outcomes {
+		chosen := -1
+		for m := range r.Probs {
+			if metrics.Argmax(r.Probs[m][s]) == r.Labels[s] {
+				chosen = m
+				break
+			}
+		}
+		if chosen >= 0 {
+			outcomes[s] = metrics.Outcome{Label: r.Labels[s], Reliable: true}
+		} else {
+			// Every member is wrong: the oracle still answers (member 0)
+			// and the answer is an undetected misprediction.
+			outcomes[s] = metrics.Outcome{Label: metrics.Argmax(r.Probs[0][s]), Reliable: true}
+		}
+	}
+	return metrics.Tally(outcomes, r.Labels)
+}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSelectByFPBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	r := syntheticRecorded(rng, 4, 500, 5, []float64{0.8, 0.8, 0.8, 0.8})
+
+	// A generous budget must be satisfiable.
+	th, rates, ok := r.SelectByFPBudget(0.10)
+	if !ok {
+		t.Fatal("generous budget unsatisfiable")
+	}
+	if rates.FP > 0.10+1e-12 {
+		t.Errorf("selected FP %v exceeds budget (th %v)", rates.FP, th)
+	}
+
+	// Tighter budgets never produce higher FP, and TP is non-increasing as
+	// the budget shrinks.
+	prevTP := 2.0
+	for _, budget := range []float64{0.2, 0.1, 0.05, 0.02, 0.005} {
+		_, rates, ok := r.SelectByFPBudget(budget)
+		if !ok {
+			continue
+		}
+		if rates.FP > budget+1e-12 {
+			t.Errorf("budget %v: FP %v over budget", budget, rates.FP)
+		}
+		if rates.TP > prevTP+1e-12 {
+			t.Errorf("budget %v: TP %v increased as budget tightened", budget, rates.TP)
+		}
+		prevTP = rates.TP
+	}
+
+	// An impossible budget reports ok=false.
+	if _, _, ok := r.SelectByFPBudget(-1); ok {
+		t.Error("negative budget satisfiable")
+	}
+}
+
+func TestOracleRates(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	r := syntheticRecorded(rng, 4, 600, 5, []float64{0.7, 0.7, 0.7, 0.7})
+
+	oracle := r.OracleRates()
+	// The oracle answers everything (no unreliable bucket).
+	if oracle.TN != 0 || oracle.FN != 0 {
+		t.Errorf("oracle has unreliable outcomes: %+v", oracle)
+	}
+	// Oracle TP must dominate every individual member's accuracy.
+	for m, acc := range r.MemberAccuracy() {
+		if oracle.TP < acc {
+			t.Errorf("oracle TP %v below member %d accuracy %v", oracle.TP, m, acc)
+		}
+	}
+	// With four independent 70% members, the union bound leaves very few
+	// all-wrong samples; oracle FP must be far below a single member's FP.
+	singleFP := 1 - r.MemberAccuracy()[0]
+	if oracle.FP > singleFP/2 {
+		t.Errorf("oracle FP %v not well below single-member FP %v", oracle.FP, singleFP)
+	}
+}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"repro/internal/metrics"
+)
+
+// SoftDecide is an alternative Layer-3 policy for ablation: instead of the
+// paper's hard vote histogram, member softmax distributions are averaged
+// and the prediction is reliable when the mean probability of the winning
+// class reaches Thr_Conf. Thr_Freq is ignored (soft voting has no discrete
+// agreement count). Classic soft-voting ensembles are the natural
+// comparison point for the paper's engine: they share the multiplicity but
+// discard the explicit-disagreement signal that hard voting exposes.
+func SoftDecide(memberProbs [][]float64, conf float64) Decision {
+	d := Decision{Activated: len(memberProbs), Votes: map[int]int{}}
+	if len(memberProbs) == 0 {
+		d.Label = -1
+		return d
+	}
+	mean := make([]float64, len(memberProbs[0]))
+	for _, row := range memberProbs {
+		for i, v := range row {
+			mean[i] += v
+		}
+	}
+	inv := 1 / float64(len(memberProbs))
+	for i := range mean {
+		mean[i] *= inv
+	}
+	d.Label = metrics.Argmax(mean)
+	d.Confidence = mean[d.Label]
+	d.Reliable = d.Confidence >= conf
+	for _, row := range memberProbs {
+		d.Votes[metrics.Argmax(row)]++
+	}
+	return d
+}
+
+// SoftOutcomes evaluates the soft-voting policy over all recorded samples
+// at one mean-confidence threshold.
+func (r *Recorded) SoftOutcomes(conf float64) []metrics.Outcome {
+	out := make([]metrics.Outcome, r.Samples())
+	rows := make([][]float64, r.Members())
+	for s := range out {
+		for m := range r.Probs {
+			rows[m] = r.Probs[m][s]
+		}
+		d := SoftDecide(rows, conf)
+		out[s] = metrics.Outcome{Label: d.Label, Reliable: d.Reliable}
+	}
+	return out
+}
+
+// SoftPareto sweeps mean-confidence thresholds and returns the soft-voting
+// (TP, FP) Pareto frontier, with the threshold stored in Meta as float64.
+func (r *Recorded) SoftPareto(confs []float64) []metrics.Point {
+	pts := make([]metrics.Point, 0, len(confs))
+	for _, c := range confs {
+		rates := metrics.Tally(r.SoftOutcomes(c), r.Labels)
+		pts = append(pts, metrics.Point{TP: rates.TP, FP: rates.FP, Meta: c})
+	}
+	return metrics.ParetoFrontier(pts)
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSoftDecideMean(t *testing.T) {
+	rows := [][]float64{
+		{0.8, 0.2},
+		{0.4, 0.6},
+	}
+	d := SoftDecide(rows, 0.5)
+	// Mean = (0.6, 0.4) → label 0, confidence 0.6.
+	if d.Label != 0 || !d.Reliable {
+		t.Errorf("SoftDecide = %+v", d)
+	}
+	if math.Abs(d.Confidence-0.6) > 1e-12 {
+		t.Errorf("confidence = %v", d.Confidence)
+	}
+	// Higher threshold flips reliability.
+	if SoftDecide(rows, 0.7).Reliable {
+		t.Error("conf 0.6 passed threshold 0.7")
+	}
+	if SoftDecide(nil, 0.5).Label != -1 {
+		t.Error("empty members should yield label -1")
+	}
+}
+
+func TestSoftOutcomesThresholdMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(130))
+	r := syntheticRecorded(rng, 4, 300, 5, []float64{0.8, 0.75, 0.7, 0.65})
+	prev := -1
+	for _, c := range []float64{0, 0.3, 0.5, 0.7, 0.9} {
+		reliable := 0
+		for _, o := range r.SoftOutcomes(c) {
+			if o.Reliable {
+				reliable++
+			}
+		}
+		if prev >= 0 && reliable > prev {
+			t.Errorf("reliable count increased with threshold at %v", c)
+		}
+		prev = reliable
+	}
+}
+
+func TestSoftParetoValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(131))
+	r := syntheticRecorded(rng, 4, 400, 5, []float64{0.8, 0.8, 0.8, 0.8})
+	frontier := r.SoftPareto(DefaultConfGrid())
+	if len(frontier) == 0 {
+		t.Fatal("empty soft frontier")
+	}
+	for i := 1; i < len(frontier); i++ {
+		if frontier[i].FP < frontier[i-1].FP {
+			t.Error("frontier not sorted by FP")
+		}
+		if frontier[i].TP <= frontier[i-1].TP {
+			t.Error("frontier TP not increasing")
+		}
+	}
+	for _, p := range frontier {
+		if _, ok := p.Meta.(float64); !ok {
+			t.Error("frontier Meta is not a threshold")
+		}
+	}
+}
+
+// TestHardVoteExposesDisagreement demonstrates the structural difference
+// the ablation experiment measures: when confident members disagree, hard
+// voting flags the input while soft voting can still emit a confident
+// (potentially wrong) answer.
+func TestHardVoteExposesDisagreement(t *testing.T) {
+	rows := [][]float64{
+		{0.95, 0.05, 0},
+		{0.05, 0.9, 0.05},
+		{0.9, 0.1, 0},
+	}
+	hard := Decide(rows, Thresholds{Conf: 0.5, Freq: 3})
+	if hard.Reliable {
+		t.Error("hard vote should flag 2-vs-1 disagreement at Freq=3")
+	}
+	soft := SoftDecide(rows, 0.6)
+	// Mean of class 0 = (0.95+0.05+0.9)/3 ≈ 0.633 → passes 0.6.
+	if !soft.Reliable {
+		t.Error("soft vote should accept the averaged distribution")
+	}
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/nn"
+	"repro/internal/preprocess"
+	"repro/internal/tensor"
+)
+
+// Member is one Layer-1/Layer-2 unit of a live PolygraphMR system: a
+// preprocessor feeding a trained CNN.
+type Member struct {
+	Name string
+	Pre  preprocess.Preprocessor
+	Net  *nn.Network
+}
+
+// Infer runs the member on a raw input image.
+func (m Member) Infer(x *tensor.T) []float64 {
+	return append([]float64(nil), m.Net.Infer(m.Pre.Apply(x)).Data...)
+}
+
+// System is a runnable PolygraphMR instance: members in priority order, the
+// profiled decision thresholds, and the activation strategy.
+type System struct {
+	// Members are in RADE priority order (highest contribution first).
+	Members []Member
+	// Th are the decision-engine thresholds selected during profiling.
+	Th Thresholds
+	// Staged enables RADE staged activation (§III-F); when false every
+	// member runs on every input.
+	Staged bool
+	// Batch is the number of members activated together per stage (models
+	// the number of available GPUs); minimum 1.
+	Batch int
+}
+
+// NewSystem assembles a system from members and thresholds.
+func NewSystem(members []Member, th Thresholds) (*System, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("core: system needs at least one member")
+	}
+	if th.Freq < 1 || th.Freq > len(members) {
+		return nil, fmt.Errorf("core: Thr_Freq %d out of range for %d members", th.Freq, len(members))
+	}
+	if th.Conf < 0 || th.Conf > 1 {
+		return nil, fmt.Errorf("core: Thr_Conf %v out of [0,1]", th.Conf)
+	}
+	return &System{Members: members, Th: th, Batch: 1}, nil
+}
+
+// Classify runs the system on one input image and returns the decision.
+// With Staged set, members are activated in priority order until the
+// decision is determined, and Decision.Activated reports how many ran.
+func (s *System) Classify(x *tensor.T) Decision {
+	n := len(s.Members)
+	if !s.Staged {
+		rows := make([][]float64, n)
+		for i, m := range s.Members {
+			rows[i] = m.Infer(x)
+		}
+		return Decide(rows, s.Th)
+	}
+
+	batch := s.Batch
+	if batch < 1 {
+		batch = 1
+	}
+	votes := make(map[int]int)
+	accepted := 0
+	var rows [][]float64
+	active := 0
+	activate := func(k int) {
+		for ; active < k && active < n; active++ {
+			row := s.Members[active].Infer(x)
+			rows = append(rows, row)
+			pred := metrics.Argmax(row)
+			if row[pred] >= s.Th.Conf {
+				votes[pred]++
+				accepted++
+			}
+		}
+	}
+	// At least two members in the initial stage (see Recorded.Staged).
+	initial := s.Th.Freq
+	if initial < 2 {
+		initial = 2
+	}
+	activate(initial)
+	decided := func() bool {
+		_, leaderVotes, unique := modalVote(votes)
+		if accepted > 0 && unique && leaderVotes >= s.Th.Freq {
+			return true
+		}
+		return leaderVotes+(n-active) < s.Th.Freq
+	}
+	for !decided() && active < n {
+		activate(active + batch)
+	}
+	return Decide(rows, s.Th)
+}
+
+// BuildSystem constructs a live system for a benchmark from zoo-trained
+// variants. Members are ordered by the RADE priority statistic measured on
+// the validation split, and thresholds are profiled there too, at a TP
+// floor of 100% of the ORG baseline accuracy.
+func BuildSystem(zoo *model.Zoo, b model.Benchmark, variants []model.Variant) (*System, error) {
+	rec, err := BuildRecorded(zoo, b, variants, model.SplitVal)
+	if err != nil {
+		return nil, err
+	}
+	baseAcc, err := zoo.Accuracy(b, model.Variant{}, model.SplitVal)
+	if err != nil {
+		return nil, err
+	}
+	th, _, ok := rec.SelectThresholds(baseAcc)
+	if !ok {
+		// Accept-all fallback: a single agreeing vote suffices.
+		th = Thresholds{Conf: 0, Freq: 1}
+	}
+
+	order := rec.PriorityOrder()
+	members := make([]Member, 0, len(variants))
+	for _, idx := range order {
+		v := variants[idx]
+		pp, err := v.Preprocessor()
+		if err != nil {
+			return nil, err
+		}
+		net, err := zoo.Network(b, v)
+		if err != nil {
+			return nil, err
+		}
+		members = append(members, Member{Name: v.Key(), Pre: pp, Net: net})
+	}
+	sys, err := NewSystem(members, th)
+	if err != nil {
+		return nil, err
+	}
+	sys.Staged = true
+	return sys, nil
+}

@@ -1,0 +1,51 @@
+package dataset
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+
+	"repro/internal/tensor"
+)
+
+// WritePNG encodes a [C,H,W] sample tensor (values in [0,1], 1 or 3
+// channels) as a PNG — a debugging aid for inspecting what the synthetic
+// generator produces.
+func WritePNG(w io.Writer, x *tensor.T) error {
+	if x.Rank() != 3 {
+		return fmt.Errorf("dataset: WritePNG wants a [C,H,W] tensor, got %v", x.Shape)
+	}
+	c, h, wd := x.Shape[0], x.Shape[1], x.Shape[2]
+	if c != 1 && c != 3 {
+		return fmt.Errorf("dataset: WritePNG supports 1 or 3 channels, got %d", c)
+	}
+	img := image.NewRGBA(image.Rect(0, 0, wd, h))
+	at := func(ci, y, xx int) uint8 {
+		v := x.Data[ci*h*wd+y*wd+xx]
+		if v < 0 {
+			v = 0
+		}
+		if v > 1 {
+			v = 1
+		}
+		return uint8(v*255 + 0.5)
+	}
+	for y := 0; y < h; y++ {
+		for xx := 0; xx < wd; xx++ {
+			var r, g, b uint8
+			if c == 1 {
+				r = at(0, y, xx)
+				g, b = r, r
+			} else {
+				r, g, b = at(0, y, xx), at(1, y, xx), at(2, y, xx)
+			}
+			img.Set(xx, y, color.RGBA{R: r, G: g, B: b, A: 255})
+		}
+	}
+	if err := png.Encode(w, img); err != nil {
+		return fmt.Errorf("dataset: encoding png: %w", err)
+	}
+	return nil
+}

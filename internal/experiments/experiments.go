@@ -1,0 +1,164 @@
+// Package experiments contains one runner per table and figure of the
+// PolygraphMR paper's evaluation (DESIGN.md §3 maps each experiment to the
+// modules it exercises). Each runner produces a Result whose rows mirror
+// the series the paper reports; EXPERIMENTS.md records paper-vs-measured.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/model"
+	"repro/internal/perf"
+)
+
+// Context carries the shared state of an experiment run: the model zoo
+// (with its trained-member and recorded-output caches), the dataset profile
+// and the GPU cost model.
+type Context struct {
+	Zoo *model.Zoo
+	GPU perf.GPU
+
+	// designs memoizes greedy designs per (benchmark, size).
+	designs map[string]*core.Design
+}
+
+// NewContext builds a context on the default zoo (repo-local disk cache,
+// PGMR_FULL-selected profile) and the TITAN-X-like GPU model.
+func NewContext() *Context {
+	return &Context{Zoo: model.DefaultZoo(), GPU: perf.TitanX(), designs: map[string]*core.Design{}}
+}
+
+// Profile returns the active dataset profile.
+func (c *Context) Profile() dataset.Profile { return c.Zoo.Profile }
+
+// CandidatePool returns the preprocessor candidate pool for greedy design.
+// It is the Table I pool minus Hist (redundant with AdHist at our image
+// sizes) — Scale(0.8) is examined separately by the Fig. 8 experiment as
+// the paper's example of a weak diversity source.
+func (c *Context) CandidatePool() []model.Variant {
+	names := []string{"AdHist", "ConNorm", "FlipX", "FlipY", "Gamma(1.5)", "Gamma(2)", "ImAdj"}
+	vs := make([]model.Variant, len(names))
+	for i, n := range names {
+		vs[i] = model.Variant{Preproc: n}
+	}
+	return vs
+}
+
+// Design returns the memoized greedy n-member design for a benchmark.
+func (c *Context) Design(b model.Benchmark, n int) (*core.Design, error) {
+	key := fmt.Sprintf("%s/%d", b.Name, n)
+	if d, ok := c.designs[key]; ok {
+		return d, nil
+	}
+	d, err := core.GreedyDesign(c.Zoo, b, c.CandidatePool(), n)
+	if err != nil {
+		return nil, err
+	}
+	c.designs[key] = d
+	return d, nil
+}
+
+// InitVariants returns ORG plus n−1 random-init replicas — the traditional
+// MR configuration.
+func InitVariants(n int) []model.Variant {
+	vs := make([]model.Variant, n)
+	for i := 1; i < n; i++ {
+		vs[i] = model.Variant{Init: i}
+	}
+	return vs
+}
+
+// Result is a rendered experiment outcome.
+type Result struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a formatted row.
+func (r *Result) AddRow(cells ...string) { r.Rows = append(r.Rows, cells) }
+
+// AddNote appends a free-form note line.
+func (r *Result) AddNote(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders an aligned plain-text table.
+func (r *Result) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[min(i, len(widths)-1)], cell)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(r.Header)
+	for _, row := range r.Rows {
+		writeRow(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}
+
+// Runner executes one experiment.
+type Runner func(*Context) (*Result, error)
+
+// registry maps experiment ids to runners, populated by the fig_*.go files.
+var registry = map[string]Runner{}
+
+func register(id string, r Runner) { registry[id] = r }
+
+// IDs returns all experiment ids in a stable order.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Run executes the experiment with the given id.
+func Run(ctx *Context, id string) (*Result, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %s)", id, strings.Join(IDs(), ", "))
+	}
+	return r(ctx)
+}
+
+// pct formats a ratio as a percentage.
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
+
+// f3 formats a float at 3 decimals.
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

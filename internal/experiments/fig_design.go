@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/model"
+)
+
+func init() {
+	register("fig8", Fig8DeltaCDF)
+	register("tab3", Tab3Configurations)
+	register("fig9", Fig9NormalizedFP)
+}
+
+// floorEval profiles thresholds on the validation split at a TP floor of
+// 100% of the ORG validation accuracy and evaluates them on the held-out
+// test split — the paper's methodology for every reliability result.
+type floorEval struct {
+	Th       core.Thresholds
+	Val      metrics.Rates
+	Test     metrics.Rates
+	Feasible bool // false when the floor was unreachable and max-TP fallback applied
+}
+
+func evalAtFloor(ctx *Context, b model.Benchmark, variants []model.Variant) (floorEval, error) {
+	valRec, err := core.BuildRecorded(ctx.Zoo, b, variants, model.SplitVal)
+	if err != nil {
+		return floorEval{}, err
+	}
+	baseAcc, err := ctx.Zoo.Accuracy(b, model.Variant{}, model.SplitVal)
+	if err != nil {
+		return floorEval{}, err
+	}
+	th, valRates, ok := valRec.SelectThresholds(baseAcc)
+	if !ok {
+		frontier := valRec.Pareto()
+		best := frontier[len(frontier)-1] // max TP
+		th = best.Meta.(core.Thresholds)
+		valRates = valRec.Evaluate(th)
+	}
+	testRec, err := core.BuildRecorded(ctx.Zoo, b, variants, model.SplitTest)
+	if err != nil {
+		return floorEval{}, err
+	}
+	return floorEval{Th: th, Val: valRates, Test: testRec.Evaluate(th), Feasible: ok}, nil
+}
+
+// Fig8DeltaCDF reproduces Fig. 8: the confidence-delta comparison between
+// AdHist and Scale(0.8) on ConvNet, split by baseline correctness.
+func Fig8DeltaCDF(ctx *Context) (*Result, error) {
+	b, err := model.ByName("convnet")
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		ID: "fig8", Title: "Preprocessor delta profiles (paper Fig. 8, ConvNet)",
+		Header: []string{"preprocessor", "split", "neg-delta share", "CDF(-0.2)", "CDF(0)", "CDF(+0.2)"},
+	}
+	profiles := map[string]*core.DeltaProfile{}
+	for _, name := range []string{"AdHist", "Scale(0.8)"} {
+		p, err := core.PreprocessorDelta(ctx.Zoo, b, model.Variant{Preproc: name}, model.SplitVal)
+		if err != nil {
+			return nil, err
+		}
+		profiles[name] = p
+		for _, split := range []struct {
+			label  string
+			deltas []float64
+		}{
+			{"base-wrong", p.WrongDeltas},
+			{"base-right", p.RightDeltas},
+		} {
+			res.AddRow(name, split.label,
+				pct(core.NegativeShare(split.deltas)),
+				f3(core.CDFAt(split.deltas, -0.2)),
+				f3(core.CDFAt(split.deltas, 0)),
+				f3(core.CDFAt(split.deltas, 0.2)))
+		}
+	}
+	if core.CompareDeltas(profiles["AdHist"], profiles["Scale(0.8)"]) < 0 {
+		res.AddNote("AdHist preferred over Scale(0.8), matching the paper's selection rule")
+	} else {
+		res.AddNote("Scale(0.8) preferred over AdHist — DIVERGES from the paper")
+	}
+	return res, nil
+}
+
+// Tab3Configurations reproduces Table III: the 4_PGMR configuration the
+// greedy procedure selects for each benchmark.
+func Tab3Configurations(ctx *Context) (*Result, error) {
+	res := &Result{
+		ID: "tab3", Title: "Selected 4_PGMR configurations (paper Table III)",
+		Header: []string{"benchmark", "selected members", "paper selection"},
+	}
+	paperSel := map[string]string{
+		"lenet5":     "ORG, ConNorm, FlipX, Gamma(2)",
+		"convnet":    "ORG, AdHist, FlipX, FlipY",
+		"resnet20":   "ORG, FlipX, FlipY, Gamma(1.5)",
+		"densenet40": "ORG, ImAdj, Gamma(1.5), Gamma(2)",
+		"alexnet":    "ORG, FlipX, FlipY, Gamma(2)",
+		"resnet34":   "ORG, FlipX, FlipY, Gamma(2)",
+	}
+	for _, b := range model.Benchmarks() {
+		d, err := ctx.Design(b, 4)
+		if err != nil {
+			return nil, err
+		}
+		names := make([]string, len(d.Variants))
+		for i, v := range d.Variants {
+			names[i] = v.Key()
+		}
+		res.AddRow(b.Display, strings.Join(names, ", "), paperSel[b.Name])
+	}
+	res.AddNote("selection depends on the synthetic datasets; compare the *kind* of preprocessors picked, not exact identity")
+	return res, nil
+}
+
+// Fig9NormalizedFP reproduces Fig. 9: normalized FP of 4_MR, 4_PGMR, 6_MR
+// and 6_PGMR for every benchmark, at design points holding the TP floor.
+func Fig9NormalizedFP(ctx *Context) (*Result, error) {
+	res := &Result{
+		ID: "fig9", Title: "Normalized FP at 100% normalized TP (paper Fig. 9)",
+		Header: []string{"benchmark", "ORG FP", "4_MR", "4_PGMR", "6_MR", "6_PGMR", "normTP(4_PGMR)"},
+	}
+	sums := map[string]float64{}
+	count := 0
+	for _, b := range model.Benchmarks() {
+		orgAcc, err := ctx.Zoo.Accuracy(b, model.Variant{}, model.SplitTest)
+		if err != nil {
+			return nil, err
+		}
+		orgFP := 1 - orgAcc
+
+		row := []string{b.Display, pct(orgFP)}
+		var pgmr4TP float64
+		for _, cfg := range []struct {
+			name     string
+			variants func() ([]model.Variant, error)
+		}{
+			{"4_MR", func() ([]model.Variant, error) { return InitVariants(4), nil }},
+			{"4_PGMR", func() ([]model.Variant, error) {
+				d, err := ctx.Design(b, 4)
+				if err != nil {
+					return nil, err
+				}
+				return d.Variants, nil
+			}},
+			{"6_MR", func() ([]model.Variant, error) { return InitVariants(6), nil }},
+			{"6_PGMR", func() ([]model.Variant, error) {
+				d, err := ctx.Design(b, 6)
+				if err != nil {
+					return nil, err
+				}
+				return d.Variants, nil
+			}},
+		} {
+			variants, err := cfg.variants()
+			if err != nil {
+				return nil, err
+			}
+			fe, err := evalAtFloor(ctx, b, variants)
+			if err != nil {
+				return nil, err
+			}
+			norm := fe.Test.FP / orgFP
+			cell := pct(norm)
+			if !fe.Feasible {
+				cell += "*"
+			}
+			row = append(row, cell)
+			sums[cfg.name] += norm
+			if cfg.name == "4_PGMR" {
+				pgmr4TP = fe.Test.TP / orgAcc
+			}
+		}
+		row = append(row, pct(pgmr4TP))
+		res.AddRow(row...)
+		count++
+	}
+	res.AddRow("AVERAGE", "",
+		pct(sums["4_MR"]/float64(count)), pct(sums["4_PGMR"]/float64(count)),
+		pct(sums["6_MR"]/float64(count)), pct(sums["6_PGMR"]/float64(count)), "")
+	res.AddNote("paper averages: 4_PGMR detects 40.8%% of FPs (normalized FP 59.2%%), 6_PGMR 48.2%%; PGMR beats same-size MR")
+	res.AddNote("* = TP floor unreachable on val; max-TP fallback design point used")
+	res.AddNote("normalized FP = system FP / ORG FP on the test split; thresholds profiled on val")
+	return res, nil
+}

@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+	"repro/internal/model"
+)
+
+func init() {
+	register("tab2", Tab2BenchmarkSuite)
+	register("fig1", Fig1ConfidenceHistogram)
+	register("fig2", Fig2ThresholdSweep)
+	register("fig3", Fig3HardSamples)
+}
+
+// Tab2BenchmarkSuite reproduces Table II: the benchmark suite with measured
+// top-1 accuracies next to the paper's.
+func Tab2BenchmarkSuite(ctx *Context) (*Result, error) {
+	res := &Result{
+		ID: "tab2", Title: "Benchmark suite (paper Table II)",
+		Header: []string{"benchmark", "dataset", "classes", "acc(test)", "acc(paper)"},
+	}
+	for _, b := range model.Benchmarks() {
+		acc, err := ctx.Zoo.Accuracy(b, model.Variant{}, model.SplitTest)
+		if err != nil {
+			return nil, err
+		}
+		cfg, err := b.DatasetConfig(ctx.Profile())
+		if err != nil {
+			return nil, err
+		}
+		res.AddRow(b.Display, cfg.Name, fmt.Sprint(cfg.Classes), pct(acc), pct(b.PaperAccuracy))
+	}
+	res.AddNote("synthetic substitutes preserve the paper's within-dataset accuracy ordering, not absolute values (DESIGN.md §1)")
+	return res, nil
+}
+
+// Fig1ConfidenceHistogram reproduces Fig. 1: wrong answers per confidence
+// bucket, normalized by the test-set size, for all six benchmarks.
+func Fig1ConfidenceHistogram(ctx *Context) (*Result, error) {
+	res := &Result{
+		ID: "fig1", Title: "Wrong answers by confidence bucket (paper Fig. 1)",
+		Header: []string{"benchmark", "acc", "low(0-30)", "med(30-60)", "high(60-90)", "vhigh(90-100)", "high+vhigh"},
+	}
+	for _, b := range model.Benchmarks() {
+		logits, err := ctx.Zoo.Logits(b, model.Variant{}, model.SplitTest)
+		if err != nil {
+			return nil, err
+		}
+		labels, err := ctx.Zoo.Labels(b, model.SplitTest)
+		if err != nil {
+			return nil, err
+		}
+		probs := metrics.SoftmaxAll(logits)
+		h := metrics.WrongByConfidence(probs, labels, metrics.DefaultBucketBounds())
+		res.AddRow(b.Display, pct(metrics.Accuracy(probs, labels)),
+			pct(h[0]), pct(h[1]), pct(h[2]), pct(h[3]), pct(h[2]+h[3]))
+	}
+	res.AddNote("paper finding: ~10%% of answers are high/very-high-confidence wrongs; more accurate CNNs shift wrongs into higher buckets")
+	return res, nil
+}
+
+// Fig2ThresholdSweep reproduces Fig. 2: TP and FP rates as a function of the
+// confidence threshold, per benchmark.
+func Fig2ThresholdSweep(ctx *Context) (*Result, error) {
+	ths := []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95}
+	res := &Result{
+		ID: "fig2", Title: "TP/FP vs confidence threshold (paper Fig. 2)",
+		Header: append([]string{"benchmark", "series"}, func() []string {
+			var hs []string
+			for _, t := range ths {
+				hs = append(hs, fmt.Sprintf("t=%.2f", t))
+			}
+			return hs
+		}()...),
+	}
+	for _, b := range model.Benchmarks() {
+		logits, err := ctx.Zoo.Logits(b, model.Variant{}, model.SplitTest)
+		if err != nil {
+			return nil, err
+		}
+		labels, err := ctx.Zoo.Labels(b, model.SplitTest)
+		if err != nil {
+			return nil, err
+		}
+		pts := metrics.ThresholdSweep(metrics.SoftmaxAll(logits), labels, ths)
+		tpRow := []string{b.Display, "TP"}
+		fpRow := []string{b.Display, "FP"}
+		for _, p := range pts {
+			tpRow = append(tpRow, pct(p.Rates.TP))
+			fpRow = append(fpRow, pct(p.Rates.FP))
+		}
+		res.Rows = append(res.Rows, tpRow, fpRow)
+	}
+	res.AddNote("paper finding: FP curves of more-accurate CNNs cross the less-accurate ones at high thresholds")
+	return res, nil
+}
+
+// Fig3HardSamples reproduces the Fig. 3 misclassification analysis on the
+// generator-planted hard characteristics: mispredict rate and mean wrong-
+// prediction confidence per characteristic, on the ImageNet-substitute
+// AlexNet benchmark.
+func Fig3HardSamples(ctx *Context) (*Result, error) {
+	b, err := model.ByName("alexnet")
+	if err != nil {
+		return nil, err
+	}
+	logits, err := ctx.Zoo.Logits(b, model.Variant{}, model.SplitTest)
+	if err != nil {
+		return nil, err
+	}
+	ds, err := ctx.Zoo.Dataset(b.DatasetName)
+	if err != nil {
+		return nil, err
+	}
+	probs := metrics.SoftmaxAll(logits)
+
+	type agg struct {
+		n, wrong  int
+		confWrong float64
+		highConf  int
+	}
+	byKind := map[dataset.HardKind]*agg{}
+	for _, k := range []dataset.HardKind{dataset.HardNone, dataset.HardOcclusion, dataset.HardMultiObject, dataset.HardClassSim} {
+		byKind[k] = &agg{}
+	}
+	for i, m := range ds.TestMeta {
+		a := byKind[m.Hard]
+		a.n++
+		pred := metrics.Argmax(probs[i])
+		if pred != ds.Test[i].Label {
+			a.wrong++
+			a.confWrong += probs[i][pred]
+			if probs[i][pred] >= 0.6 {
+				a.highConf++
+			}
+		}
+	}
+	res := &Result{
+		ID: "fig3", Title: "Misclassification characteristics (paper Fig. 3, AlexNet)",
+		Header: []string{"characteristic", "samples", "mispredict-rate", "mean-conf-of-wrong", "high-conf-wrongs"},
+	}
+	for _, k := range []dataset.HardKind{dataset.HardNone, dataset.HardOcclusion, dataset.HardMultiObject, dataset.HardClassSim} {
+		a := byKind[k]
+		if a.n == 0 {
+			continue
+		}
+		meanConf := 0.0
+		if a.wrong > 0 {
+			meanConf = a.confWrong / float64(a.wrong)
+		}
+		res.AddRow(k.String(), fmt.Sprint(a.n),
+			pct(float64(a.wrong)/float64(a.n)), f3(meanConf),
+			pct(float64(a.highConf)/float64(a.n)))
+	}
+	res.AddNote("paper finding (§II-C): poor detail, multiple objects and class similarity drive high-confidence mispredictions")
+	return res, nil
+}

@@ -1,0 +1,140 @@
+// Package faults implements transient-fault (soft-error) injection into
+// trained networks. The paper positions PolygraphMR against the classic MR
+// literature for transient faults (§III-C, §V: Li et al., Piuri): hardware
+// faults are rare and random, while CNN mispredictions are common and
+// input-correlated — which is why plain majority voting works for the
+// former and not the latter. This package makes that contrast measurable:
+// inject bit flips into member weights and observe how the decision engine
+// reacts, versus how the same faults silently corrupt a standalone CNN.
+package faults
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/nn"
+)
+
+// Model selects the fault model.
+type Model int
+
+// Supported fault models.
+const (
+	// BitFlip flips one uniformly random bit of the float64 representation
+	// of a weight — the classic single-event-upset model. Flips in the
+	// exponent can produce enormous weights; flips in low mantissa bits are
+	// typically benign, mirroring the skewed severity distribution of real
+	// soft errors.
+	BitFlip Model = iota
+	// StuckAtZero zeroes the weight (a stuck-at fault after error
+	// containment).
+	StuckAtZero
+	// SignFlip negates the weight.
+	SignFlip
+)
+
+// String returns the model name.
+func (m Model) String() string {
+	switch m {
+	case BitFlip:
+		return "bit-flip"
+	case StuckAtZero:
+		return "stuck-at-zero"
+	case SignFlip:
+		return "sign-flip"
+	default:
+		return fmt.Sprintf("Model(%d)", int(m))
+	}
+}
+
+// Injection records one injected fault, sufficient to undo it.
+type Injection struct {
+	Param    int // index into Network.Params()
+	Index    int // flat index within the parameter tensor
+	Bit      int // flipped bit for BitFlip, -1 otherwise
+	Previous float64
+}
+
+// Injector applies and reverts faults on one network.
+type Injector struct {
+	rng *rand.Rand
+	net *nn.Network
+
+	applied []Injection
+}
+
+// NewInjector creates an injector for net with a deterministic RNG.
+func NewInjector(net *nn.Network, seed int64) *Injector {
+	return &Injector{rng: rand.New(rand.NewSource(seed)), net: net}
+}
+
+// Inject applies n faults of the given model to uniformly random weights.
+// Returns the injections (also remembered internally for Revert).
+func (in *Injector) Inject(model Model, n int) ([]Injection, error) {
+	params := in.net.Params()
+	total := 0
+	for _, p := range params {
+		total += p.Value.Len()
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("faults: network has no parameters")
+	}
+	var injs []Injection
+	for k := 0; k < n; k++ {
+		flat := in.rng.Intn(total)
+		pi := 0
+		for flat >= params[pi].Value.Len() {
+			flat -= params[pi].Value.Len()
+			pi++
+		}
+		inj := Injection{Param: pi, Index: flat, Bit: -1, Previous: params[pi].Value.Data[flat]}
+		switch model {
+		case BitFlip:
+			inj.Bit = in.rng.Intn(64)
+			bits := math.Float64bits(inj.Previous) ^ (1 << uint(inj.Bit))
+			params[pi].Value.Data[flat] = math.Float64frombits(bits)
+		case StuckAtZero:
+			params[pi].Value.Data[flat] = 0
+		case SignFlip:
+			params[pi].Value.Data[flat] = -inj.Previous
+		default:
+			return nil, fmt.Errorf("faults: unknown model %v", model)
+		}
+		injs = append(injs, inj)
+	}
+	in.applied = append(in.applied, injs...)
+	return injs, nil
+}
+
+// Revert undoes every injected fault, most recent first.
+func (in *Injector) Revert() {
+	params := in.net.Params()
+	for k := len(in.applied) - 1; k >= 0; k-- {
+		inj := in.applied[k]
+		params[inj.Param].Value.Data[inj.Index] = inj.Previous
+	}
+	in.applied = nil
+}
+
+// Active returns the number of currently applied faults.
+func (in *Injector) Active() int { return len(in.applied) }
+
+// Campaign runs a fault-injection campaign: for each round it injects n
+// faults into the network, calls eval, then reverts. The eval results are
+// returned in round order. The network is guaranteed pristine afterwards.
+func Campaign(net *nn.Network, model Model, n, rounds int, seed int64, eval func(round int) float64) ([]float64, error) {
+	if eval == nil {
+		return nil, fmt.Errorf("faults: nil eval")
+	}
+	results := make([]float64, 0, rounds)
+	for round := 0; round < rounds; round++ {
+		in := NewInjector(net, seed+int64(round))
+		if _, err := in.Inject(model, n); err != nil {
+			return nil, err
+		}
+		results = append(results, eval(round))
+		in.Revert()
+	}
+	return results, nil
+}

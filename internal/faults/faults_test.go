@@ -1,0 +1,180 @@
+package faults
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+func testNet(t *testing.T) *nn.Network {
+	t.Helper()
+	rng := rand.New(rand.NewSource(120))
+	return nn.MustNetwork([]int{1, 8, 8}, 3,
+		nn.NewConv2D(1, 4, 3, 1, 1, rng), nn.NewReLU(), nn.NewMaxPool2D(2),
+		nn.NewFlatten(), nn.NewDense(4*4*4, 3, rng),
+	)
+}
+
+func snapshotWeights(net *nn.Network) [][]float64 {
+	var snap [][]float64
+	for _, p := range net.Params() {
+		snap = append(snap, append([]float64(nil), p.Value.Data...))
+	}
+	return snap
+}
+
+func weightsEqual(net *nn.Network, snap [][]float64) bool {
+	for i, p := range net.Params() {
+		for j, v := range p.Value.Data {
+			if v != snap[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestInjectAndRevert(t *testing.T) {
+	for _, model := range []Model{BitFlip, StuckAtZero, SignFlip} {
+		t.Run(model.String(), func(t *testing.T) {
+			net := testNet(t)
+			snap := snapshotWeights(net)
+			in := NewInjector(net, 1)
+			injs, err := in.Inject(model, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(injs) != 5 || in.Active() != 5 {
+				t.Fatalf("injected %d, active %d", len(injs), in.Active())
+			}
+			if weightsEqual(net, snap) {
+				// Bit flips can occasionally hit a zero mantissa bit of a
+				// zero value; with 5 faults at least one should change
+				// something for these models.
+				t.Error("no weight changed after 5 injections")
+			}
+			in.Revert()
+			if in.Active() != 0 {
+				t.Error("active count not reset")
+			}
+			if !weightsEqual(net, snap) {
+				t.Error("Revert did not restore the exact weights")
+			}
+		})
+	}
+}
+
+func TestInjectionModels(t *testing.T) {
+	net := testNet(t)
+	params := net.Params()
+
+	// StuckAtZero zeroes.
+	in := NewInjector(net, 2)
+	injs, err := in.Inject(StuckAtZero, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if params[injs[0].Param].Value.Data[injs[0].Index] != 0 {
+		t.Error("StuckAtZero did not zero the weight")
+	}
+	in.Revert()
+
+	// SignFlip negates.
+	injs, err = in.Inject(SignFlip, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := params[injs[0].Param].Value.Data[injs[0].Index]
+	if got != -injs[0].Previous {
+		t.Errorf("SignFlip: %v, want %v", got, -injs[0].Previous)
+	}
+	in.Revert()
+
+	// BitFlip flips exactly the recorded bit.
+	injs, err = in.Inject(BitFlip, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := injs[0]
+	got = params[inj.Param].Value.Data[inj.Index]
+	want := math.Float64frombits(math.Float64bits(inj.Previous) ^ (1 << uint(inj.Bit)))
+	if math.Float64bits(got) != math.Float64bits(want) {
+		t.Errorf("BitFlip: %x, want %x", math.Float64bits(got), math.Float64bits(want))
+	}
+	in.Revert()
+}
+
+func TestInjectorDeterminism(t *testing.T) {
+	net1, net2 := testNet(t), testNet(t)
+	i1, err := NewInjector(net1, 7).Inject(BitFlip, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i2, err := NewInjector(net2, 7).Inject(BitFlip, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range i1 {
+		if i1[k] != i2[k] {
+			t.Fatalf("injection %d differs: %+v vs %+v", k, i1[k], i2[k])
+		}
+	}
+}
+
+func TestCampaignRestoresNetwork(t *testing.T) {
+	net := testNet(t)
+	snap := snapshotWeights(net)
+	x := tensor.New(1, 8, 8)
+	x.FillNormal(rand.New(rand.NewSource(3)), 0.5, 0.2)
+	clean := net.Infer(x).Clone()
+
+	results, err := Campaign(net, BitFlip, 3, 8, 11, func(round int) float64 {
+		return net.Infer(x).Data[0]
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 8 {
+		t.Fatalf("results = %d", len(results))
+	}
+	if !weightsEqual(net, snap) {
+		t.Fatal("campaign left faults behind")
+	}
+	after := net.Infer(x)
+	for i := range clean.Data {
+		if clean.Data[i] != after.Data[i] {
+			t.Fatal("inference differs after campaign")
+		}
+	}
+	// Some rounds should produce output differing from clean (exponent
+	// flips are catastrophic); all-equal would mean injection is inert.
+	differing := 0
+	for _, r := range results {
+		if r != clean.Data[0] {
+			differing++
+		}
+	}
+	if differing == 0 {
+		t.Error("no campaign round perturbed the output")
+	}
+}
+
+func TestCampaignValidation(t *testing.T) {
+	net := testNet(t)
+	if _, err := Campaign(net, BitFlip, 1, 1, 1, nil); err == nil {
+		t.Error("nil eval accepted")
+	}
+	if _, err := NewInjector(net, 1).Inject(Model(99), 1); err == nil {
+		t.Error("unknown model accepted")
+	}
+}
+
+func TestModelString(t *testing.T) {
+	if BitFlip.String() != "bit-flip" || StuckAtZero.String() != "stuck-at-zero" ||
+		SignFlip.String() != "sign-flip" || Model(9).String() != "Model(9)" {
+		t.Error("model names wrong")
+	}
+}

@@ -1,0 +1,323 @@
+// Package metrics implements the reliability accounting used throughout the
+// PolygraphMR evaluation: TP/FP/TN/FN rates for reliability-gated
+// classifiers (paper §III-A), confidence-bucket histograms (Fig. 1),
+// confidence-threshold sweeps (Fig. 2, Fig. 14), Pareto frontiers over
+// (TP, FP) design points (§III-E), prediction-agreement histograms (Fig. 7),
+// and expected calibration error for the temperature-scaling study (§IV-E).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Rates partitions gated predictions into the paper's four outcome classes,
+// each expressed as a fraction of all samples:
+//
+//   - TP: reliable and correct (desired)
+//   - FP: reliable but wrong (undetected mispredictions — the quantity
+//     PolygraphMR minimizes)
+//   - TN: unreliable and wrong (detected mispredictions)
+//   - FN: unreliable but correct (correct answers sacrificed to the gate)
+type Rates struct {
+	TP, FP, TN, FN float64
+}
+
+// Outcome is one gated prediction.
+type Outcome struct {
+	Label    int
+	Reliable bool
+}
+
+// Tally computes Rates from per-sample outcomes and ground-truth labels.
+func Tally(outcomes []Outcome, labels []int) Rates {
+	if len(outcomes) != len(labels) {
+		panic(fmt.Sprintf("metrics: %d outcomes vs %d labels", len(outcomes), len(labels)))
+	}
+	if len(outcomes) == 0 {
+		return Rates{}
+	}
+	var r Rates
+	for i, o := range outcomes {
+		correct := o.Label == labels[i]
+		switch {
+		case o.Reliable && correct:
+			r.TP++
+		case o.Reliable && !correct:
+			r.FP++
+		case !o.Reliable && !correct:
+			r.TN++
+		default:
+			r.FN++
+		}
+	}
+	n := float64(len(outcomes))
+	r.TP /= n
+	r.FP /= n
+	r.TN /= n
+	r.FN /= n
+	return r
+}
+
+// Accuracy returns the top-1 accuracy of probability vectors against labels.
+func Accuracy(probs [][]float64, labels []int) float64 {
+	if len(probs) == 0 {
+		return 0
+	}
+	correct := 0
+	for i, p := range probs {
+		if Argmax(p) == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(probs))
+}
+
+// Argmax returns the index of the largest value (lowest index on ties).
+func Argmax(xs []float64) int {
+	best, bi := math.Inf(-1), -1
+	for i, v := range xs {
+		if v > best {
+			best, bi = v, i
+		}
+	}
+	return bi
+}
+
+// DefaultBucketBounds are the paper's Fig. 1 confidence buckets:
+// low (0–30%), medium (30–60%), high (60–90%), very high (90–100%).
+func DefaultBucketBounds() []float64 { return []float64{0.3, 0.6, 0.9} }
+
+// WrongByConfidence histograms the *wrong* predictions by the confidence of
+// the predicted class, using bounds as bucket upper edges (a final implicit
+// bucket extends to 1.0). Results are normalized by the total number of
+// samples, as in Fig. 1.
+func WrongByConfidence(probs [][]float64, labels []int, bounds []float64) []float64 {
+	hist := make([]float64, len(bounds)+1)
+	if len(probs) == 0 {
+		return hist
+	}
+	for i, p := range probs {
+		pred := Argmax(p)
+		if pred == labels[i] {
+			continue
+		}
+		hist[bucketOf(p[pred], bounds)]++
+	}
+	n := float64(len(probs))
+	for i := range hist {
+		hist[i] /= n
+	}
+	return hist
+}
+
+func bucketOf(conf float64, bounds []float64) int {
+	for i, b := range bounds {
+		if conf < b {
+			return i
+		}
+	}
+	return len(bounds)
+}
+
+// ThresholdPoint is one point of a confidence-threshold sweep of a single
+// CNN: predictions whose confidence falls below the threshold are treated
+// as unreliable.
+type ThresholdPoint struct {
+	Threshold float64
+	Rates     Rates
+}
+
+// ThresholdSweep evaluates the confidence-threshold gate over the given
+// thresholds (paper Fig. 2 and the ORG Pareto baselines of Figs. 11/13).
+func ThresholdSweep(probs [][]float64, labels []int, thresholds []float64) []ThresholdPoint {
+	pts := make([]ThresholdPoint, 0, len(thresholds))
+	for _, t := range thresholds {
+		outcomes := make([]Outcome, len(probs))
+		for i, p := range probs {
+			pred := Argmax(p)
+			outcomes[i] = Outcome{Label: pred, Reliable: p[pred] >= t}
+		}
+		pts = append(pts, ThresholdPoint{Threshold: t, Rates: Tally(outcomes, labels)})
+	}
+	return pts
+}
+
+// Thresholds returns an inclusive sweep [0, 1] with the given step.
+func Thresholds(step float64) []float64 {
+	if step <= 0 {
+		step = 0.05
+	}
+	var ts []float64
+	for t := 0.0; t < 1+1e-9; t += step {
+		ts = append(ts, math.Min(t, 1))
+	}
+	return ts
+}
+
+// Point is a design point in (TP, FP) space with an arbitrary payload
+// identifying the configuration that produced it.
+type Point struct {
+	TP, FP float64
+	Meta   any
+}
+
+// ParetoFrontier returns the non-dominated subset of points, sorted by
+// ascending FP. A point is dominated when another point has TP at least as
+// high and FP at least as low, with at least one strict inequality.
+func ParetoFrontier(points []Point) []Point {
+	if len(points) == 0 {
+		return nil
+	}
+	sorted := append([]Point(nil), points...)
+	// Sort by FP ascending, then TP descending so the first point seen at
+	// any FP level is the best one.
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].FP != sorted[j].FP {
+			return sorted[i].FP < sorted[j].FP
+		}
+		return sorted[i].TP > sorted[j].TP
+	})
+	var frontier []Point
+	bestTP := math.Inf(-1)
+	for _, p := range sorted {
+		if p.TP > bestTP {
+			frontier = append(frontier, p)
+			bestTP = p.TP
+		}
+	}
+	return frontier
+}
+
+// BestUnderTPFloor returns the frontier point with minimal FP among those
+// with TP ≥ floor, reporting ok=false when no point qualifies. This is the
+// paper's design-point selection rule: "FP rates correspond to design points
+// with normalized TP of 100% of the baseline network".
+func BestUnderTPFloor(frontier []Point, floor float64) (Point, bool) {
+	best := Point{FP: math.Inf(1)}
+	ok := false
+	for _, p := range frontier {
+		if p.TP >= floor-1e-12 && p.FP < best.FP {
+			best = p
+			ok = true
+		}
+	}
+	return best, ok
+}
+
+// AgreementHistogram computes the Fig. 7 histogram: for each sample, the
+// modal agreement count among the member top-1 predictions (how many
+// networks agree on the most-voted label), normalized over samples. The
+// returned slice is indexed 1..N (index 0 unused).
+func AgreementHistogram(memberPreds [][]int) []float64 {
+	if len(memberPreds) == 0 {
+		return nil
+	}
+	n := len(memberPreds)
+	samples := len(memberPreds[0])
+	hist := make([]float64, n+1)
+	for s := 0; s < samples; s++ {
+		counts := map[int]int{}
+		maxC := 0
+		for m := 0; m < n; m++ {
+			c := counts[memberPreds[m][s]] + 1
+			counts[memberPreds[m][s]] = c
+			if c > maxC {
+				maxC = c
+			}
+		}
+		hist[maxC]++
+	}
+	for i := range hist {
+		hist[i] /= float64(samples)
+	}
+	return hist
+}
+
+// ECE computes the expected calibration error with equal-width confidence
+// bins: the weighted mean |accuracy − confidence| per bin.
+func ECE(probs [][]float64, labels []int, bins int) float64 {
+	if bins <= 0 {
+		bins = 15
+	}
+	if len(probs) == 0 {
+		return 0
+	}
+	binConf := make([]float64, bins)
+	binAcc := make([]float64, bins)
+	binN := make([]float64, bins)
+	for i, p := range probs {
+		pred := Argmax(p)
+		conf := p[pred]
+		b := int(conf * float64(bins))
+		if b >= bins {
+			b = bins - 1
+		}
+		binConf[b] += conf
+		if pred == labels[i] {
+			binAcc[b]++
+		}
+		binN[b]++
+	}
+	ece := 0.0
+	total := float64(len(probs))
+	for b := 0; b < bins; b++ {
+		if binN[b] == 0 {
+			continue
+		}
+		ece += binN[b] / total * math.Abs(binAcc[b]/binN[b]-binConf[b]/binN[b])
+	}
+	return ece
+}
+
+// Softmax converts one logit row into probabilities (numerically stable).
+func Softmax(logits []float64) []float64 {
+	out := make([]float64, len(logits))
+	maxV := math.Inf(-1)
+	for _, v := range logits {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	sum := 0.0
+	for i, v := range logits {
+		e := math.Exp(v - maxV)
+		out[i] = e
+		sum += e
+	}
+	if sum == 0 {
+		u := 1.0 / float64(len(out))
+		for i := range out {
+			out[i] = u
+		}
+		return out
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// SoftmaxAll applies Softmax to every row.
+func SoftmaxAll(logits [][]float64) [][]float64 {
+	out := make([][]float64, len(logits))
+	for i, row := range logits {
+		out[i] = Softmax(row)
+	}
+	return out
+}
+
+// SoftmaxAllTemp applies temperature-scaled softmax to every row
+// (softmax(logits/T), paper §IV-E).
+func SoftmaxAllTemp(logits [][]float64, temp float64) [][]float64 {
+	out := make([][]float64, len(logits))
+	for i, row := range logits {
+		scaled := make([]float64, len(row))
+		for j, v := range row {
+			scaled[j] = v / temp
+		}
+		out[i] = Softmax(scaled)
+	}
+	return out
+}

@@ -1,0 +1,270 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTallyPartitions(t *testing.T) {
+	outcomes := []Outcome{
+		{Label: 0, Reliable: true},  // correct reliable  -> TP
+		{Label: 1, Reliable: true},  // wrong reliable    -> FP
+		{Label: 1, Reliable: false}, // wrong unreliable  -> TN
+		{Label: 0, Reliable: false}, // correct unreliable-> FN
+	}
+	labels := []int{0, 0, 0, 0}
+	r := Tally(outcomes, labels)
+	want := Rates{TP: 0.25, FP: 0.25, TN: 0.25, FN: 0.25}
+	if r != want {
+		t.Errorf("Tally = %+v, want %+v", r, want)
+	}
+}
+
+func TestTallyEmptyAndMismatch(t *testing.T) {
+	if r := (Tally(nil, nil)); r != (Rates{}) {
+		t.Errorf("empty tally = %+v", r)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	Tally([]Outcome{{}}, nil)
+}
+
+// Property: the four rates always sum to 1 for non-empty inputs.
+func TestQuickRatesSumToOne(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		outcomes := make([]Outcome, n)
+		labels := make([]int, n)
+		for i := range outcomes {
+			outcomes[i] = Outcome{Label: rng.Intn(3), Reliable: rng.Intn(2) == 0}
+			labels[i] = rng.Intn(3)
+		}
+		r := Tally(outcomes, labels)
+		return math.Abs(r.TP+r.FP+r.TN+r.FN-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestArgmaxAndAccuracy(t *testing.T) {
+	probs := [][]float64{
+		{0.9, 0.1},
+		{0.2, 0.8},
+		{0.6, 0.4},
+	}
+	labels := []int{0, 1, 1}
+	if got := Accuracy(probs, labels); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("Accuracy = %v", got)
+	}
+	if Argmax([]float64{1, 3, 2}) != 1 {
+		t.Error("Argmax wrong")
+	}
+	if Accuracy(nil, nil) != 0 {
+		t.Error("empty accuracy should be 0")
+	}
+}
+
+func TestWrongByConfidence(t *testing.T) {
+	probs := [][]float64{
+		{0.95, 0.05}, // wrong, very high
+		{0.65, 0.35}, // wrong, high
+		{0.4, 0.6},   // correct
+		{0.55, 0.45}, // wrong, medium
+		{0.25, 0.25}, // wrong, low (conf 0.25)
+	}
+	labels := []int{1, 1, 1, 1, 1}
+	h := WrongByConfidence(probs, labels, DefaultBucketBounds())
+	want := []float64{0.2, 0.2, 0.2, 0.2} // one wrong per bucket out of 5 samples
+	for i := range want {
+		if math.Abs(h[i]-want[i]) > 1e-12 {
+			t.Fatalf("bucket %d = %v, want %v (h=%v)", i, h[i], want[i], h)
+		}
+	}
+}
+
+func TestThresholdSweepMonotonicity(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 200
+	probs := make([][]float64, n)
+	labels := make([]int, n)
+	for i := range probs {
+		a := rng.Float64()
+		probs[i] = []float64{a, 1 - a}
+		labels[i] = rng.Intn(2)
+	}
+	pts := ThresholdSweep(probs, labels, Thresholds(0.1))
+	// At threshold 0 everything is reliable: TP+FP = 1.
+	r0 := pts[0].Rates
+	if math.Abs(r0.TP+r0.FP-1) > 1e-9 {
+		t.Errorf("threshold 0: TP+FP = %v, want 1", r0.TP+r0.FP)
+	}
+	// TP and FP must both be non-increasing in the threshold.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Rates.TP > pts[i-1].Rates.TP+1e-12 {
+			t.Errorf("TP increased at threshold %v", pts[i].Threshold)
+		}
+		if pts[i].Rates.FP > pts[i-1].Rates.FP+1e-12 {
+			t.Errorf("FP increased at threshold %v", pts[i].Threshold)
+		}
+	}
+}
+
+func TestThresholdsHelper(t *testing.T) {
+	ts := Thresholds(0.25)
+	want := []float64{0, 0.25, 0.5, 0.75, 1}
+	if len(ts) != len(want) {
+		t.Fatalf("Thresholds = %v", ts)
+	}
+	for i := range want {
+		if math.Abs(ts[i]-want[i]) > 1e-9 {
+			t.Fatalf("Thresholds = %v", ts)
+		}
+	}
+	if len(Thresholds(0)) == 0 {
+		t.Error("Thresholds(0) should fall back to a default step")
+	}
+}
+
+func TestParetoFrontier(t *testing.T) {
+	pts := []Point{
+		{TP: 0.9, FP: 0.10, Meta: "a"},
+		{TP: 0.8, FP: 0.05, Meta: "b"},
+		{TP: 0.7, FP: 0.08, Meta: "c"}, // dominated by b
+		{TP: 0.95, FP: 0.20, Meta: "d"},
+		{TP: 0.9, FP: 0.12, Meta: "e"}, // dominated by a
+	}
+	f := ParetoFrontier(pts)
+	got := map[string]bool{}
+	for _, p := range f {
+		got[p.Meta.(string)] = true
+	}
+	for _, name := range []string{"a", "b", "d"} {
+		if !got[name] {
+			t.Errorf("frontier missing %s (got %v)", name, got)
+		}
+	}
+	if got["c"] || got["e"] {
+		t.Errorf("frontier contains dominated points: %v", got)
+	}
+	// Sorted by ascending FP.
+	for i := 1; i < len(f); i++ {
+		if f[i].FP < f[i-1].FP {
+			t.Error("frontier not sorted by FP")
+		}
+	}
+	if ParetoFrontier(nil) != nil {
+		t.Error("empty frontier should be nil")
+	}
+}
+
+// Property: no frontier point dominates another frontier point.
+func TestQuickParetoNoInternalDomination(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pts := make([]Point, 1+rng.Intn(30))
+		for i := range pts {
+			pts[i] = Point{TP: rng.Float64(), FP: rng.Float64()}
+		}
+		fr := ParetoFrontier(pts)
+		for i := range fr {
+			for j := range fr {
+				if i == j {
+					continue
+				}
+				if fr[j].TP >= fr[i].TP && fr[j].FP <= fr[i].FP &&
+					(fr[j].TP > fr[i].TP || fr[j].FP < fr[i].FP) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBestUnderTPFloor(t *testing.T) {
+	frontier := []Point{
+		{TP: 0.7, FP: 0.02},
+		{TP: 0.8, FP: 0.05},
+		{TP: 0.9, FP: 0.10},
+	}
+	p, ok := BestUnderTPFloor(frontier, 0.8)
+	if !ok || p.FP != 0.05 {
+		t.Errorf("BestUnderTPFloor = %+v, %v", p, ok)
+	}
+	if _, ok := BestUnderTPFloor(frontier, 0.95); ok {
+		t.Error("floor above all points should fail")
+	}
+}
+
+func TestAgreementHistogram(t *testing.T) {
+	// 3 nets, 4 samples.
+	preds := [][]int{
+		{1, 1, 2, 0},
+		{1, 2, 2, 1},
+		{1, 3, 1, 2},
+	}
+	h := AgreementHistogram(preds)
+	// sample agreements: 3 (all 1), 1 (all distinct), 2, 1.
+	want := []float64{0, 0.5, 0.25, 0.25}
+	for i := 1; i < len(want); i++ {
+		if math.Abs(h[i]-want[i]) > 1e-12 {
+			t.Fatalf("AgreementHistogram = %v, want %v", h, want)
+		}
+	}
+	if AgreementHistogram(nil) != nil {
+		t.Error("empty histogram should be nil")
+	}
+}
+
+func TestECE(t *testing.T) {
+	// Perfectly calibrated pairs at confidence 1.0 and correct → ECE 0.
+	probs := [][]float64{{1, 0}, {1, 0}}
+	labels := []int{0, 0}
+	if got := ECE(probs, labels, 10); got > 1e-9 {
+		t.Errorf("calibrated ECE = %v", got)
+	}
+	// Fully confident but always wrong → ECE 1.
+	labelsWrong := []int{1, 1}
+	if got := ECE(probs, labelsWrong, 10); math.Abs(got-1) > 1e-9 {
+		t.Errorf("anti-calibrated ECE = %v", got)
+	}
+	if ECE(nil, nil, 10) != 0 {
+		t.Error("empty ECE should be 0")
+	}
+}
+
+func TestSoftmaxHelpers(t *testing.T) {
+	p := Softmax([]float64{0, 0})
+	if math.Abs(p[0]-0.5) > 1e-12 {
+		t.Errorf("Softmax uniform = %v", p)
+	}
+	rows := SoftmaxAll([][]float64{{1, 2}, {3, 1}})
+	for _, r := range rows {
+		if math.Abs(r[0]+r[1]-1) > 1e-12 {
+			t.Errorf("row not normalized: %v", r)
+		}
+	}
+	// Temperature: T→large flattens toward uniform.
+	hot := SoftmaxAllTemp([][]float64{{4, 0}}, 100)[0]
+	if math.Abs(hot[0]-0.5) > 0.02 {
+		t.Errorf("high temperature not flat: %v", hot)
+	}
+	// T=1 equals plain softmax.
+	a := Softmax([]float64{1, 2, 3})
+	b := SoftmaxAllTemp([][]float64{{1, 2, 3}}, 1)[0]
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-12 {
+			t.Error("T=1 differs from softmax")
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ConfusionMatrix counts predictions per (true class, predicted class).
+type ConfusionMatrix struct {
+	Classes int
+	// Counts is indexed [true][predicted].
+	Counts [][]int
+}
+
+// NewConfusionMatrix builds a matrix from top-1 predictions.
+func NewConfusionMatrix(probs [][]float64, labels []int, classes int) (*ConfusionMatrix, error) {
+	if len(probs) != len(labels) {
+		return nil, fmt.Errorf("metrics: %d probs vs %d labels", len(probs), len(labels))
+	}
+	m := &ConfusionMatrix{Classes: classes, Counts: make([][]int, classes)}
+	for i := range m.Counts {
+		m.Counts[i] = make([]int, classes)
+	}
+	for i, p := range probs {
+		pred := Argmax(p)
+		if labels[i] < 0 || labels[i] >= classes || pred < 0 || pred >= classes {
+			return nil, fmt.Errorf("metrics: class out of range at sample %d (true %d, pred %d)", i, labels[i], pred)
+		}
+		m.Counts[labels[i]][pred]++
+	}
+	return m, nil
+}
+
+// Accuracy returns the trace fraction.
+func (m *ConfusionMatrix) Accuracy() float64 {
+	total, correct := 0, 0
+	for i := range m.Counts {
+		for j, c := range m.Counts[i] {
+			total += c
+			if i == j {
+				correct += c
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}
+
+// MostConfused returns the off-diagonal (true, predicted) pair with the
+// highest count — the class-similarity pairs of the paper's §II-C surface
+// here.
+func (m *ConfusionMatrix) MostConfused() (trueClass, predClass, count int) {
+	trueClass, predClass = -1, -1
+	for i := range m.Counts {
+		for j, c := range m.Counts[i] {
+			if i != j && c > count {
+				trueClass, predClass, count = i, j, c
+			}
+		}
+	}
+	return trueClass, predClass, count
+}
+
+// RCPoint is one point of a risk–coverage curve: at the given coverage
+// (fraction of inputs answered), the selective risk (error rate among
+// answered inputs).
+type RCPoint struct {
+	Coverage float64
+	Risk     float64
+}
+
+// RiskCoverage computes the selective-prediction risk–coverage curve using
+// top-1 confidence as the selection score: inputs are answered in
+// decreasing confidence order, and each prefix yields one point. This is
+// the standard selective-classification view of the paper's
+// confidence-threshold analysis (Fig. 2) — a perfectly reliable confidence
+// measure would give monotonically increasing risk in coverage.
+func RiskCoverage(probs [][]float64, labels []int, points int) []RCPoint {
+	n := len(probs)
+	if n == 0 || points <= 0 {
+		return nil
+	}
+	type scored struct {
+		conf    float64
+		correct bool
+	}
+	items := make([]scored, n)
+	for i, p := range probs {
+		pred := Argmax(p)
+		items[i] = scored{conf: p[pred], correct: pred == labels[i]}
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].conf > items[j].conf })
+
+	curve := make([]RCPoint, 0, points)
+	errs := 0
+	next := 1
+	for i, it := range items {
+		if !it.correct {
+			errs++
+		}
+		// Emit `points` evenly spaced coverage levels.
+		for next <= points && (i+1) >= next*n/points {
+			cov := float64(i+1) / float64(n)
+			curve = append(curve, RCPoint{Coverage: cov, Risk: float64(errs) / float64(i+1)})
+			next++
+		}
+	}
+	return curve
+}
+
+// AURC returns the area under the risk–coverage curve (lower is better),
+// integrated by the trapezoid rule over the curve's points.
+func AURC(curve []RCPoint) float64 {
+	if len(curve) < 2 {
+		return 0
+	}
+	area := 0.0
+	for i := 1; i < len(curve); i++ {
+		dx := curve[i].Coverage - curve[i-1].Coverage
+		area += dx * (curve[i].Risk + curve[i-1].Risk) / 2
+	}
+	return area
+}

@@ -1,0 +1,129 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestConfusionMatrix(t *testing.T) {
+	probs := [][]float64{
+		{0.9, 0.1, 0}, // pred 0
+		{0.1, 0.9, 0}, // pred 1
+		{0.1, 0.8, 0.1},
+		{0, 0.2, 0.8},
+	}
+	labels := []int{0, 0, 1, 2}
+	m, err := NewConfusionMatrix(probs, labels, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Counts[0][0] != 1 || m.Counts[0][1] != 1 || m.Counts[1][1] != 1 || m.Counts[2][2] != 1 {
+		t.Errorf("counts = %v", m.Counts)
+	}
+	if acc := m.Accuracy(); math.Abs(acc-0.75) > 1e-12 {
+		t.Errorf("Accuracy = %v", acc)
+	}
+	tc, pc, c := m.MostConfused()
+	if tc != 0 || pc != 1 || c != 1 {
+		t.Errorf("MostConfused = %d,%d,%d", tc, pc, c)
+	}
+}
+
+func TestConfusionMatrixErrors(t *testing.T) {
+	if _, err := NewConfusionMatrix([][]float64{{1}}, nil, 1); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := NewConfusionMatrix([][]float64{{1, 0}}, []int{5}, 2); err == nil {
+		t.Error("out-of-range label accepted")
+	}
+	empty := &ConfusionMatrix{Classes: 2, Counts: [][]int{{0, 0}, {0, 0}}}
+	if empty.Accuracy() != 0 {
+		t.Error("empty matrix accuracy should be 0")
+	}
+}
+
+func TestRiskCoverageMonotonicityForCalibratedScores(t *testing.T) {
+	// Confidence perfectly ordered by correctness: all corrects above all
+	// wrongs → risk is 0 until the wrongs begin, then rises monotonically.
+	var probs [][]float64
+	var labels []int
+	for i := 0; i < 80; i++ {
+		probs = append(probs, []float64{0.9, 0.1})
+		labels = append(labels, 0) // correct at conf .9
+	}
+	for i := 0; i < 20; i++ {
+		probs = append(probs, []float64{0.6, 0.4})
+		labels = append(labels, 1) // wrong at conf .6
+	}
+	curve := RiskCoverage(probs, labels, 10)
+	if len(curve) != 10 {
+		t.Fatalf("curve has %d points", len(curve))
+	}
+	// At coverage 0.8 risk must be 0; at 1.0 risk = 0.2.
+	for _, p := range curve {
+		if p.Coverage <= 0.8+1e-9 && p.Risk > 1e-12 {
+			t.Errorf("risk %v at coverage %v; want 0", p.Risk, p.Coverage)
+		}
+	}
+	last := curve[len(curve)-1]
+	if math.Abs(last.Coverage-1) > 1e-9 || math.Abs(last.Risk-0.2) > 1e-9 {
+		t.Errorf("final point %+v, want coverage 1 risk 0.2", last)
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i].Risk < curve[i-1].Risk-1e-12 {
+			t.Error("risk decreased with coverage despite perfect ordering")
+		}
+	}
+}
+
+func TestAURCOrdersPredictors(t *testing.T) {
+	rng := rand.New(rand.NewSource(110))
+	n := 500
+	// Good predictor: confidence correlates with correctness.
+	good := make([][]float64, n)
+	bad := make([][]float64, n)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		labels[i] = rng.Intn(2)
+		correct := rng.Float64() < 0.8
+		pred := labels[i]
+		if !correct {
+			pred = 1 - labels[i]
+		}
+		confGood := 0.55 + 0.4*rng.Float64()
+		if !correct {
+			confGood = 0.5 + 0.1*rng.Float64() // wrongs get low confidence
+		}
+		row := []float64{1 - confGood, confGood}
+		if pred == 0 {
+			row = []float64{confGood, 1 - confGood}
+		}
+		good[i] = row
+
+		// Bad predictor: same predictions, confidence uncorrelated.
+		confBad := 0.5 + 0.5*rng.Float64()
+		rowB := []float64{1 - confBad, confBad}
+		if pred == 0 {
+			rowB = []float64{confBad, 1 - confBad}
+		}
+		bad[i] = rowB
+	}
+	aurcGood := AURC(RiskCoverage(good, labels, 50))
+	aurcBad := AURC(RiskCoverage(bad, labels, 50))
+	if aurcGood >= aurcBad {
+		t.Errorf("AURC of confidence-correlated predictor (%v) not below uncorrelated (%v)", aurcGood, aurcBad)
+	}
+}
+
+func TestRiskCoverageEdgeCases(t *testing.T) {
+	if RiskCoverage(nil, nil, 10) != nil {
+		t.Error("empty input should give nil curve")
+	}
+	if RiskCoverage([][]float64{{1, 0}}, []int{0}, 0) != nil {
+		t.Error("zero points should give nil curve")
+	}
+	if AURC(nil) != 0 {
+		t.Error("AURC of empty curve should be 0")
+	}
+}

@@ -1,0 +1,99 @@
+package model
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// TestZooRecoversFromCorruptNetCache injects a corrupt weight file at the
+// exact cache path and verifies the zoo falls back to retraining rather
+// than failing or serving garbage.
+func TestZooRecoversFromCorruptNetCache(t *testing.T) {
+	dir := t.TempDir()
+	zoo := NewZoo(dir, dataset.Fast)
+	b := tinyBenchmark()
+
+	// Plant garbage at the cache path.
+	path := zoo.netPath(b, Variant{})
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte("not a gob snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	trained := 0
+	zoo.Progress = func(f string, _ ...any) {
+		if strings.HasPrefix(f, "training") {
+			trained++
+		}
+	}
+	if _, err := zoo.Network(b, Variant{}); err != nil {
+		t.Fatalf("zoo failed on corrupt cache: %v", err)
+	}
+	if trained != 1 {
+		t.Errorf("trained %d times, want retrain exactly once", trained)
+	}
+	// The corrupt file must have been replaced with a loadable snapshot.
+	zoo2 := NewZoo(dir, dataset.Fast)
+	zoo2.Progress = func(string, ...any) { t.Error("retrained despite repaired cache") }
+	if _, err := zoo2.Network(b, Variant{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestZooRecoversFromCorruptLogitsCache does the same for recorded outputs.
+func TestZooRecoversFromCorruptLogitsCache(t *testing.T) {
+	dir := t.TempDir()
+	zoo := NewZoo(dir, dataset.Fast)
+	b := tinyBenchmark()
+
+	path := zoo.logitsPath(b, Variant{}, SplitVal, "")
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte{0x00, 0x01}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ls, err := zoo.Logits(b, Variant{}, SplitVal)
+	if err != nil {
+		t.Fatalf("zoo failed on corrupt logits cache: %v", err)
+	}
+	if len(ls) == 0 {
+		t.Fatal("no logits recomputed")
+	}
+}
+
+// TestZooMemoryOnlyMode verifies a dir-less zoo works end to end without
+// touching the filesystem.
+func TestZooMemoryOnlyMode(t *testing.T) {
+	zoo := NewZoo("", dataset.Fast)
+	b := tinyBenchmark()
+	if _, err := zoo.Logits(b, Variant{Preproc: "FlipY"}, SplitTest); err != nil {
+		t.Fatal(err)
+	}
+	if acc, err := zoo.Accuracy(b, Variant{Preproc: "FlipY"}, SplitTest); err != nil || acc == 0 {
+		t.Fatalf("accuracy %v, err %v", acc, err)
+	}
+}
+
+// TestZooUnknownDatasetAndPreprocessor covers the error paths.
+func TestZooUnknownDatasetAndPreprocessor(t *testing.T) {
+	zoo := NewZoo("", dataset.Fast)
+	if _, err := zoo.Dataset("nope"); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	b := tinyBenchmark()
+	if _, err := zoo.Network(b, Variant{Preproc: "Bogus"}); err == nil {
+		t.Error("unknown preprocessor accepted")
+	}
+	b2 := b
+	b2.DatasetName = "missing"
+	if _, err := zoo.Network(b2, Variant{}); err == nil {
+		t.Error("benchmark with missing dataset accepted")
+	}
+}

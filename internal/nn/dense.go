@@ -1,0 +1,103 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Dense is a fully connected layer mapping a flat [In] vector to [Out].
+// Higher-rank inputs are flattened implicitly.
+type Dense struct {
+	In, Out int
+
+	weight *Param // [Out, In]
+	bias   *Param // [Out]
+
+	lastIn    *tensor.T
+	lastShape []int
+}
+
+var _ Layer = (*Dense)(nil)
+var _ Counter = (*Dense)(nil)
+
+// NewDense creates a fully connected layer with Xavier-initialized weights.
+func NewDense(in, out int, rng *rand.Rand) *Dense {
+	w := tensor.New(out, in)
+	xavierInit(w, in, out, rng)
+	return &Dense{
+		In: in, Out: out,
+		weight: newParam("weight", w, true),
+		bias:   newParam("bias", tensor.New(out), false),
+	}
+}
+
+// Name implements Layer.
+func (d *Dense) Name() string { return fmt.Sprintf("dense(%d->%d)", d.In, d.Out) }
+
+// OutShape implements Layer.
+func (d *Dense) OutShape(in []int) ([]int, error) {
+	if prodShape(in) != d.In {
+		return nil, shapeErr(d.Name(), in, fmt.Sprintf("%d total elements", d.In))
+	}
+	return []int{d.Out}, nil
+}
+
+// Forward implements Layer.
+func (d *Dense) Forward(x *tensor.T, train bool) *tensor.T {
+	if x.Len() != d.In {
+		panic(fmt.Sprintf("nn: %s: input has %d elements", d.Name(), x.Len()))
+	}
+	out := tensor.New(d.Out)
+	wd := d.weight.Value.Data
+	for o := 0; o < d.Out; o++ {
+		row := wd[o*d.In : (o+1)*d.In]
+		s := d.bias.Value.Data[o]
+		for i, v := range x.Data {
+			s += row[i] * v
+		}
+		out.Data[o] = s
+	}
+	if train {
+		d.lastIn = x
+		d.lastShape = append([]int(nil), x.Shape...)
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(grad *tensor.T) *tensor.T {
+	if d.lastIn == nil {
+		panic("nn: Dense.Backward called before Forward(train=true)")
+	}
+	wd := d.weight.Value.Data
+	gw := d.weight.Grad.Data
+	dx := tensor.New(d.lastShape...)
+	for o := 0; o < d.Out; o++ {
+		g := grad.Data[o]
+		d.bias.Grad.Data[o] += g
+		if g == 0 {
+			continue
+		}
+		row := wd[o*d.In : (o+1)*d.In]
+		grow := gw[o*d.In : (o+1)*d.In]
+		for i, v := range d.lastIn.Data {
+			grow[i] += g * v
+			dx.Data[i] += g * row[i]
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (d *Dense) Params() []*Param { return []*Param{d.weight, d.bias} }
+
+// Stats implements Counter.
+func (d *Dense) Stats(in []int) Stats {
+	return Stats{
+		MACs:       d.In * d.Out,
+		ParamElems: d.weight.Value.Len() + d.bias.Value.Len(),
+		ActElems:   d.Out,
+	}
+}

@@ -1,0 +1,200 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// LeakyReLU applies max(alpha*x, x) element-wise. It is provided for model
+// variants whose plain-ReLU training collapses (dying-ReLU regimes).
+type LeakyReLU struct {
+	Alpha float64
+
+	lastIn *tensor.T
+}
+
+var _ Layer = (*LeakyReLU)(nil)
+var _ Counter = (*LeakyReLU)(nil)
+
+// NewLeakyReLU creates a LeakyReLU with the given negative slope (0.01 when
+// alpha is 0).
+func NewLeakyReLU(alpha float64) *LeakyReLU {
+	if alpha == 0 {
+		alpha = 0.01
+	}
+	return &LeakyReLU{Alpha: alpha}
+}
+
+// Name implements Layer.
+func (l *LeakyReLU) Name() string { return fmt.Sprintf("leakyrelu(%g)", l.Alpha) }
+
+// OutShape implements Layer.
+func (l *LeakyReLU) OutShape(in []int) ([]int, error) { return append([]int(nil), in...), nil }
+
+// Forward implements Layer.
+func (l *LeakyReLU) Forward(x *tensor.T, train bool) *tensor.T {
+	out := tensor.New(x.Shape...)
+	for i, v := range x.Data {
+		if v > 0 {
+			out.Data[i] = v
+		} else {
+			out.Data[i] = l.Alpha * v
+		}
+	}
+	if train {
+		l.lastIn = x
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (l *LeakyReLU) Backward(grad *tensor.T) *tensor.T {
+	if l.lastIn == nil {
+		panic("nn: LeakyReLU.Backward called before Forward(train=true)")
+	}
+	dx := tensor.New(grad.Shape...)
+	for i, v := range l.lastIn.Data {
+		if v > 0 {
+			dx.Data[i] = grad.Data[i]
+		} else {
+			dx.Data[i] = l.Alpha * grad.Data[i]
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (l *LeakyReLU) Params() []*Param { return nil }
+
+// Stats implements Counter.
+func (l *LeakyReLU) Stats(in []int) Stats { return Stats{ActElems: prodShape(in)} }
+
+// Dropout randomly zeroes a fraction of activations during training and
+// rescales the survivors (inverted dropout); inference passes values
+// through unchanged. The mask RNG is owned by the layer, seeded at
+// construction, so training remains reproducible.
+type Dropout struct {
+	Rate float64
+
+	rng  *rand.Rand
+	mask []bool
+}
+
+var _ Layer = (*Dropout)(nil)
+var _ Counter = (*Dropout)(nil)
+
+// NewDropout creates a dropout layer with the given drop rate in [0, 1).
+func NewDropout(rate float64, seed int64) *Dropout {
+	if rate < 0 || rate >= 1 {
+		panic(fmt.Sprintf("nn: dropout rate %v out of [0,1)", rate))
+	}
+	return &Dropout{Rate: rate, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Layer.
+func (d *Dropout) Name() string { return fmt.Sprintf("dropout(%g)", d.Rate) }
+
+// OutShape implements Layer.
+func (d *Dropout) OutShape(in []int) ([]int, error) { return append([]int(nil), in...), nil }
+
+// Forward implements Layer.
+func (d *Dropout) Forward(x *tensor.T, train bool) *tensor.T {
+	if !train || d.Rate == 0 {
+		return x.Clone()
+	}
+	out := tensor.New(x.Shape...)
+	mask := make([]bool, x.Len())
+	scale := 1 / (1 - d.Rate)
+	for i, v := range x.Data {
+		if d.rng.Float64() >= d.Rate {
+			mask[i] = true
+			out.Data[i] = v * scale
+		}
+	}
+	d.mask = mask
+	return out
+}
+
+// Backward implements Layer.
+func (d *Dropout) Backward(grad *tensor.T) *tensor.T {
+	if d.mask == nil {
+		panic("nn: Dropout.Backward called before Forward(train=true)")
+	}
+	dx := tensor.New(grad.Shape...)
+	scale := 1 / (1 - d.Rate)
+	for i, m := range d.mask {
+		if m {
+			dx.Data[i] = grad.Data[i] * scale
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (d *Dropout) Params() []*Param { return nil }
+
+// Stats implements Counter.
+func (d *Dropout) Stats(in []int) Stats { return Stats{} }
+
+// Adam is the Adam optimizer (Kingma & Ba) with decoupled weight decay,
+// offered as an alternative to SGD for quick experiments; the paper's
+// training recipes use SGD with momentum.
+type Adam struct {
+	LR          float64
+	Beta1       float64
+	Beta2       float64
+	Eps         float64
+	WeightDecay float64
+
+	step int
+	m    map[*Param]*tensor.T
+	v    map[*Param]*tensor.T
+}
+
+// NewAdam creates an Adam optimizer with standard defaults.
+func NewAdam(lr float64) *Adam {
+	return &Adam{
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		m: make(map[*Param]*tensor.T), v: make(map[*Param]*tensor.T),
+	}
+}
+
+// Step applies one Adam update using the accumulated gradients scaled by
+// 1/batch, then zeroes the gradients.
+func (o *Adam) Step(params []*Param, batch int) {
+	if batch < 1 {
+		batch = 1
+	}
+	o.step++
+	scale := 1.0 / float64(batch)
+	bc1 := 1 - math.Pow(o.Beta1, float64(o.step))
+	bc2 := 1 - math.Pow(o.Beta2, float64(o.step))
+	for _, p := range params {
+		m, ok := o.m[p]
+		if !ok {
+			m = p.Value.ZerosLike()
+			o.m[p] = m
+		}
+		v, ok := o.v[p]
+		if !ok {
+			v = p.Value.ZerosLike()
+			o.v[p] = v
+		}
+		wd := 0.0
+		if p.Decay {
+			wd = o.WeightDecay
+		}
+		for i := range p.Value.Data {
+			g := p.Grad.Data[i]*scale + wd*p.Value.Data[i]
+			m.Data[i] = o.Beta1*m.Data[i] + (1-o.Beta1)*g
+			v.Data[i] = o.Beta2*v.Data[i] + (1-o.Beta2)*g*g
+			mHat := m.Data[i] / bc1
+			vHat := v.Data[i] / bc2
+			p.Value.Data[i] -= o.LR * mHat / (math.Sqrt(vHat) + o.Eps)
+			p.Grad.Data[i] = 0
+		}
+	}
+}

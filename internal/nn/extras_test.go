@@ -1,0 +1,137 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestGradCheckLeakyReLU(t *testing.T) {
+	rng := rand.New(rand.NewSource(90))
+	layers := []Layer{
+		NewDense(10, 8, rng),
+		NewLeakyReLU(0.1),
+		NewDense(8, 4, rng),
+	}
+	checkGradients(t, layers, randInput(rng, 10), 1, 1e-4)
+}
+
+func TestLeakyReLUForward(t *testing.T) {
+	l := NewLeakyReLU(0.1)
+	x := tensor.FromSlice([]float64{-2, 0, 3}, 3)
+	y := l.Forward(x, false)
+	want := []float64{-0.2, 0, 3}
+	for i, w := range want {
+		if math.Abs(y.Data[i]-w) > 1e-12 {
+			t.Errorf("LeakyReLU(%v) = %v, want %v", x.Data[i], y.Data[i], w)
+		}
+	}
+	if NewLeakyReLU(0).Alpha != 0.01 {
+		t.Error("default alpha not applied")
+	}
+}
+
+func TestDropoutTrainVsInference(t *testing.T) {
+	d := NewDropout(0.5, 1)
+	x := tensor.New(1000)
+	x.Fill(1)
+
+	// Inference: identity.
+	y := d.Forward(x, false)
+	for i, v := range y.Data {
+		if v != 1 {
+			t.Fatalf("inference dropout modified element %d: %v", i, v)
+		}
+	}
+
+	// Training: ~half dropped, survivors scaled by 2, mean preserved.
+	yt := d.Forward(x, true)
+	zeros, sum := 0, 0.0
+	for _, v := range yt.Data {
+		if v == 0 {
+			zeros++
+		} else if math.Abs(v-2) > 1e-12 {
+			t.Fatalf("survivor not rescaled: %v", v)
+		}
+		sum += v
+	}
+	if zeros < 400 || zeros > 600 {
+		t.Errorf("dropped %d of 1000 at rate 0.5", zeros)
+	}
+	if mean := sum / 1000; math.Abs(mean-1) > 0.15 {
+		t.Errorf("inverted dropout mean %v, want ≈1", mean)
+	}
+}
+
+func TestDropoutBackwardMatchesMask(t *testing.T) {
+	d := NewDropout(0.3, 2)
+	x := tensor.New(100)
+	x.Fill(1)
+	y := d.Forward(x, true)
+	grad := tensor.New(100)
+	grad.Fill(1)
+	dx := d.Backward(grad)
+	for i := range y.Data {
+		if (y.Data[i] == 0) != (dx.Data[i] == 0) {
+			t.Fatalf("backward mask mismatch at %d", i)
+		}
+	}
+}
+
+func TestDropoutRejectsBadRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("rate 1.0 accepted")
+		}
+	}()
+	NewDropout(1.0, 1)
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	// Minimize (w-3)^2 via its gradient 2(w-3).
+	p := newParam("w", tensor.FromSlice([]float64{0}, 1), false)
+	opt := NewAdam(0.1)
+	for i := 0; i < 500; i++ {
+		p.Grad.Data[0] = 2 * (p.Value.Data[0] - 3)
+		opt.Step([]*Param{p}, 1)
+	}
+	if math.Abs(p.Value.Data[0]-3) > 0.01 {
+		t.Errorf("Adam converged to %v, want 3", p.Value.Data[0])
+	}
+}
+
+func TestAdamTrainsTinyNet(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	net := buildTinyNet(rng, 2)
+	samples := twoBlobSamples(rng, 80)
+	opt := NewAdam(0.005)
+	params := net.Params()
+	for epoch := 0; epoch < 5; epoch++ {
+		for _, s := range samples {
+			logits := net.Forward(s.X, true)
+			_, grad := SoftmaxCrossEntropy(logits, s.Label)
+			net.Backward(grad)
+			opt.Step(params, 1)
+		}
+	}
+	if acc := Accuracy(net, samples); acc < 0.9 {
+		t.Errorf("Adam-trained accuracy %.3f, want >= 0.9", acc)
+	}
+}
+
+func TestAdamWeightDecayRespectsDecayFlag(t *testing.T) {
+	w := newParam("w", tensor.FromSlice([]float64{1}, 1), true)
+	b := newParam("b", tensor.FromSlice([]float64{1}, 1), false)
+	opt := NewAdam(0.01)
+	opt.WeightDecay = 1
+	// Zero gradient: only decay (through the Adam machinery) acts on w.
+	opt.Step([]*Param{w, b}, 1)
+	if w.Value.Data[0] >= 1 {
+		t.Errorf("decayed param did not shrink: %v", w.Value.Data[0])
+	}
+	if b.Value.Data[0] != 1 {
+		t.Errorf("non-decay param changed: %v", b.Value.Data[0])
+	}
+}

@@ -1,0 +1,165 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// ChannelNorm normalizes each channel of a [C,H,W] input by running
+// (exponential-moving-average) statistics and applies a learned per-channel
+// scale and shift.
+//
+// It substitutes for batch normalization: this framework trains one sample
+// at a time (batch statistics are unavailable), so normalization uses EMA
+// statistics in both training and inference, updated from each training
+// sample. Gradients treat the statistics as constants — a standard
+// "batch-free normalization" approximation that stabilizes the deeper
+// residual and dense topologies in the model zoo.
+type ChannelNorm struct {
+	C        int
+	Momentum float64 // EMA update rate for running statistics
+	Eps      float64
+
+	gamma *Param // [C]
+	beta  *Param // [C]
+
+	// Running statistics are model state (not trainable parameters): they
+	// are updated by Forward in train mode and serialized via StateTensors.
+	runMean []float64
+	runVar  []float64
+
+	lastXHat *tensor.T
+	lastStd  []float64
+}
+
+var _ Layer = (*ChannelNorm)(nil)
+var _ Counter = (*ChannelNorm)(nil)
+
+// NewChannelNorm creates a normalization layer for c channels.
+func NewChannelNorm(c int) *ChannelNorm {
+	g := tensor.New(c)
+	g.Fill(1)
+	n := &ChannelNorm{
+		C: c, Momentum: 0.1, Eps: 1e-5,
+		gamma:   newParam("gamma", g, false),
+		beta:    newParam("beta", tensor.New(c), false),
+		runMean: make([]float64, c),
+		runVar:  make([]float64, c),
+	}
+	for i := range n.runVar {
+		n.runVar[i] = 1
+	}
+	return n
+}
+
+// Name implements Layer.
+func (n *ChannelNorm) Name() string { return fmt.Sprintf("channelnorm(%d)", n.C) }
+
+// OutShape implements Layer.
+func (n *ChannelNorm) OutShape(in []int) ([]int, error) {
+	if len(in) != 3 || in[0] != n.C {
+		return nil, shapeErr(n.Name(), in, fmt.Sprintf("[%d H W]", n.C))
+	}
+	return append([]int(nil), in...), nil
+}
+
+// Forward implements Layer.
+func (n *ChannelNorm) Forward(x *tensor.T, train bool) *tensor.T {
+	hw := x.Shape[1] * x.Shape[2]
+	out := tensor.New(x.Shape...)
+	var xhat *tensor.T
+	var stds []float64
+	if train {
+		xhat = tensor.New(x.Shape...)
+		stds = make([]float64, n.C)
+	}
+	for c := 0; c < n.C; c++ {
+		row := x.Data[c*hw : (c+1)*hw]
+		if train {
+			// Update EMA statistics from this sample's channel stats.
+			mean, variance := momentsOf(row)
+			m := n.Momentum
+			n.runMean[c] = (1-m)*n.runMean[c] + m*mean
+			n.runVar[c] = (1-m)*n.runVar[c] + m*variance
+		}
+		std := math.Sqrt(n.runVar[c] + n.Eps)
+		g, b, mu := n.gamma.Value.Data[c], n.beta.Value.Data[c], n.runMean[c]
+		orow := out.Data[c*hw : (c+1)*hw]
+		for i, v := range row {
+			h := (v - mu) / std
+			orow[i] = g*h + b
+			if train {
+				xhat.Data[c*hw+i] = h
+			}
+		}
+		if train {
+			stds[c] = std
+		}
+	}
+	if train {
+		n.lastXHat = xhat
+		n.lastStd = stds
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (n *ChannelNorm) Backward(grad *tensor.T) *tensor.T {
+	if n.lastXHat == nil {
+		panic("nn: ChannelNorm.Backward called before Forward(train=true)")
+	}
+	hw := grad.Shape[1] * grad.Shape[2]
+	dx := tensor.New(grad.Shape...)
+	for c := 0; c < n.C; c++ {
+		g := n.gamma.Value.Data[c]
+		scale := g / n.lastStd[c]
+		var dg, db float64
+		grow := grad.Data[c*hw : (c+1)*hw]
+		hrow := n.lastXHat.Data[c*hw : (c+1)*hw]
+		drow := dx.Data[c*hw : (c+1)*hw]
+		for i, gv := range grow {
+			dg += gv * hrow[i]
+			db += gv
+			drow[i] = gv * scale
+		}
+		n.gamma.Grad.Data[c] += dg
+		n.beta.Grad.Data[c] += db
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (n *ChannelNorm) Params() []*Param { return []*Param{n.gamma, n.beta} }
+
+// StateTensors implements Stateful: the running statistics must round-trip
+// through serialization for inference to match the trained model.
+func (n *ChannelNorm) StateTensors() []*tensor.T {
+	return []*tensor.T{
+		{Shape: []int{n.C}, Data: n.runMean},
+		{Shape: []int{n.C}, Data: n.runVar},
+	}
+}
+
+// Stats implements Counter.
+func (n *ChannelNorm) Stats(in []int) Stats {
+	return Stats{ParamElems: 2 * n.C, ActElems: prodShape(in)}
+}
+
+// momentsOf returns the mean and (population) variance of xs.
+func momentsOf(xs []float64) (mean, variance float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, v := range xs {
+		mean += v
+	}
+	mean /= float64(len(xs))
+	for _, v := range xs {
+		d := v - mean
+		variance += d * d
+	}
+	variance /= float64(len(xs))
+	return mean, variance
+}

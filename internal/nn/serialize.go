@@ -1,0 +1,112 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// snapshot is the on-disk representation of a network's parameters. The
+// topology itself is rebuilt from code (the model zoo), so only weights and
+// their shapes are persisted; shapes guard against loading into a mismatched
+// topology.
+type snapshot struct {
+	Params []paramBlob
+	// States holds non-trainable layer state (normalization running
+	// statistics), in Network.StateTensors order.
+	States [][]float64
+}
+
+type paramBlob struct {
+	Name  string
+	Shape []int
+	Data  []float64
+}
+
+// SaveParams writes the network parameters and state to w in gob format.
+func (n *Network) SaveParams(w io.Writer) error {
+	var s snapshot
+	for _, p := range n.Params() {
+		s.Params = append(s.Params, paramBlob{
+			Name:  p.Name,
+			Shape: append([]int(nil), p.Value.Shape...),
+			Data:  append([]float64(nil), p.Value.Data...),
+		})
+	}
+	for _, st := range n.StateTensors() {
+		s.States = append(s.States, append([]float64(nil), st.Data...))
+	}
+	if err := gob.NewEncoder(w).Encode(s); err != nil {
+		return fmt.Errorf("nn: encoding parameters: %w", err)
+	}
+	return nil
+}
+
+// LoadParams reads parameters written by SaveParams into the network. The
+// network must have an identical topology (same parameter order and shapes).
+func (n *Network) LoadParams(r io.Reader) error {
+	var s snapshot
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return fmt.Errorf("nn: decoding parameters: %w", err)
+	}
+	params := n.Params()
+	if len(params) != len(s.Params) {
+		return fmt.Errorf("nn: snapshot has %d parameters, network has %d", len(s.Params), len(params))
+	}
+	for i, p := range params {
+		blob := s.Params[i]
+		if p.Value.Len() != len(blob.Data) {
+			return fmt.Errorf("nn: parameter %d (%s): snapshot %v does not fit %v",
+				i, p.Name, blob.Shape, p.Value.Shape)
+		}
+		copy(p.Value.Data, blob.Data)
+	}
+	states := n.StateTensors()
+	if len(states) != len(s.States) {
+		return fmt.Errorf("nn: snapshot has %d state tensors, network has %d", len(s.States), len(states))
+	}
+	for i, st := range states {
+		if st.Len() != len(s.States[i]) {
+			return fmt.Errorf("nn: state tensor %d: snapshot len %d does not fit %d",
+				i, len(s.States[i]), st.Len())
+		}
+		copy(st.Data, s.States[i])
+	}
+	return nil
+}
+
+// SaveParamsFile writes the parameters atomically to path, creating parent
+// directories as needed.
+func (n *Network) SaveParamsFile(path string) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("nn: creating snapshot dir: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".snapshot-*")
+	if err != nil {
+		return fmt.Errorf("nn: creating snapshot temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := n.SaveParams(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("nn: closing snapshot temp file: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("nn: committing snapshot: %w", err)
+	}
+	return nil
+}
+
+// LoadParamsFile reads parameters from path.
+func (n *Network) LoadParamsFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("nn: opening snapshot: %w", err)
+	}
+	defer f.Close()
+	return n.LoadParams(f)
+}

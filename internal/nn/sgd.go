@@ -1,0 +1,66 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// SGD is a stochastic gradient descent optimizer with classical momentum,
+// decoupled weight decay, and optional global gradient-norm clipping.
+type SGD struct {
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+	// ClipNorm, when positive, rescales the global gradient so its L2 norm
+	// does not exceed this value. Useful for the deeper un-batched models.
+	ClipNorm float64
+
+	velocity map[*Param]*tensor.T
+}
+
+// NewSGD creates an optimizer with the given learning rate and momentum.
+func NewSGD(lr, momentum float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, velocity: make(map[*Param]*tensor.T)}
+}
+
+// Step applies one update to params using their accumulated gradients scaled
+// by 1/batch (pass batch=1 for per-sample updates), then zeroes the
+// gradients.
+func (o *SGD) Step(params []*Param, batch int) {
+	if batch < 1 {
+		batch = 1
+	}
+	scale := 1.0 / float64(batch)
+
+	if o.ClipNorm > 0 {
+		sq := 0.0
+		for _, p := range params {
+			for _, g := range p.Grad.Data {
+				g *= scale
+				sq += g * g
+			}
+		}
+		if norm := math.Sqrt(sq); norm > o.ClipNorm {
+			scale *= o.ClipNorm / norm
+		}
+	}
+
+	for _, p := range params {
+		v, ok := o.velocity[p]
+		if !ok {
+			v = p.Value.ZerosLike()
+			o.velocity[p] = v
+		}
+		wd := 0.0
+		if p.Decay {
+			wd = o.WeightDecay
+		}
+		for i := range p.Value.Data {
+			g := p.Grad.Data[i]*scale + wd*p.Value.Data[i]
+			v.Data[i] = o.Momentum*v.Data[i] - o.LR*g
+			p.Value.Data[i] += v.Data[i]
+			p.Grad.Data[i] = 0
+		}
+	}
+}

@@ -1,0 +1,30 @@
+package perf
+
+// DriveAGX returns constants in the regime of the NVIDIA DRIVE AGX platform
+// the paper's §IV-C two-GPU scenario references: two Tensor-Core-class GPUs
+// with an automotive power envelope. Per-GPU throughput is below the
+// TITAN X while the pair allows two concurrent member activations
+// (SystemConfig.GPUs = 2).
+func DriveAGX() GPU {
+	return GPU{
+		Name:          "DRIVE AGX (per GPU)",
+		PeakMACs:      2.5e12,
+		MemBW:         256e9,
+		EnergyPerMAC:  6e-12,
+		EnergyPerByte: 120e-12,
+	}
+}
+
+// EmbeddedCPU returns constants for a CPU-only edge deployment — a useful
+// worst case for latency-budget reasoning with no accelerator available.
+func EmbeddedCPU() GPU {
+	return GPU{
+		Name:           "embedded CPU",
+		PeakMACs:       2e10,
+		MemBW:          12e9,
+		EnergyPerMAC:   60e-12,
+		EnergyPerByte:  300e-12,
+		KernelOverhead: 1e-6,
+		IdlePower:      5,
+	}
+}

@@ -1,0 +1,64 @@
+package perf
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/nn"
+)
+
+func TestGPUConfigsSane(t *testing.T) {
+	for _, g := range []GPU{TitanX(), DriveAGX(), EmbeddedCPU()} {
+		t.Run(g.Name, func(t *testing.T) {
+			if g.PeakMACs <= 0 || g.MemBW <= 0 || g.EnergyPerMAC <= 0 || g.EnergyPerByte <= 0 {
+				t.Errorf("non-positive constants: %+v", g)
+			}
+			if g.KernelOverhead < 0 || g.IdlePower < 0 {
+				t.Errorf("negative overheads: %+v", g)
+			}
+		})
+	}
+}
+
+func TestGPUOrdering(t *testing.T) {
+	// Use a compute-heavy network: on tiny models kernel-launch overhead
+	// legitimately makes the CPU competitive, so the accelerator ordering
+	// only emerges once arithmetic dominates.
+	rng := rand.New(rand.NewSource(71))
+	net := nn.MustNetwork([]int{3, 64, 64}, 4,
+		nn.NewConv2D(3, 32, 3, 1, 1, rng), nn.NewReLU(),
+		nn.NewConv2D(32, 32, 3, 1, 1, rng), nn.NewReLU(), nn.NewMaxPool2D(2),
+		nn.NewFlatten(), nn.NewDense(32*32*32, 4, rng),
+	)
+	titan := InferenceCost(TitanX(), net, 32)
+	agx := InferenceCost(DriveAGX(), net, 32)
+	cpu := InferenceCost(EmbeddedCPU(), net, 32)
+	if !(titan.Latency <= agx.Latency && agx.Latency < cpu.Latency) {
+		t.Errorf("latency ordering violated: titan %v, agx %v, cpu %v",
+			titan.Latency, agx.Latency, cpu.Latency)
+	}
+}
+
+func TestTwoGPUAGXBeatsSequentialOnLatency(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	net := nn.MustNetwork([]int{3, 16, 16}, 4,
+		nn.NewConv2D(3, 8, 3, 1, 1, rng), nn.NewReLU(), nn.NewMaxPool2D(2),
+		nn.NewFlatten(), nn.NewDense(8*8*8, 4, rng),
+	)
+	member := InferenceCost(DriveAGX(), net, 14)
+	costs := []Cost{member, member, member, member}
+	seq, err := SystemCost(SystemConfig{MemberCosts: costs, GPUs: 1}, FullActivations(4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := SystemCost(SystemConfig{MemberCosts: costs, GPUs: 2}, FullActivations(4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Latency >= seq.Latency {
+		t.Errorf("2-GPU latency %v not below sequential %v", par.Latency, seq.Latency)
+	}
+	if par.Energy != seq.Energy {
+		t.Errorf("parallelism changed energy: %v vs %v", par.Energy, seq.Energy)
+	}
+}

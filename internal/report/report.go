@@ -1,0 +1,93 @@
+// Package report renders experiment results into Markdown and CSV, so the
+// reproduction artifacts (EXPERIMENTS.md tables, spreadsheets) can be
+// regenerated mechanically from a suite run.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+// Markdown writes the result as a GitHub-flavored Markdown section.
+func Markdown(w io.Writer, r *experiments.Result) error {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "### %s — %s\n\n", r.ID, r.Title)
+	if len(r.Header) > 0 {
+		sb.WriteString("| " + strings.Join(escapeCells(r.Header), " | ") + " |\n")
+		sb.WriteString("|" + strings.Repeat("---|", len(r.Header)) + "\n")
+		for _, row := range r.Rows {
+			cells := escapeCells(row)
+			// Pad short rows so the table stays rectangular.
+			for len(cells) < len(r.Header) {
+				cells = append(cells, "")
+			}
+			sb.WriteString("| " + strings.Join(cells, " | ") + " |\n")
+		}
+	}
+	if len(r.Notes) > 0 {
+		sb.WriteString("\n")
+		for _, n := range r.Notes {
+			fmt.Fprintf(&sb, "> %s\n", n)
+		}
+	}
+	sb.WriteString("\n")
+	if _, err := io.WriteString(w, sb.String()); err != nil {
+		return fmt.Errorf("report: writing markdown: %w", err)
+	}
+	return nil
+}
+
+// CSV writes the result's header and rows as RFC-4180 CSV (notes omitted).
+func CSV(w io.Writer, r *experiments.Result) error {
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(csvQuote(c))
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(r.Header)
+	for _, row := range r.Rows {
+		writeRow(row)
+	}
+	if _, err := io.WriteString(w, sb.String()); err != nil {
+		return fmt.Errorf("report: writing csv: %w", err)
+	}
+	return nil
+}
+
+// csvQuote quotes a cell when it contains a comma, quote or newline.
+func csvQuote(c string) string {
+	if !strings.ContainsAny(c, ",\"\n") {
+		return c
+	}
+	return `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
+}
+
+// escapeCells escapes Markdown table delimiters inside cells.
+func escapeCells(cells []string) []string {
+	out := make([]string, len(cells))
+	for i, c := range cells {
+		out[i] = strings.ReplaceAll(c, "|", "\\|")
+	}
+	return out
+}
+
+// Suite renders a whole suite run as one Markdown document.
+func Suite(w io.Writer, title string, results []*experiments.Result) error {
+	if _, err := fmt.Fprintf(w, "# %s\n\n", title); err != nil {
+		return fmt.Errorf("report: writing title: %w", err)
+	}
+	for _, r := range results {
+		if err := Markdown(w, r); err != nil {
+			return err
+		}
+	}
+	return nil
+}

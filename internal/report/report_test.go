@@ -1,0 +1,83 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func sample() *experiments.Result {
+	r := &experiments.Result{
+		ID: "figX", Title: "Demo table",
+		Header: []string{"name", "value"},
+	}
+	r.AddRow("alpha", "1.0%")
+	r.AddRow("beta|gamma", `quoted "cell", with comma`)
+	r.AddNote("a note")
+	return r
+}
+
+func TestMarkdown(t *testing.T) {
+	var sb strings.Builder
+	if err := Markdown(&sb, sample()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"### figX — Demo table",
+		"| name | value |",
+		"|---|---|",
+		"| alpha | 1.0% |",
+		"beta\\|gamma", // pipe escaped
+		"> a note",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMarkdownPadsShortRows(t *testing.T) {
+	r := &experiments.Result{ID: "x", Title: "t", Header: []string{"a", "b", "c"}}
+	r.AddRow("only-one")
+	var sb strings.Builder
+	if err := Markdown(&sb, r); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "| only-one |  |  |") {
+		t.Errorf("short row not padded:\n%s", sb.String())
+	}
+}
+
+func TestCSV(t *testing.T) {
+	var sb strings.Builder
+	if err := CSV(&sb, sample()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if lines[0] != "name,value" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "alpha,1.0%" {
+		t.Errorf("row 1 = %q", lines[1])
+	}
+	// Quoted cell with comma and embedded quotes.
+	if lines[2] != `beta|gamma,"quoted ""cell"", with comma"` {
+		t.Errorf("row 2 = %q", lines[2])
+	}
+}
+
+func TestSuite(t *testing.T) {
+	var sb strings.Builder
+	if err := Suite(&sb, "My Suite", []*experiments.Result{sample(), sample()}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "# My Suite") {
+		t.Error("missing suite title")
+	}
+	if strings.Count(out, "### figX") != 2 {
+		t.Error("missing sections")
+	}
+}

@@ -1,0 +1,200 @@
+package stream
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/tensor"
+)
+
+// scripted is a Classifier returning pre-baked decisions in order.
+type scripted struct {
+	decisions []core.Decision
+	next      int
+	delay     time.Duration
+	clock     *fakeClock
+}
+
+func (s *scripted) Classify(*tensor.T) core.Decision {
+	d := s.decisions[s.next%len(s.decisions)]
+	s.next++
+	if s.clock != nil {
+		s.clock.advance(s.delay)
+	}
+	return d
+}
+
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func frames(n int) []*tensor.T {
+	fs := make([]*tensor.T, n)
+	for i := range fs {
+		fs[i] = tensor.New(1, 2, 2)
+	}
+	return fs
+}
+
+func rel(label int) core.Decision {
+	return core.Decision{Label: label, Reliable: true, Activated: 2}
+}
+
+func unrel(label int) core.Decision {
+	return core.Decision{Label: label, Reliable: false, Activated: 4}
+}
+
+func TestSliceSource(t *testing.T) {
+	src := &SliceSource{Frames: frames(2)}
+	if _, ok := src.Next(); !ok {
+		t.Fatal("first Next failed")
+	}
+	if _, ok := src.Next(); !ok {
+		t.Fatal("second Next failed")
+	}
+	if _, ok := src.Next(); ok {
+		t.Fatal("exhausted source yielded a frame")
+	}
+}
+
+func TestNewProcessorValidation(t *testing.T) {
+	if _, err := NewProcessor(nil, Config{}); err == nil {
+		t.Error("nil classifier accepted")
+	}
+}
+
+func TestSmoothingSuppressesGlitch(t *testing.T) {
+	// Stable reliable label 3, one glitch frame (label 7), back to 3: the
+	// smoothed label must never leave 3.
+	sys := &scripted{decisions: []core.Decision{
+		rel(3), rel(3), rel(7), rel(3), rel(3),
+	}}
+	p, err := NewProcessor(sys, Config{Window: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var smoothed []int
+	stats := p.Process(&SliceSource{Frames: frames(5)}, func(f Frame) {
+		smoothed = append(smoothed, f.SmoothedLabel)
+	})
+	for i, l := range smoothed {
+		if l != 3 {
+			t.Errorf("frame %d smoothed label %d, want 3", i, l)
+		}
+	}
+	if stats.Frames != 5 || stats.Reliable != 5 {
+		t.Errorf("stats %+v", stats)
+	}
+}
+
+func TestSmoothingRecoversUnreliableFrames(t *testing.T) {
+	// Reliable 2, 2, then an unreliable frame: the raw gate escalates it but
+	// the smoothed view stays reliable on label 2.
+	sys := &scripted{decisions: []core.Decision{rel(2), rel(2), unrel(9)}}
+	p, err := NewProcessor(sys, Config{Window: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last Frame
+	stats := p.Process(&SliceSource{Frames: frames(3)}, func(f Frame) { last = f })
+	if last.Decision.Reliable {
+		t.Fatal("third raw decision should be unreliable")
+	}
+	if !last.SmoothedReliable || last.SmoothedLabel != 2 {
+		t.Errorf("smoothed = (%d, %v), want (2, true)", last.SmoothedLabel, last.SmoothedReliable)
+	}
+	if stats.SmoothedReliable <= stats.Reliable-1 {
+		t.Errorf("smoothing did not recover frames: raw %d, smoothed %d", stats.Reliable, stats.SmoothedReliable)
+	}
+}
+
+func TestSmoothingNoReliableHistory(t *testing.T) {
+	sys := &scripted{decisions: []core.Decision{unrel(4)}}
+	p, err := NewProcessor(sys, Config{Window: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Frame
+	p.Process(&SliceSource{Frames: frames(1)}, func(f Frame) { got = f })
+	if got.SmoothedReliable {
+		t.Error("no reliable history but smoothed reliable")
+	}
+	if got.SmoothedLabel != 4 {
+		t.Errorf("fallback label %d, want raw 4", got.SmoothedLabel)
+	}
+}
+
+func TestWindowSlides(t *testing.T) {
+	// Window 2: after two frames of label 1, two frames of label 8 must
+	// flip the smoothed label to 8 (old frames expire).
+	sys := &scripted{decisions: []core.Decision{rel(1), rel(1), rel(8), rel(8)}}
+	p, err := NewProcessor(sys, Config{Window: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var smoothed []int
+	p.Process(&SliceSource{Frames: frames(4)}, func(f Frame) {
+		smoothed = append(smoothed, f.SmoothedLabel)
+	})
+	if smoothed[3] != 8 {
+		t.Errorf("window did not slide: %v", smoothed)
+	}
+}
+
+func TestDeadlineAccounting(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(0, 0)}
+	sys := &scripted{
+		decisions: []core.Decision{rel(1)},
+		delay:     30 * time.Millisecond,
+		clock:     clock,
+	}
+	p, err := NewProcessor(sys, Config{Window: 1, Budget: 20 * time.Millisecond, now: clock.now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Frame
+	stats := p.Process(&SliceSource{Frames: frames(3)}, func(f Frame) { got = f })
+	if !got.DeadlineMiss {
+		t.Error("30ms frame under a 20ms budget not flagged")
+	}
+	if stats.DeadlineMisses != 3 {
+		t.Errorf("misses = %d, want 3", stats.DeadlineMisses)
+	}
+	if stats.MaxLatency != 30*time.Millisecond {
+		t.Errorf("MaxLatency = %v", stats.MaxLatency)
+	}
+}
+
+func TestStatsAggregation(t *testing.T) {
+	sys := &scripted{decisions: []core.Decision{rel(1), unrel(2)}}
+	p, err := NewProcessor(sys, Config{Window: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := p.Process(&SliceSource{Frames: frames(4)}, nil)
+	if stats.Frames != 4 || stats.Reliable != 2 {
+		t.Errorf("stats %+v", stats)
+	}
+	// rel has Activated 2, unrel 4 → mean 3.
+	if stats.MeanActivated != 3 {
+		t.Errorf("MeanActivated = %v", stats.MeanActivated)
+	}
+}
+
+func TestResetClearsWindow(t *testing.T) {
+	sys := &scripted{decisions: []core.Decision{rel(5), unrel(0)}}
+	p, err := NewProcessor(sys, Config{Window: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Process(&SliceSource{Frames: frames(1)}, nil) // fills window with rel(5)
+	p.Reset()
+	var got Frame
+	p.Process(&SliceSource{Frames: frames(1)}, func(f Frame) { got = f })
+	// After reset the unreliable frame has no reliable history to lean on.
+	if got.SmoothedReliable {
+		t.Error("window survived Reset")
+	}
+}

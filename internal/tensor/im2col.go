@@ -1,0 +1,124 @@
+package tensor
+
+import "fmt"
+
+// ConvGeom describes the geometry of a 2-d convolution over a [C,H,W] input.
+type ConvGeom struct {
+	InC, InH, InW int // input channels and spatial extent
+	KH, KW        int // kernel height and width
+	Stride        int // stride in both dimensions
+	Pad           int // zero padding in both dimensions
+}
+
+// OutH returns the output height of the convolution.
+func (g ConvGeom) OutH() int { return (g.InH+2*g.Pad-g.KH)/g.Stride + 1 }
+
+// OutW returns the output width of the convolution.
+func (g ConvGeom) OutW() int { return (g.InW+2*g.Pad-g.KW)/g.Stride + 1 }
+
+// Validate reports an error if the geometry is degenerate.
+func (g ConvGeom) Validate() error {
+	switch {
+	case g.InC <= 0 || g.InH <= 0 || g.InW <= 0:
+		return fmt.Errorf("tensor: invalid conv input dims C=%d H=%d W=%d", g.InC, g.InH, g.InW)
+	case g.KH <= 0 || g.KW <= 0:
+		return fmt.Errorf("tensor: invalid conv kernel %dx%d", g.KH, g.KW)
+	case g.Stride <= 0:
+		return fmt.Errorf("tensor: invalid conv stride %d", g.Stride)
+	case g.Pad < 0:
+		return fmt.Errorf("tensor: invalid conv pad %d", g.Pad)
+	case g.OutH() <= 0 || g.OutW() <= 0:
+		return fmt.Errorf("tensor: conv output is empty for geometry %+v", g)
+	}
+	return nil
+}
+
+// Im2Col lowers a [C,H,W] input into a [C*KH*KW, OutH*OutW] matrix so that a
+// convolution becomes a single matmul with a [OutC, C*KH*KW] weight matrix.
+// dst must have shape [C*KH*KW, OutH*OutW]; it is fully overwritten.
+func Im2Col(dst, src *T, g ConvGeom) {
+	oh, ow := g.OutH(), g.OutW()
+	rows := g.InC * g.KH * g.KW
+	if dst.Shape[0] != rows || dst.Shape[1] != oh*ow {
+		panic(fmt.Sprintf("tensor: Im2Col dst shape %v, want [%d %d]", dst.Shape, rows, oh*ow))
+	}
+	if src.Len() != g.InC*g.InH*g.InW {
+		panic(fmt.Sprintf("tensor: Im2Col src len %d, want %d", src.Len(), g.InC*g.InH*g.InW))
+	}
+	sd, dd := src.Data, dst.Data
+	row := 0
+	for c := 0; c < g.InC; c++ {
+		chanOff := c * g.InH * g.InW
+		for kh := 0; kh < g.KH; kh++ {
+			for kw := 0; kw < g.KW; kw++ {
+				drow := dd[row*oh*ow : (row+1)*oh*ow]
+				di := 0
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*g.Stride + kh - g.Pad
+					if iy < 0 || iy >= g.InH {
+						for ox := 0; ox < ow; ox++ {
+							drow[di] = 0
+							di++
+						}
+						continue
+					}
+					srow := sd[chanOff+iy*g.InW : chanOff+(iy+1)*g.InW]
+					ix := kw - g.Pad
+					for ox := 0; ox < ow; ox++ {
+						if ix >= 0 && ix < g.InW {
+							drow[di] = srow[ix]
+						} else {
+							drow[di] = 0
+						}
+						di++
+						ix += g.Stride
+					}
+				}
+				row++
+			}
+		}
+	}
+}
+
+// Col2Im scatters a [C*KH*KW, OutH*OutW] column matrix back onto a [C,H,W]
+// image, accumulating overlapping contributions. dst is zeroed first. This is
+// the adjoint of Im2Col and is used by the convolution input-gradient pass.
+func Col2Im(dst, cols *T, g ConvGeom) {
+	oh, ow := g.OutH(), g.OutW()
+	rows := g.InC * g.KH * g.KW
+	if cols.Shape[0] != rows || cols.Shape[1] != oh*ow {
+		panic(fmt.Sprintf("tensor: Col2Im cols shape %v, want [%d %d]", cols.Shape, rows, oh*ow))
+	}
+	if dst.Len() != g.InC*g.InH*g.InW {
+		panic(fmt.Sprintf("tensor: Col2Im dst len %d, want %d", dst.Len(), g.InC*g.InH*g.InW))
+	}
+	dst.Zero()
+	dd, cd := dst.Data, cols.Data
+	row := 0
+	for c := 0; c < g.InC; c++ {
+		chanOff := c * g.InH * g.InW
+		for kh := 0; kh < g.KH; kh++ {
+			for kw := 0; kw < g.KW; kw++ {
+				crow := cd[row*oh*ow : (row+1)*oh*ow]
+				ci := 0
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*g.Stride + kh - g.Pad
+					if iy < 0 || iy >= g.InH {
+						ci += ow
+						continue
+					}
+					base := chanOff + iy*g.InW
+					ix := kw - g.Pad
+					for ox := 0; ox < ow; ox++ {
+						if ix >= 0 && ix < g.InW {
+							dd[base+ix] += crow[ci]
+						}
+						ci++
+						ix += g.Stride
+					}
+				}
+				row++
+			}
+		}
+	}
+}

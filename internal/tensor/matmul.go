@@ -1,0 +1,119 @@
+package tensor
+
+import "fmt"
+
+// MatMul computes C = A×B for 2-d tensors A (m×k) and B (k×n), returning a
+// new m×n tensor. The inner loops are ordered i-k-j so the innermost loop
+// streams both B and C rows sequentially, which is the dominant factor for
+// pure-Go throughput.
+func MatMul(a, b *T) *T {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: MatMul requires rank-2 operands, got %v × %v", a.Shape, b.Shape))
+	}
+	m, k := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dimensions differ: %v × %v", a.Shape, b.Shape))
+	}
+	c := New(m, n)
+	MatMulInto(c, a, b)
+	return c
+}
+
+// MatMulInto computes C = A×B into an existing m×n tensor, overwriting it.
+// It panics on any shape mismatch.
+func MatMulInto(c, a, b *T) {
+	m, k := a.Shape[0], a.Shape[1]
+	n := b.Shape[1]
+	if b.Shape[0] != k || c.Shape[0] != m || c.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulInto shape mismatch: C%v = A%v × B%v", c.Shape, a.Shape, b.Shape))
+	}
+	c.Zero()
+	ad, bd, cd := a.Data, b.Data, c.Data
+	for i := 0; i < m; i++ {
+		arow := ad[i*k : (i+1)*k]
+		crow := cd[i*n : (i+1)*n]
+		for p, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := bd[p*n : (p+1)*n]
+			axpyUnrolled(crow, av, brow)
+		}
+	}
+}
+
+// MatMulTransAInto computes C = Aᵀ×B where A is k×m, B is k×n, C is m×n.
+// Used by convolution backward passes.
+func MatMulTransAInto(c, a, b *T) {
+	k, m := a.Shape[0], a.Shape[1]
+	n := b.Shape[1]
+	if b.Shape[0] != k || c.Shape[0] != m || c.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulTransAInto shape mismatch: C%v = A%v ᵀ× B%v", c.Shape, a.Shape, b.Shape))
+	}
+	c.Zero()
+	ad, bd, cd := a.Data, b.Data, c.Data
+	for p := 0; p < k; p++ {
+		arow := ad[p*m : (p+1)*m]
+		brow := bd[p*n : (p+1)*n]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			crow := cd[i*n : (i+1)*n]
+			axpyUnrolled(crow, av, brow)
+		}
+	}
+}
+
+// MatMulTransBInto computes C = A×Bᵀ where A is m×k, B is n×k, C is m×n.
+func MatMulTransBInto(c, a, b *T) {
+	m, k := a.Shape[0], a.Shape[1]
+	n := b.Shape[0]
+	if b.Shape[1] != k || c.Shape[0] != m || c.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulTransBInto shape mismatch: C%v = A%v × B%v ᵀ", c.Shape, a.Shape, b.Shape))
+	}
+	ad, bd, cd := a.Data, b.Data, c.Data
+	for i := 0; i < m; i++ {
+		arow := ad[i*k : (i+1)*k]
+		for j := 0; j < n; j++ {
+			brow := bd[j*k : (j+1)*k]
+			cd[i*n+j] = dotUnrolled(arow, brow)
+		}
+	}
+}
+
+// axpyUnrolled computes dst += alpha*src with 4-way unrolling. len(dst) must
+// equal len(src); callers in this package guarantee it.
+func axpyUnrolled(dst []float64, alpha float64, src []float64) {
+	n := len(dst)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		dst[i] += alpha * src[i]
+		dst[i+1] += alpha * src[i+1]
+		dst[i+2] += alpha * src[i+2]
+		dst[i+3] += alpha * src[i+3]
+	}
+	for ; i < n; i++ {
+		dst[i] += alpha * src[i]
+	}
+}
+
+// dotUnrolled returns the dot product of equal-length slices with 4-way
+// unrolling into independent accumulators.
+func dotUnrolled(a, b []float64) float64 {
+	n := len(a)
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+	}
+	s := s0 + s1 + s2 + s3
+	for ; i < n; i++ {
+		s += a[i] * b[i]
+	}
+	return s
+}

@@ -1,0 +1,18 @@
+package tensor
+
+import "math/rand"
+
+// FillUniform fills t with samples from U[lo, hi) drawn from rng.
+func (t *T) FillUniform(rng *rand.Rand, lo, hi float64) {
+	span := hi - lo
+	for i := range t.Data {
+		t.Data[i] = lo + span*rng.Float64()
+	}
+}
+
+// FillNormal fills t with samples from N(mean, std²) drawn from rng.
+func (t *T) FillNormal(rng *rand.Rand, mean, std float64) {
+	for i := range t.Data {
+		t.Data[i] = mean + std*rng.NormFloat64()
+	}
+}

@@ -1,0 +1,250 @@
+// Package polygraph is the public API of the PolygraphMR reproduction: a
+// system of preprocessor-diversified redundant CNNs that classifies images
+// and reports, per prediction, whether the answer should be trusted
+// (Latifi, Zamirai, Mahlke — "PolygraphMR: Enhancing the Reliability and
+// Dependability of CNNs", DSN 2020).
+//
+// A System is assembled with Build, which trains (or loads from the on-disk
+// zoo cache) the member networks of one of the six paper benchmarks, runs
+// the greedy preprocessor-selection procedure, profiles the decision
+// thresholds on the validation split, and orders members for staged
+// activation:
+//
+//	sys, err := polygraph.Build("convnet", polygraph.Options{Members: 4})
+//	...
+//	pred, err := sys.Classify(img)
+//	if pred.Reliable { act(pred.Label) } else { escalate() }
+//
+// The heavy lifting lives in the internal packages (see DESIGN.md); this
+// package exposes a small, stable surface.
+package polygraph
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/model"
+	"repro/internal/precision"
+	"repro/internal/tensor"
+)
+
+// Image is a dense image in [0,1], channel-major ([C][H][W] flattened).
+type Image struct {
+	Channels, Height, Width int
+	// Pixels has length Channels*Height*Width, row-major within a channel.
+	Pixels []float64
+}
+
+// Validate reports an error when the dimensions and buffer disagree.
+func (im Image) Validate() error {
+	if im.Channels <= 0 || im.Height <= 0 || im.Width <= 0 {
+		return fmt.Errorf("polygraph: non-positive image dimensions %dx%dx%d", im.Channels, im.Height, im.Width)
+	}
+	if len(im.Pixels) != im.Channels*im.Height*im.Width {
+		return fmt.Errorf("polygraph: image buffer has %d pixels, want %d",
+			len(im.Pixels), im.Channels*im.Height*im.Width)
+	}
+	return nil
+}
+
+func (im Image) tensor() *tensor.T {
+	return tensor.FromSlice(im.Pixels, im.Channels, im.Height, im.Width)
+}
+
+// Prediction is a reliability-gated classification result.
+type Prediction struct {
+	// Label is the predicted class.
+	Label int
+	// Reliable reports whether the prediction passed the decision engine's
+	// reliability gate; unreliable predictions should be escalated rather
+	// than acted upon.
+	Reliable bool
+	// Confidence is the mean member confidence in Label.
+	Confidence float64
+	// Activated is the number of member networks that ran for this input
+	// (less than Members() when staged activation resolved early).
+	Activated int
+}
+
+// Options configures Build.
+type Options struct {
+	// Members is the system size including the baseline network (the
+	// paper's sweet spot is 4). Default 4.
+	Members int
+	// Staged enables RADE staged activation (default true via Build).
+	DisableStaged bool
+	// GPUs is the number of members that can execute concurrently
+	// (default 1; the paper also evaluates 2).
+	GPUs int
+	// PrecisionBits, when in [10, 31], applies RAMR reduced-precision
+	// simulation to every member. 0 or 32 means full precision.
+	PrecisionBits int
+	// FPBudget, when positive, selects decision thresholds that maximize
+	// answered correct predictions subject to the undetected-misprediction
+	// rate staying at or below this fraction (the paper's §III-E FP-limit
+	// user demand) — instead of the default 100%-TP-floor selection.
+	FPBudget float64
+	// CacheDir overrides the trained-model cache directory; empty selects
+	// <repo>/testdata/zoo.
+	CacheDir string
+	// Quiet suppresses training progress output.
+	Quiet bool
+	// Progress, when non-nil and not Quiet, receives training notes.
+	Progress func(format string, args ...any)
+}
+
+// System is a runnable PolygraphMR instance.
+type System struct {
+	sys       *core.System
+	benchmark model.Benchmark
+	inShape   []int
+}
+
+// BenchmarkNames lists the supported benchmark identifiers (paper Table II).
+func BenchmarkNames() []string {
+	bs := model.Benchmarks()
+	names := make([]string, len(bs))
+	for i, b := range bs {
+		names[i] = b.Name
+	}
+	return names
+}
+
+// Build assembles a PolygraphMR system for the named benchmark (see
+// BenchmarkNames). Member networks are trained on first use and cached on
+// disk, so the first Build of a benchmark can take seconds to minutes and
+// subsequent builds are fast.
+func Build(benchmark string, opts Options) (*System, error) {
+	b, err := model.ByName(benchmark)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Members == 0 {
+		opts.Members = 4
+	}
+	if opts.Members < 2 || opts.Members > 8 {
+		return nil, fmt.Errorf("polygraph: Members must be in [2, 8], got %d", opts.Members)
+	}
+	zoo := model.DefaultZoo()
+	if opts.CacheDir != "" {
+		zoo = model.NewZoo(opts.CacheDir, dataset.ActiveProfile())
+	}
+	if opts.Progress != nil && !opts.Quiet {
+		zoo.Progress = opts.Progress
+	}
+
+	candidates := defaultCandidates()
+	design, err := core.GreedyDesign(zoo, b, candidates, opts.Members)
+	if err != nil {
+		return nil, fmt.Errorf("polygraph: designing system: %w", err)
+	}
+	sys, err := core.BuildSystem(zoo, b, design.Variants)
+	if err != nil {
+		return nil, fmt.Errorf("polygraph: building system: %w", err)
+	}
+	if opts.FPBudget > 0 {
+		rec, err := core.BuildRecorded(zoo, b, design.Variants, model.SplitVal)
+		if err != nil {
+			return nil, fmt.Errorf("polygraph: profiling FP budget: %w", err)
+		}
+		th, _, ok := rec.SelectByFPBudget(opts.FPBudget)
+		if !ok {
+			return nil, fmt.Errorf("polygraph: no design point satisfies FP budget %.4f", opts.FPBudget)
+		}
+		sys.Th = th
+	}
+	sys.Staged = !opts.DisableStaged
+	if opts.GPUs > 0 {
+		sys.Batch = opts.GPUs
+	}
+	if opts.PrecisionBits != 0 && opts.PrecisionBits != 32 {
+		f := precision.FromBits(opts.PrecisionBits)
+		for _, m := range sys.Members {
+			if err := precision.Apply(m.Net, f); err != nil {
+				return nil, fmt.Errorf("polygraph: applying precision: %w", err)
+			}
+		}
+	}
+	ds, err := zoo.Dataset(b.DatasetName)
+	if err != nil {
+		return nil, err
+	}
+	return &System{sys: sys, benchmark: b, inShape: ds.InShape}, nil
+}
+
+func defaultCandidates() []model.Variant {
+	names := []string{"AdHist", "ConNorm", "FlipX", "FlipY", "Gamma(1.5)", "Gamma(2)", "ImAdj"}
+	vs := make([]model.Variant, len(names))
+	for i, n := range names {
+		vs[i] = model.Variant{Preproc: n}
+	}
+	return vs
+}
+
+// Classify runs the system on one image.
+func (s *System) Classify(im Image) (Prediction, error) {
+	if err := im.Validate(); err != nil {
+		return Prediction{}, err
+	}
+	if im.Channels != s.inShape[0] || im.Height != s.inShape[1] || im.Width != s.inShape[2] {
+		return Prediction{}, fmt.Errorf("polygraph: image %dx%dx%d does not match benchmark input %v",
+			im.Channels, im.Height, im.Width, s.inShape)
+	}
+	d := s.sys.Classify(im.tensor())
+	return Prediction{
+		Label:      d.Label,
+		Reliable:   d.Reliable,
+		Confidence: d.Confidence,
+		Activated:  d.Activated,
+	}, nil
+}
+
+// Members returns the member names in activation-priority order, e.g.
+// ["ORG", "FlipX", "Gamma(2)", "AdHist"].
+func (s *System) Members() []string {
+	names := make([]string, len(s.sys.Members))
+	for i, m := range s.sys.Members {
+		names[i] = m.Name
+	}
+	return names
+}
+
+// Thresholds returns the profiled decision-engine parameters.
+func (s *System) Thresholds() (conf float64, freq int) {
+	return s.sys.Th.Conf, s.sys.Th.Freq
+}
+
+// InputShape returns the expected [channels, height, width].
+func (s *System) InputShape() (channels, height, width int) {
+	return s.inShape[0], s.inShape[1], s.inShape[2]
+}
+
+// TestImages returns n labeled images from the benchmark's held-out test
+// split of the synthetic dataset — a convenient input source for examples
+// and demos.
+func TestImages(benchmark string, n int) ([]Image, []int, error) {
+	b, err := model.ByName(benchmark)
+	if err != nil {
+		return nil, nil, err
+	}
+	zoo := model.DefaultZoo()
+	ds, err := zoo.Dataset(b.DatasetName)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n <= 0 || n > len(ds.Test) {
+		n = len(ds.Test)
+	}
+	images := make([]Image, n)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		s := ds.Test[i]
+		images[i] = Image{
+			Channels: s.X.Shape[0], Height: s.X.Shape[1], Width: s.X.Shape[2],
+			Pixels: append([]float64(nil), s.X.Data...),
+		}
+		labels[i] = s.Label
+	}
+	return images, labels, nil
+}
