@@ -129,3 +129,8 @@ func BenchmarkExtSoftVote(b *testing.B) { benchExperiment(b, "ext-softvote") }
 // BenchmarkExtOutOfDistribution runs the OOD-rejection comparison
 // (extension; paper §V out-of-distribution detection neighbours).
 func BenchmarkExtOutOfDistribution(b *testing.B) { benchExperiment(b, "ext-ood") }
+
+// BenchmarkExtThroughput runs the live-inference throughput comparison of
+// the sequential, parallel, and batched execution strategies (extension;
+// paper §IV cost containment).
+func BenchmarkExtThroughput(b *testing.B) { benchExperiment(b, "ext-throughput") }

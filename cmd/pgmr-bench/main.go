@@ -26,6 +26,7 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	quiet := flag.Bool("quiet", false, "suppress training progress")
 	csvDir := flag.String("csv", "", "also write each result as CSV into this directory")
+	workers := flag.Int("workers", 0, "worker-pool size for throughput experiments (0 = NumCPU)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: pgmr-bench [-list] [-quiet] <experiment-id>... | all\n")
 		fmt.Fprintf(os.Stderr, "experiments: %s\n", strings.Join(experiments.IDs(), ", "))
@@ -48,6 +49,7 @@ func main() {
 	}
 
 	ctx := experiments.NewContext()
+	ctx.Workers = *workers
 	if !*quiet {
 		ctx.Zoo.Progress = func(f string, a ...any) {
 			fmt.Fprintf(os.Stderr, "# "+f+"\n", a...)

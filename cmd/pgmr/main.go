@@ -6,6 +6,7 @@
 //
 //	pgmr -benchmark convnet -n 200
 //	pgmr -benchmark alexnet -members 6 -gpus 2 -bits 14 -v
+//	pgmr -benchmark convnet -n 500 -batch 32 -workers 4
 package main
 
 import (
@@ -13,6 +14,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro"
 )
@@ -24,6 +26,9 @@ func main() {
 	gpus := flag.Int("gpus", 1, "concurrent member executions (models GPU count)")
 	bits := flag.Int("bits", 0, "RAMR precision bits (0 = full precision)")
 	noStage := flag.Bool("no-stage", false, "disable RADE staged activation")
+	parallel := flag.Bool("parallel", false, "evaluate members concurrently inside each Classify")
+	workers := flag.Int("workers", 0, "worker-pool size for -parallel and -batch (0 = NumCPU)")
+	batch := flag.Int("batch", 0, "classify images in batches of this size (throughput mode; 0 = one at a time)")
 	verbose := flag.Bool("v", false, "print one line per image")
 	flag.Parse()
 
@@ -32,6 +37,8 @@ func main() {
 		GPUs:          *gpus,
 		PrecisionBits: *bits,
 		DisableStaged: *noStage,
+		Parallel:      *parallel,
+		Workers:       *workers,
 		Progress:      func(f string, a ...any) { fmt.Fprintf(os.Stderr, "# "+f+"\n", a...) },
 	})
 	if err != nil {
@@ -48,13 +55,16 @@ func main() {
 		os.Exit(1)
 	}
 
+	start := time.Now()
+	preds, err := classifyAll(sys, images, *batch)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pgmr:", err)
+		os.Exit(1)
+	}
+	elapsed := time.Since(start)
+
 	var tp, fp, tn, fn, activations int
-	for i, im := range images {
-		pred, err := sys.Classify(im)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "pgmr:", err)
-			os.Exit(1)
-		}
+	for i, pred := range preds {
 		activations += pred.Activated
 		correct := pred.Label == labels[i]
 		switch {
@@ -87,4 +97,36 @@ func main() {
 	fmt.Printf("  flagged  & wrong   (TN):   %4d (%.1f%%)  <- caught by PolygraphMR\n", tn, 100*float64(tn)/total)
 	fmt.Printf("  flagged  & correct (FN):   %4d (%.1f%%)\n", fn, 100*float64(fn)/total)
 	fmt.Printf("  mean networks activated:   %.2f of %d\n", float64(activations)/total, *members)
+	fmt.Printf("  throughput:                %.1f img/s (%s total)\n",
+		total/elapsed.Seconds(), elapsed.Round(time.Millisecond))
+}
+
+// classifyAll runs the whole test set through the system: one Classify per
+// image by default, or ClassifyBatch over batchSize-image chunks when the
+// throughput mode is requested. Predictions are identical either way.
+func classifyAll(sys *polygraph.System, images []polygraph.Image, batchSize int) ([]polygraph.Prediction, error) {
+	if batchSize <= 1 {
+		preds := make([]polygraph.Prediction, len(images))
+		for i, im := range images {
+			p, err := sys.Classify(im)
+			if err != nil {
+				return nil, err
+			}
+			preds[i] = p
+		}
+		return preds, nil
+	}
+	preds := make([]polygraph.Prediction, 0, len(images))
+	for lo := 0; lo < len(images); lo += batchSize {
+		hi := lo + batchSize
+		if hi > len(images) {
+			hi = len(images)
+		}
+		ps, err := sys.ClassifyBatch(images[lo:hi])
+		if err != nil {
+			return nil, err
+		}
+		preds = append(preds, ps...)
+	}
+	return preds, nil
 }

@@ -1,0 +1,47 @@
+package polygraph
+
+import (
+	"testing"
+)
+
+// FuzzImageValidate throws arbitrary dimension/buffer combinations at
+// Image.Validate and cross-checks its verdict against an overflow-proof
+// reference: Validate must accept exactly the images whose dimensions are
+// positive, within the MaxImageDim bound, and whose true (unwrapped)
+// dimension product equals the buffer length. The MaxImageDim bound exists
+// because this fuzzer's ancestor found that huge dimensions could overflow
+// the product check and masquerade as a matching buffer.
+func FuzzImageValidate(f *testing.F) {
+	f.Add(1, 8, 8, 64)
+	f.Add(3, 32, 32, 3*32*32)
+	f.Add(0, 8, 8, 0)
+	f.Add(-1, 4, 4, 16)
+	f.Add(1<<30, 1<<30, 16, 0)     // product overflows int64 to 0
+	f.Add(1<<21, 1<<21, 1<<21, 64) // product overflows, dims over the bound
+	f.Fuzz(func(t *testing.T, c, h, w, n int) {
+		// Bound only the real allocation; the dimension fields stay wild.
+		if n < 0 {
+			n = -(n + 1)
+		}
+		n %= 1 << 14
+		im := Image{Channels: c, Height: h, Width: w, Pixels: make([]float64, n)}
+		err := im.Validate()
+
+		okDims := c > 0 && h > 0 && w > 0 &&
+			c <= MaxImageDim && h <= MaxImageDim && w <= MaxImageDim
+		// With each dimension at most 2^20 the product is at most 2^60, so
+		// this multiplication cannot wrap — it is the trusted reference.
+		wantOK := okDims && c*h*w == n
+
+		if (err == nil) != wantOK {
+			t.Fatalf("Validate(%dx%dx%d, %d pixels) = %v, want ok=%v", c, h, w, n, err, wantOK)
+		}
+		if err == nil {
+			// Accepted images must convert to a tensor without panicking.
+			x := im.tensor()
+			if x.Len() != n {
+				t.Fatalf("tensor length %d, want %d", x.Len(), n)
+			}
+		}
+	})
+}

@@ -148,6 +148,59 @@ func TestQuickLabelIndependentOfFreq(t *testing.T) {
 	}
 }
 
+// Property: raising Thr_Conf never increases any label's accepted-vote
+// count — the confidence gate only ever rejects more votes.
+func TestQuickConfVoteMonotonicity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		classes := 2 + rng.Intn(4)
+		rows := make([][]float64, n)
+		for i := range rows {
+			rows[i] = randDist(rng, classes)
+		}
+		c1, c2 := rng.Float64(), rng.Float64()
+		if c1 > c2 {
+			c1, c2 = c2, c1
+		}
+		lo := Decide(rows, Thresholds{Conf: c1, Freq: 1})
+		hi := Decide(rows, Thresholds{Conf: c2, Freq: 1})
+		for label, v := range hi.Votes {
+			if v > lo.Votes[label] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Reliability is deliberately NOT monotone in Thr_Conf: raising the gate can
+// break a vote tie and turn an unreliable decision reliable. This pinned
+// counterexample documents the behaviour so nobody "fixes" a property test
+// to assert the false invariant: two confident label-0 voters and two
+// borderline label-1 voters tie at a low gate (non-unique mode → unreliable)
+// but the higher gate rejects the borderline pair, leaving a unique
+// 2-vote leader that passes Thr_Freq=2.
+func TestConfReliabilityNonMonotoneCounterexample(t *testing.T) {
+	rows := [][]float64{
+		{0.90, 0.10},
+		{0.90, 0.10},
+		{0.45, 0.55},
+		{0.45, 0.55},
+	}
+	low := Decide(rows, Thresholds{Conf: 0.50, Freq: 2})
+	if low.Reliable {
+		t.Fatalf("low gate: tie should be unreliable: %+v", low)
+	}
+	high := Decide(rows, Thresholds{Conf: 0.70, Freq: 2})
+	if !high.Reliable || high.Label != 0 {
+		t.Fatalf("high gate: unique confident pair should be reliable on 0: %+v", high)
+	}
+}
+
 func randDist(rng *rand.Rand, classes int) []float64 {
 	row := make([]float64, classes)
 	sum := 0.0

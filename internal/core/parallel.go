@@ -1,0 +1,187 @@
+package core
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"repro/internal/metrics"
+	"repro/internal/tensor"
+)
+
+// This file implements the concurrent execution strategies of the system:
+// parallel member evaluation inside a single Classify (with RADE staged
+// activation preserved through speculative stages plus context-based
+// cancellation), and batched classification that fans items across a worker
+// pool with per-worker scratch arenas. Both paths produce decisions
+// identical to classifySequential — the concurrency changes wall-clock
+// time, never semantics.
+
+// workerCount resolves the effective worker-pool size for n units of work.
+func (s *System) workerCount(n int) int {
+	w := s.Workers
+	if w <= 0 {
+		w = runtime.NumCPU()
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// classifyParallel evaluates members concurrently on a bounded worker pool.
+//
+// All members are submitted in RADE priority order, so the pool starts the
+// highest-contribution networks first and speculatively runs later-stage
+// members while the decision loop is still consuming earlier results. The
+// decision loop replicates classifySequential exactly: it consumes member
+// results in priority order, stage by stage, and stops at the same member
+// the sequential engine would — speculative results beyond that point are
+// discarded and the context cancels tasks that have not started yet.
+func (s *System) classifyParallel(x *tensor.T, infer inferFn) Decision {
+	n := len(s.Members)
+	workers := s.workerCount(n)
+	if workers <= 1 || n <= 1 {
+		return s.classifySequential(x, infer)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	rows := make([][]float64, n)
+	ready := make([]chan struct{}, n)
+	for i := range ready {
+		ready[i] = make(chan struct{})
+	}
+	tasks := make(chan int)
+	// Feed member indices in priority order; stop feeding once cancelled.
+	go func() {
+		defer close(tasks)
+		for i := 0; i < n; i++ {
+			select {
+			case tasks <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		go func() {
+			for i := range tasks {
+				select {
+				case <-ctx.Done():
+					return
+				default:
+				}
+				rows[i] = infer(i, x)
+				close(ready[i])
+			}
+		}()
+	}
+
+	// Decision loop: identical staging to classifySequential, but "running
+	// a member" is waiting for its speculative result.
+	if !s.Staged {
+		all := make([][]float64, n)
+		for i := 0; i < n; i++ {
+			<-ready[i]
+			all[i] = rows[i]
+		}
+		return Decide(all, s.Th)
+	}
+
+	batch := s.Batch
+	if batch < 1 {
+		batch = 1
+	}
+	votes := make(map[int]int)
+	accepted := 0
+	var consumed [][]float64
+	active := 0
+	consume := func(k int) {
+		for ; active < k && active < n; active++ {
+			<-ready[active]
+			row := rows[active]
+			consumed = append(consumed, row)
+			pred := metrics.Argmax(row)
+			if row[pred] >= s.Th.Conf {
+				votes[pred]++
+				accepted++
+			}
+		}
+	}
+	initial := s.Th.Freq
+	if initial < 2 {
+		initial = 2
+	}
+	consume(initial)
+	decided := func() bool {
+		_, leaderVotes, unique := modalVote(votes)
+		if accepted > 0 && unique && leaderVotes >= s.Th.Freq {
+			return true
+		}
+		return leaderVotes+(n-active) < s.Th.Freq
+	}
+	for !decided() && active < n {
+		consume(active + batch)
+	}
+	return Decide(consumed, s.Th)
+}
+
+// arenaInfer returns a member execution strategy whose forward passes draw
+// every intermediate tensor from the given arena. The arena is reset after
+// each member, so the strategy makes almost no heap allocations. Not safe
+// for concurrent use — each worker owns its arena.
+func (s *System) arenaInfer(a *tensor.Arena) inferFn {
+	return func(i int, x *tensor.T) []float64 {
+		m := s.Members[i]
+		probs := m.Net.InferArena(m.Pre.Apply(x), a)
+		row := append([]float64(nil), probs.Data...)
+		a.Reset()
+		return row
+	}
+}
+
+// ClassifyBatch classifies every input and returns index-aligned decisions.
+// Items fan out across the worker pool (Workers knob, default NumCPU), and
+// each worker reuses a scratch arena across items, eliminating nearly all
+// per-inference heap allocations. Every decision is identical to what
+// Classify would return for the same input, including staged activation
+// counts.
+func (s *System) ClassifyBatch(xs []*tensor.T) []Decision {
+	out := make([]Decision, len(xs))
+	if len(xs) == 0 {
+		return out
+	}
+	workers := s.workerCount(len(xs))
+	if workers == 1 {
+		a := tensor.NewArena()
+		infer := s.arenaInfer(a)
+		for i, x := range xs {
+			out[i] = s.classifySequential(x, infer)
+		}
+		return out
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			a := tensor.NewArena()
+			infer := s.arenaInfer(a)
+			for i := range idx {
+				out[i] = s.classifySequential(xs[i], infer)
+			}
+		}()
+	}
+	for i := range xs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/model"
+	"repro/internal/tensor"
+)
+
+// tableSystem builds a System driven purely through an injected inferFn —
+// the members are placeholders, so the decision engine can be exercised on
+// synthetic softmax tables without any networks.
+func tableSystem(n int, th Thresholds, staged bool, batch, workers int) *System {
+	return &System{Members: make([]Member, n), Th: th, Staged: staged, Batch: batch, Workers: workers}
+}
+
+// tableInfer serves precomputed softmax rows. Safe for concurrent calls.
+func tableInfer(rows [][]float64) inferFn {
+	return func(i int, _ *tensor.T) []float64 {
+		return append([]float64(nil), rows[i]...)
+	}
+}
+
+// TestClassifyParallelMatchesSequential is the core equivalence property of
+// the concurrent engine: for random member outputs, thresholds, batch sizes
+// and worker counts, classifyParallel returns a Decision deeply equal to
+// classifySequential — same label, reliability, confidence, vote histogram,
+// and (critically for RADE) the same Activated count, even though the
+// parallel path runs later stages speculatively.
+func TestClassifyParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	x := tensor.New(1)
+	const cases = 2000
+	for c := 0; c < cases; c++ {
+		n := 2 + rng.Intn(7)
+		classes := 2 + rng.Intn(5)
+		rows := make([][]float64, n)
+		for i := range rows {
+			rows[i] = randDist(rng, classes)
+			// Occasionally sharpen a row so the confidence gate passes.
+			if rng.Intn(2) == 0 {
+				peak := rng.Intn(classes)
+				for j := range rows[i] {
+					rows[i][j] *= 0.2
+				}
+				rows[i][peak] += 0.8
+			}
+		}
+		th := Thresholds{Conf: rng.Float64() * 0.95, Freq: 1 + rng.Intn(n)}
+		staged := rng.Intn(4) != 0
+		batch := 1 + rng.Intn(3)
+		workers := 2 + rng.Intn(7)
+
+		seq := tableSystem(n, th, staged, batch, workers)
+		par := tableSystem(n, th, staged, batch, workers)
+		want := seq.classifySequential(x, tableInfer(rows))
+		got := par.classifyParallel(x, tableInfer(rows))
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("case %d (n=%d th=%v staged=%v batch=%d workers=%d):\nsequential %+v\nparallel   %+v",
+				c, n, th, staged, batch, workers, want, got)
+		}
+	}
+}
+
+// TestClassifyParallelSingleWorkerFallsBack checks the degenerate pool sizes
+// take the sequential path and still agree.
+func TestClassifyParallelSingleWorkerFallsBack(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	x := tensor.New(1)
+	rows := [][]float64{randDist(rng, 3), randDist(rng, 3), randDist(rng, 3)}
+	for _, workers := range []int{1, -1} {
+		seq := tableSystem(3, Thresholds{Conf: 0.2, Freq: 2}, true, 1, workers)
+		par := tableSystem(3, Thresholds{Conf: 0.2, Freq: 2}, true, 1, workers)
+		want := seq.classifySequential(x, tableInfer(rows))
+		got := par.classifyParallel(x, tableInfer(rows))
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("workers=%d: sequential %+v != parallel %+v", workers, want, got)
+		}
+	}
+}
+
+func TestWorkerCount(t *testing.T) {
+	s := &System{Workers: 4}
+	if got := s.workerCount(8); got != 4 {
+		t.Errorf("workerCount(8) with Workers=4 = %d", got)
+	}
+	if got := s.workerCount(2); got != 2 {
+		t.Errorf("workerCount clamps to work units: got %d", got)
+	}
+	s.Workers = -3
+	if got := s.workerCount(1); got != 1 {
+		t.Errorf("workerCount floor = %d, want 1", got)
+	}
+}
+
+func TestClassifyBatchEmpty(t *testing.T) {
+	s := tableSystem(2, Thresholds{Freq: 1}, false, 1, 2)
+	if out := s.ClassifyBatch(nil); len(out) != 0 {
+		t.Errorf("ClassifyBatch(nil) = %v", out)
+	}
+}
+
+// TestParallelAndBatchMatchOnRealSystem locks the equivalence down on a real
+// zoo-trained system: for every test image, the parallel Classify path and
+// the arena-backed ClassifyBatch path must reproduce the sequential decision
+// exactly — including the float64 Confidence, i.e. the arena forward pass is
+// bit-identical to the allocating one.
+func TestParallelAndBatchMatchOnRealSystem(t *testing.T) {
+	zoo := model.NewZoo(t.TempDir(), dataset.Fast)
+	b := testBenchmark("corepar")
+	variants := []model.Variant{{}, {Preproc: "FlipX"}, {Preproc: "Gamma(2)"}, {Preproc: "FlipY"}}
+	seq, err := BuildSystem(zoo, b, variants)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := BuildSystem(zoo, b, variants)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par.Parallel = true
+	par.Workers = 4
+
+	ds, _ := zoo.Dataset(b.DatasetName)
+	frames := ds.Test
+	if len(frames) > 120 {
+		frames = frames[:120]
+	}
+	xs := make([]*tensor.T, len(frames))
+	for i, s := range frames {
+		xs[i] = s.X
+	}
+
+	for _, staged := range []bool{true, false} {
+		seq.Staged, par.Staged = staged, staged
+		want := make([]Decision, len(xs))
+		for i, x := range xs {
+			want[i] = seq.Classify(x)
+		}
+		for i, x := range xs {
+			if got := par.Classify(x); !reflect.DeepEqual(want[i], got) {
+				t.Fatalf("staged=%v parallel Classify frame %d: %+v != %+v", staged, i, got, want[i])
+			}
+		}
+		for _, workers := range []int{1, 3} {
+			seq.Workers = workers
+			got := seq.ClassifyBatch(xs)
+			for i := range got {
+				if !reflect.DeepEqual(want[i], got[i]) {
+					t.Fatalf("staged=%v workers=%d ClassifyBatch frame %d: %+v != %+v",
+						staged, workers, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}

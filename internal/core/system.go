@@ -25,6 +25,13 @@ func (m Member) Infer(x *tensor.T) []float64 {
 
 // System is a runnable PolygraphMR instance: members in priority order, the
 // profiled decision thresholds, and the activation strategy.
+//
+// A System is safe for concurrent use: Classify and ClassifyBatch may be
+// called from many goroutines on a shared instance, because member forward
+// passes are read-only (see the internal/nn package contract) and the
+// engine keeps all per-call state on the stack. The exported fields are
+// configuration and must not be mutated while classifications are in
+// flight.
 type System struct {
 	// Members are in RADE priority order (highest contribution first).
 	Members []Member
@@ -36,6 +43,15 @@ type System struct {
 	// Batch is the number of members activated together per stage (models
 	// the number of available GPUs); minimum 1.
 	Batch int
+	// Parallel enables concurrent member evaluation inside Classify: member
+	// forward passes fan out across a bounded worker pool, and with Staged
+	// set, later stages run speculatively and are cancelled once the
+	// decision is determined. Decisions are identical to the sequential
+	// path (see TestClassifyParallelMatchesSequential).
+	Parallel bool
+	// Workers caps concurrent member inferences (Classify) and in-flight
+	// items (ClassifyBatch); 0 or negative selects runtime.NumCPU().
+	Workers int
 }
 
 // NewSystem assembles a system from members and thresholds.
@@ -52,15 +68,37 @@ func NewSystem(members []Member, th Thresholds) (*System, error) {
 	return &System{Members: members, Th: th, Batch: 1}, nil
 }
 
+// inferFn abstracts running member i on an input. The engine is written
+// against this seam so the sequential, parallel, and arena-backed execution
+// strategies share one set of decision semantics — and so the property
+// tests can drive the engine with synthetic softmax vectors.
+type inferFn func(member int, x *tensor.T) []float64
+
+// memberInfer is the plain (heap-allocating) member execution strategy.
+func (s *System) memberInfer(i int, x *tensor.T) []float64 {
+	return s.Members[i].Infer(x)
+}
+
 // Classify runs the system on one input image and returns the decision.
 // With Staged set, members are activated in priority order until the
 // decision is determined, and Decision.Activated reports how many ran.
+// With Parallel set, member forward passes run concurrently on a bounded
+// worker pool; the decision is identical either way.
 func (s *System) Classify(x *tensor.T) Decision {
+	if s.Parallel {
+		return s.classifyParallel(x, s.memberInfer)
+	}
+	return s.classifySequential(x, s.memberInfer)
+}
+
+// classifySequential runs members one after another on the calling
+// goroutine. It is the reference implementation of the engine semantics.
+func (s *System) classifySequential(x *tensor.T, infer inferFn) Decision {
 	n := len(s.Members)
 	if !s.Staged {
 		rows := make([][]float64, n)
-		for i, m := range s.Members {
-			rows[i] = m.Infer(x)
+		for i := range rows {
+			rows[i] = infer(i, x)
 		}
 		return Decide(rows, s.Th)
 	}
@@ -75,7 +113,7 @@ func (s *System) Classify(x *tensor.T) Decision {
 	active := 0
 	activate := func(k int) {
 		for ; active < k && active < n; active++ {
-			row := s.Members[active].Infer(x)
+			row := infer(active, x)
 			rows = append(rows, row)
 			pred := metrics.Argmax(row)
 			if row[pred] >= s.Th.Conf {

@@ -22,6 +22,10 @@ type Context struct {
 	Zoo *model.Zoo
 	GPU perf.GPU
 
+	// Workers caps the worker pool used by throughput experiments
+	// (ext-throughput); 0 selects runtime.NumCPU().
+	Workers int
+
 	// designs memoizes greedy designs per (benchmark, size).
 	designs map[string]*core.Design
 }

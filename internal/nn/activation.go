@@ -1,8 +1,6 @@
 package nn
 
 import (
-	"math"
-
 	"repro/internal/tensor"
 )
 
@@ -109,25 +107,7 @@ func (f *Flatten) Stats(in []int) Stats { return Stats{} }
 // fused softmax cross-entropy in loss.go, and inference applies Softmax to
 // the final network output.
 func Softmax(logits *tensor.T) *tensor.T {
-	out := tensor.New(logits.Shape...)
-	_, maxV := logits.MaxIndex()
-	sum := 0.0
-	for i, v := range logits.Data {
-		e := math.Exp(v - maxV)
-		out.Data[i] = e
-		sum += e
-	}
-	if sum == 0 {
-		// Degenerate logits (all -Inf); fall back to uniform.
-		u := 1.0 / float64(out.Len())
-		out.Fill(u)
-		return out
-	}
-	inv := 1.0 / sum
-	for i := range out.Data {
-		out.Data[i] *= inv
-	}
-	return out
+	return softmaxInto(tensor.New(logits.Shape...), logits)
 }
 
 // SoftmaxTemp applies temperature-scaled softmax: softmax(logits / T).

@@ -5,10 +5,14 @@
 // the softmax vector of each member CNN, so any correct trainable CNN stack
 // exercises the same code paths.
 //
-// Layers are stateful: Forward with train=true caches what Backward needs,
-// and Backward accumulates parameter gradients in place. A Network therefore
-// must not be shared across goroutines during training; inference via
-// Network.Infer is safe for concurrent use only on distinct clones.
+// Layers are stateful only during training: Forward with train=true caches
+// what Backward needs, and Backward accumulates parameter gradients in
+// place, so a Network must not be shared across goroutines while training.
+// Inference is read-only by contract: Forward with train=false (and the
+// arena path InferArena) must not mutate layer state, parameters, or the
+// input tensor, which makes Network.Infer/InferArena safe for concurrent
+// use on a single shared *Network. The race tests in internal/core exercise
+// this guarantee under -race; any new layer must preserve it.
 package nn
 
 import (

@@ -63,7 +63,7 @@ func (Rotate90) Apply(x *tensor.T) *tensor.T {
 		for y := 0; y < h; y++ {
 			for xx := 0; xx < w; xx++ {
 				// (y, x) -> (x, h-1-y)
-				out.Data[ci*h*w+xx*w+(h-1-y)] = x.Data[ci*h*w+y*w+xx]
+				out.Data[ci*h*w+xx*w+(h-1-y)] = clamp01(x.Data[ci*h*w+y*w+xx])
 			}
 		}
 	}
@@ -134,5 +134,8 @@ func (c CenterCrop) Apply(x *tensor.T) *tensor.T {
 	}
 	out := tensor.New(ch, h, w)
 	resizeBilinear(out, crop)
+	for i, v := range out.Data {
+		out.Data[i] = clamp01(v)
+	}
 	return out
 }

@@ -3,6 +3,11 @@
 // diversity between the member CNNs. The paper used OpenCV/MATLAB; these are
 // stdlib reimplementations of the same transforms operating on [C,H,W]
 // tensors with values in [0,1].
+//
+// Every preprocessor clamps its output into [0,1] (NaN sanitizes to 0), so
+// out-of-contract pixels — NaN, Inf, or out-of-range values — cannot
+// propagate into the member networks. For in-contract inputs the clamp is a
+// no-op. FuzzPreprocess locks this hardening down.
 package preprocess
 
 import (
@@ -24,8 +29,9 @@ type Preprocessor interface {
 	Apply(x *tensor.T) *tensor.T
 }
 
-// Identity passes the input through unchanged; it represents the original
-// (ORG) network in a PolygraphMR configuration.
+// Identity passes in-range input through unchanged (modulo the package-wide
+// [0,1] clamp); it represents the original (ORG) network in a PolygraphMR
+// configuration.
 type Identity struct{}
 
 var _ Preprocessor = Identity{}
@@ -34,7 +40,13 @@ var _ Preprocessor = Identity{}
 func (Identity) Name() string { return "ORG" }
 
 // Apply implements Preprocessor.
-func (Identity) Apply(x *tensor.T) *tensor.T { return x.Clone() }
+func (Identity) Apply(x *tensor.T) *tensor.T {
+	out := tensor.New(x.Shape...)
+	for i, v := range x.Data {
+		out.Data[i] = clamp01(v)
+	}
+	return out
+}
 
 // FlipX mirrors the image across the vertical axis (left-right flip).
 type FlipX struct{}
@@ -53,7 +65,7 @@ func (FlipX) Apply(x *tensor.T) *tensor.T {
 			row := x.Data[ci*h*w+y*w : ci*h*w+(y+1)*w]
 			orow := out.Data[ci*h*w+y*w : ci*h*w+(y+1)*w]
 			for i := 0; i < w; i++ {
-				orow[i] = row[w-1-i]
+				orow[i] = clamp01(row[w-1-i])
 			}
 		}
 	}
@@ -75,7 +87,10 @@ func (FlipY) Apply(x *tensor.T) *tensor.T {
 	for ci := 0; ci < c; ci++ {
 		for y := 0; y < h; y++ {
 			src := x.Data[ci*h*w+(h-1-y)*w : ci*h*w+(h-y)*w]
-			copy(out.Data[ci*h*w+y*w:ci*h*w+(y+1)*w], src)
+			dst := out.Data[ci*h*w+y*w : ci*h*w+(y+1)*w]
+			for i, v := range src {
+				dst[i] = clamp01(v)
+			}
 		}
 	}
 	return out
@@ -95,7 +110,8 @@ func (g Gamma) Name() string { return fmt.Sprintf("Gamma(%g)", g.G) }
 func (g Gamma) Apply(x *tensor.T) *tensor.T {
 	out := tensor.New(x.Shape...)
 	for i, v := range x.Data {
-		out.Data[i] = math.Pow(clamp01(v), g.G)
+		// The outer clamp guards the G<=0 and G=NaN corners (Pow(0,-1)=+Inf).
+		out.Data[i] = clamp01(math.Pow(clamp01(v), g.G))
 	}
 	return out
 }
@@ -296,7 +312,9 @@ func (ImAdj) Apply(x *tensor.T) *tensor.T {
 		hi := sorted[len(sorted)-1-len(sorted)/100]
 		span := hi - lo
 		if span < 1e-9 {
-			copy(oplane, plane)
+			for i, v := range plane {
+				oplane[i] = clamp01(v)
+			}
 			continue
 		}
 		for i, v := range plane {
@@ -329,6 +347,11 @@ func (s Scale) Apply(x *tensor.T) *tensor.T {
 	resizeBilinear(small, x)
 	out := tensor.New(c, h, w)
 	resizeBilinear(out, small)
+	// Bilinear output is a convex combination of inputs, so the clamp is a
+	// no-op for in-range images and only sanitizes out-of-contract pixels.
+	for i, v := range out.Data {
+		out.Data[i] = clamp01(v)
+	}
 	return out
 }
 
@@ -376,14 +399,17 @@ func resizeBilinear(dst, src *tensor.T) {
 	}
 }
 
+// clamp01 clamps v into [0,1]. NaN (for which every comparison is false)
+// falls through to 0, so sanitized pipelines never emit non-finite pixels
+// (found by FuzzPreprocess).
 func clamp01(v float64) float64 {
-	if v < 0 {
-		return 0
-	}
 	if v > 1 {
 		return 1
 	}
-	return v
+	if v >= 0 {
+		return v
+	}
+	return 0
 }
 
 func maxInt(a, b int) int {

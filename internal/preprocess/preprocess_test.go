@@ -85,9 +85,9 @@ func TestFlipYInvolution(t *testing.T) {
 }
 
 func TestFlipXMirrorsColumns(t *testing.T) {
-	x := tensor.FromSlice([]float64{1, 2, 3, 4, 5, 6}, 1, 2, 3)
+	x := tensor.FromSlice([]float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6}, 1, 2, 3)
 	y := FlipX{}.Apply(x)
-	want := []float64{3, 2, 1, 6, 5, 4}
+	want := []float64{0.3, 0.2, 0.1, 0.6, 0.5, 0.4}
 	for i, w := range want {
 		if y.Data[i] != w {
 			t.Fatalf("FlipX = %v, want %v", y.Data, want)
@@ -96,12 +96,26 @@ func TestFlipXMirrorsColumns(t *testing.T) {
 }
 
 func TestFlipYMirrorsRows(t *testing.T) {
-	x := tensor.FromSlice([]float64{1, 2, 3, 4, 5, 6}, 1, 2, 3)
+	x := tensor.FromSlice([]float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6}, 1, 2, 3)
 	y := FlipY{}.Apply(x)
-	want := []float64{4, 5, 6, 1, 2, 3}
+	want := []float64{0.4, 0.5, 0.6, 0.1, 0.2, 0.3}
 	for i, w := range want {
 		if y.Data[i] != w {
 			t.Fatalf("FlipY = %v, want %v", y.Data, want)
+		}
+	}
+}
+
+// Out-of-range and non-finite pixels are sanitized into [0,1] by every
+// preprocessor (the hardening FuzzPreprocess locks down).
+func TestFlipClampsOutOfRange(t *testing.T) {
+	x := tensor.FromSlice([]float64{-1, 2, math.NaN(), 0.5, math.Inf(1), math.Inf(-1)}, 1, 2, 3)
+	for _, p := range []Preprocessor{FlipX{}, FlipY{}, Identity{}} {
+		y := p.Apply(x)
+		for i, v := range y.Data {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				t.Fatalf("%s.Data[%d] = %v, want in [0,1]", p.Name(), i, v)
+			}
 		}
 	}
 }

@@ -48,6 +48,15 @@ type Classifier interface {
 	Classify(x *tensor.T) core.Decision
 }
 
+// BatchClassifier is a classifier that can process many frames per call —
+// satisfied by *core.System, whose ClassifyBatch fans frames across a
+// worker pool with per-worker scratch reuse. The processor uses this
+// interface when Config.Batch > 1.
+type BatchClassifier interface {
+	Classifier
+	ClassifyBatch(xs []*tensor.T) []core.Decision
+}
+
 // Config parameterizes the stream processor.
 type Config struct {
 	// Window is the sliding-window length for temporal smoothing;
@@ -56,6 +65,12 @@ type Config struct {
 	// Budget is the per-frame latency budget; 0 disables deadline
 	// accounting.
 	Budget time.Duration
+	// Batch, when > 1 and the classifier implements BatchClassifier,
+	// drains the source in groups of Batch frames per classifier call —
+	// the throughput mode. Per-frame latency is then the batch wall-clock
+	// divided by the batch size. Smoothing and statistics are identical to
+	// frame-at-a-time processing.
+	Batch int
 	// now is injectable for tests.
 	now func() time.Time
 }
@@ -118,8 +133,14 @@ func NewProcessor(sys Classifier, cfg Config) (*Processor, error) {
 func (p *Processor) Reset() { p.window = p.window[:0] }
 
 // Process consumes the source, invoking handle (if non-nil) per frame, and
-// returns aggregate statistics.
+// returns aggregate statistics. With Config.Batch > 1 and a classifier
+// implementing BatchClassifier, frames are classified in batches.
 func (p *Processor) Process(src Source, handle func(Frame)) Stats {
+	if p.cfg.Batch > 1 {
+		if bc, ok := p.sys.(BatchClassifier); ok {
+			return p.processBatched(bc, src, handle)
+		}
+	}
 	var stats Stats
 	totalActivated := 0
 	for {
@@ -130,43 +151,86 @@ func (p *Processor) Process(src Source, handle func(Frame)) Stats {
 		start := p.cfg.now()
 		d := p.sys.Classify(x)
 		latency := p.cfg.now().Sub(start)
+		p.emit(d, latency, &stats, &totalActivated, handle)
+	}
+	finalize(&stats, totalActivated)
+	return stats
+}
 
-		p.window = append(p.window, d)
-		if len(p.window) > p.cfg.Window {
-			p.window = p.window[1:]
+// processBatched drains the source Config.Batch frames at a time. Decisions
+// and smoothing are identical to frame-at-a-time processing; the measured
+// latency of each frame is its batch's wall-clock divided by the batch
+// size (the steady-state per-frame cost of the pipelined deployment).
+func (p *Processor) processBatched(bc BatchClassifier, src Source, handle func(Frame)) Stats {
+	var stats Stats
+	totalActivated := 0
+	buf := make([]*tensor.T, 0, p.cfg.Batch)
+	for {
+		buf = buf[:0]
+		for len(buf) < p.cfg.Batch {
+			x, ok := src.Next()
+			if !ok {
+				break
+			}
+			buf = append(buf, x)
 		}
-		smoothedLabel, smoothedReliable := p.smooth(d)
-
-		f := Frame{
-			Index:            stats.Frames,
-			Decision:         d,
-			SmoothedLabel:    smoothedLabel,
-			SmoothedReliable: smoothedReliable,
-			Latency:          latency,
+		if len(buf) == 0 {
+			break
 		}
-		if p.cfg.Budget > 0 && latency > p.cfg.Budget {
-			f.DeadlineMiss = true
-			stats.DeadlineMisses++
+		start := p.cfg.now()
+		ds := bc.ClassifyBatch(buf)
+		perFrame := p.cfg.now().Sub(start) / time.Duration(len(buf))
+		for _, d := range ds {
+			p.emit(d, perFrame, &stats, &totalActivated, handle)
 		}
-		stats.Frames++
-		if d.Reliable {
-			stats.Reliable++
-		}
-		if smoothedReliable {
-			stats.SmoothedReliable++
-		}
-		totalActivated += d.Activated
-		if latency > stats.MaxLatency {
-			stats.MaxLatency = latency
-		}
-		if handle != nil {
-			handle(f)
+		if len(buf) < p.cfg.Batch {
+			break // source exhausted mid-batch
 		}
 	}
+	finalize(&stats, totalActivated)
+	return stats
+}
+
+// emit applies smoothing, deadline accounting and statistics for one
+// decision — the per-frame bookkeeping shared by both processing modes.
+func (p *Processor) emit(d core.Decision, latency time.Duration, stats *Stats, totalActivated *int, handle func(Frame)) {
+	p.window = append(p.window, d)
+	if len(p.window) > p.cfg.Window {
+		p.window = p.window[1:]
+	}
+	smoothedLabel, smoothedReliable := p.smooth(d)
+
+	f := Frame{
+		Index:            stats.Frames,
+		Decision:         d,
+		SmoothedLabel:    smoothedLabel,
+		SmoothedReliable: smoothedReliable,
+		Latency:          latency,
+	}
+	if p.cfg.Budget > 0 && latency > p.cfg.Budget {
+		f.DeadlineMiss = true
+		stats.DeadlineMisses++
+	}
+	stats.Frames++
+	if d.Reliable {
+		stats.Reliable++
+	}
+	if smoothedReliable {
+		stats.SmoothedReliable++
+	}
+	*totalActivated += d.Activated
+	if latency > stats.MaxLatency {
+		stats.MaxLatency = latency
+	}
+	if handle != nil {
+		handle(f)
+	}
+}
+
+func finalize(stats *Stats, totalActivated int) {
 	if stats.Frames > 0 {
 		stats.MeanActivated = float64(totalActivated) / float64(stats.Frames)
 	}
-	return stats
 }
 
 // smooth computes the windowed label: the modal label among reliable

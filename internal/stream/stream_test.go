@@ -198,3 +198,72 @@ func TestResetClearsWindow(t *testing.T) {
 		t.Error("window survived Reset")
 	}
 }
+
+// scriptedBatch is a BatchClassifier whose batch path reuses the scripted
+// per-frame decisions, recording the batch sizes it was handed.
+type scriptedBatch struct {
+	scripted
+	batches []int
+}
+
+func (s *scriptedBatch) ClassifyBatch(xs []*tensor.T) []core.Decision {
+	s.batches = append(s.batches, len(xs))
+	out := make([]core.Decision, len(xs))
+	for i := range xs {
+		out[i] = s.Classify(xs[i])
+	}
+	return out
+}
+
+// TestBatchedMatchesFrameAtATime checks the throughput mode changes only
+// latency accounting: decisions, smoothing, and aggregate statistics must be
+// identical to frame-at-a-time processing, with the source drained in
+// Config.Batch-sized chunks (trailing partial batch included).
+func TestBatchedMatchesFrameAtATime(t *testing.T) {
+	script := []core.Decision{rel(1), rel(1), unrel(2), rel(3), unrel(1), rel(1), rel(2)}
+	plain, err := NewProcessor(&scripted{decisions: script}, Config{Window: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []Frame
+	plainStats := plain.Process(&SliceSource{Frames: frames(7)}, func(f Frame) { want = append(want, f) })
+
+	bc := &scriptedBatch{scripted: scripted{decisions: script}}
+	batched, err := NewProcessor(bc, Config{Window: 3, Batch: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Frame
+	gotStats := batched.Process(&SliceSource{Frames: frames(7)}, func(f Frame) { got = append(got, f) })
+
+	if len(got) != len(want) {
+		t.Fatalf("frames = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		w, g := want[i], got[i]
+		if g.Index != w.Index || g.Decision.Label != w.Decision.Label ||
+			g.SmoothedLabel != w.SmoothedLabel || g.SmoothedReliable != w.SmoothedReliable {
+			t.Errorf("frame %d: batched %+v != plain %+v", i, g, w)
+		}
+	}
+	plainStats.MaxLatency, gotStats.MaxLatency = 0, 0 // wall-clock, not comparable
+	if plainStats != gotStats {
+		t.Errorf("stats: batched %+v != plain %+v", gotStats, plainStats)
+	}
+	if len(bc.batches) != 3 || bc.batches[0] != 3 || bc.batches[1] != 3 || bc.batches[2] != 1 {
+		t.Errorf("batch sizes = %v, want [3 3 1]", bc.batches)
+	}
+}
+
+// TestBatchConfigFallsBackWithoutBatchClassifier ensures a plain Classifier
+// still works when Batch is set.
+func TestBatchConfigFallsBackWithoutBatchClassifier(t *testing.T) {
+	p, err := NewProcessor(&scripted{decisions: []core.Decision{rel(1)}}, Config{Batch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := p.Process(&SliceSource{Frames: frames(5)}, nil)
+	if stats.Frames != 5 || stats.Reliable != 5 {
+		t.Errorf("fallback stats %+v", stats)
+	}
+}

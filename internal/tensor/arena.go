@@ -1,0 +1,63 @@
+package tensor
+
+// Arena is a size-bucketed tensor allocator for inference scratch reuse.
+// Forward passes allocate many short-lived intermediate tensors; drawing
+// them from an arena and recycling the buffers between inferences removes
+// nearly all per-call heap allocations on the hot path (see
+// nn.Network.InferArena and core.System.ClassifyBatch).
+//
+// An Arena is NOT safe for concurrent use: each worker goroutine must own
+// its own instance. Tensors returned by New remain valid until the next
+// Reset, after which their buffers may be handed out again.
+type Arena struct {
+	// free buckets recycled buffers by element count.
+	free map[int][]*T
+	// used tracks tensors handed out since the last Reset.
+	used []*T
+}
+
+// NewArena returns an empty arena.
+func NewArena() *Arena {
+	return &Arena{free: make(map[int][]*T)}
+}
+
+// New returns a zero-filled tensor with the given shape, reusing a recycled
+// buffer of matching size when one is available. Like tensor.New it panics
+// on negative dimensions.
+func (a *Arena) New(shape ...int) *T {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic("tensor: negative dimension in arena shape")
+		}
+		n *= d
+	}
+	bucket := a.free[n]
+	if len(bucket) == 0 {
+		t := New(shape...)
+		a.used = append(a.used, t)
+		return t
+	}
+	t := bucket[len(bucket)-1]
+	bucket[len(bucket)-1] = nil
+	a.free[n] = bucket[:len(bucket)-1]
+	t.Shape = append(t.Shape[:0], shape...)
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+	a.used = append(a.used, t)
+	return t
+}
+
+// Reset recycles every tensor handed out since the previous Reset. The
+// caller must not use those tensors (or views of them) afterwards.
+func (a *Arena) Reset() {
+	for i, t := range a.used {
+		a.free[len(t.Data)] = append(a.free[len(t.Data)], t)
+		a.used[i] = nil
+	}
+	a.used = a.used[:0]
+}
+
+// Live returns the number of tensors handed out since the last Reset.
+func (a *Arena) Live() int { return len(a.used) }

@@ -1,0 +1,68 @@
+package tensor
+
+import "testing"
+
+func TestArenaReuseAndZeroing(t *testing.T) {
+	a := NewArena()
+	x := a.New(2, 3)
+	if x.Len() != 6 || x.Rank() != 2 {
+		t.Fatalf("arena tensor shape %v len %d", x.Shape, x.Len())
+	}
+	for i := range x.Data {
+		x.Data[i] = float64(i + 1)
+	}
+	if a.Live() != 1 {
+		t.Fatalf("Live = %d, want 1", a.Live())
+	}
+	a.Reset()
+	if a.Live() != 0 {
+		t.Fatalf("Live after Reset = %d", a.Live())
+	}
+
+	// Same element count, different shape: buffer is reused and zeroed.
+	y := a.New(6)
+	if &y.Data[0] != &x.Data[0] {
+		t.Error("arena did not reuse the recycled buffer")
+	}
+	if y.Rank() != 1 || y.Dim(0) != 6 {
+		t.Errorf("reused tensor shape %v, want [6]", y.Shape)
+	}
+	for i, v := range y.Data {
+		if v != 0 {
+			t.Fatalf("reused buffer not zeroed at %d: %v", i, v)
+		}
+	}
+
+	// A second New of the same size must hand out a distinct buffer.
+	z := a.New(6)
+	if &z.Data[0] == &y.Data[0] {
+		t.Error("arena handed the same live buffer out twice")
+	}
+	if a.Live() != 2 {
+		t.Errorf("Live = %d, want 2", a.Live())
+	}
+}
+
+func TestArenaDistinctSizes(t *testing.T) {
+	a := NewArena()
+	small := a.New(4)
+	big := a.New(16)
+	a.Reset()
+	// Requesting the small size again must not return the big buffer.
+	s2 := a.New(4)
+	if &s2.Data[0] == &big.Data[0] {
+		t.Error("size buckets mixed up")
+	}
+	if &s2.Data[0] != &small.Data[0] {
+		t.Error("small bucket not reused")
+	}
+}
+
+func TestArenaNegativeDimPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative dimension did not panic")
+		}
+	}()
+	NewArena().New(2, -1)
+}

@@ -36,10 +36,21 @@ type Image struct {
 	Pixels []float64
 }
 
+// MaxImageDim bounds each image dimension accepted by Validate. The bound
+// keeps the pixel-count product far from integer overflow (2^20 per
+// dimension → at most 2^60 total), so oversized dimensions cannot wrap
+// around and masquerade as a matching buffer length (found by
+// FuzzImageValidate).
+const MaxImageDim = 1 << 20
+
 // Validate reports an error when the dimensions and buffer disagree.
 func (im Image) Validate() error {
 	if im.Channels <= 0 || im.Height <= 0 || im.Width <= 0 {
 		return fmt.Errorf("polygraph: non-positive image dimensions %dx%dx%d", im.Channels, im.Height, im.Width)
+	}
+	if im.Channels > MaxImageDim || im.Height > MaxImageDim || im.Width > MaxImageDim {
+		return fmt.Errorf("polygraph: image dimensions %dx%dx%d exceed the %d per-dimension limit",
+			im.Channels, im.Height, im.Width, MaxImageDim)
 	}
 	if len(im.Pixels) != im.Channels*im.Height*im.Width {
 		return fmt.Errorf("polygraph: image buffer has %d pixels, want %d",
@@ -80,6 +91,16 @@ type Options struct {
 	// PrecisionBits, when in [10, 31], applies RAMR reduced-precision
 	// simulation to every member. 0 or 32 means full precision.
 	PrecisionBits int
+	// Parallel enables concurrent member evaluation inside Classify: member
+	// forward passes fan out across a bounded worker pool, with staged
+	// activation preserved through speculative stages that are cancelled
+	// once the decision is determined. Decisions are identical to the
+	// sequential path. ClassifyBatch always uses the pool regardless of
+	// this flag.
+	Parallel bool
+	// Workers caps concurrent member inferences (Classify with Parallel)
+	// and in-flight images (ClassifyBatch). 0 selects runtime.NumCPU().
+	Workers int
 	// FPBudget, when positive, selects decision thresholds that maximize
 	// answered correct predictions subject to the undetected-misprediction
 	// rate staying at or below this fraction (the paper's §III-E FP-limit
@@ -158,6 +179,8 @@ func Build(benchmark string, opts Options) (*System, error) {
 	if opts.GPUs > 0 {
 		sys.Batch = opts.GPUs
 	}
+	sys.Parallel = opts.Parallel
+	sys.Workers = opts.Workers
 	if opts.PrecisionBits != 0 && opts.PrecisionBits != 32 {
 		f := precision.FromBits(opts.PrecisionBits)
 		for _, m := range sys.Members {
@@ -182,22 +205,56 @@ func defaultCandidates() []model.Variant {
 	return vs
 }
 
-// Classify runs the system on one image.
-func (s *System) Classify(im Image) (Prediction, error) {
+// checkImage validates one input against the benchmark's expected shape.
+func (s *System) checkImage(im Image) error {
 	if err := im.Validate(); err != nil {
-		return Prediction{}, err
+		return err
 	}
 	if im.Channels != s.inShape[0] || im.Height != s.inShape[1] || im.Width != s.inShape[2] {
-		return Prediction{}, fmt.Errorf("polygraph: image %dx%dx%d does not match benchmark input %v",
+		return fmt.Errorf("polygraph: image %dx%dx%d does not match benchmark input %v",
 			im.Channels, im.Height, im.Width, s.inShape)
 	}
-	d := s.sys.Classify(im.tensor())
+	return nil
+}
+
+func prediction(d core.Decision) Prediction {
 	return Prediction{
 		Label:      d.Label,
 		Reliable:   d.Reliable,
 		Confidence: d.Confidence,
 		Activated:  d.Activated,
-	}, nil
+	}
+}
+
+// Classify runs the system on one image. It is safe to call concurrently
+// from many goroutines on a shared System.
+func (s *System) Classify(im Image) (Prediction, error) {
+	if err := s.checkImage(im); err != nil {
+		return Prediction{}, err
+	}
+	return prediction(s.sys.Classify(im.tensor())), nil
+}
+
+// ClassifyBatch classifies every image and returns index-aligned
+// predictions — the throughput mode of the system. Images fan out across a
+// bounded worker pool (Options.Workers, default NumCPU) and each worker
+// reuses inference scratch buffers, so the batch path is both parallel and
+// allocation-light. Each prediction is identical to what Classify would
+// return for the same image.
+func (s *System) ClassifyBatch(images []Image) ([]Prediction, error) {
+	xs := make([]*tensor.T, len(images))
+	for i, im := range images {
+		if err := s.checkImage(im); err != nil {
+			return nil, fmt.Errorf("polygraph: image %d: %w", i, err)
+		}
+		xs[i] = im.tensor()
+	}
+	ds := s.sys.ClassifyBatch(xs)
+	preds := make([]Prediction, len(ds))
+	for i, d := range ds {
+		preds[i] = prediction(d)
+	}
+	return preds, nil
 }
 
 // Members returns the member names in activation-priority order, e.g.
