@@ -1,4 +1,8 @@
-package polygraph
+// The external test package breaks the import cycle that would otherwise
+// form through internal/experiments: the serving experiment imports the root
+// package (via internal/server), so the benchmark harness cannot live inside
+// package polygraph itself.
+package polygraph_test
 
 // The benchmark harness regenerates every table and figure of the paper's
 // evaluation (DESIGN.md §3 maps ids to modules). Each benchmark runs the
@@ -134,3 +138,7 @@ func BenchmarkExtOutOfDistribution(b *testing.B) { benchExperiment(b, "ext-ood")
 // the sequential, parallel, and batched execution strategies (extension;
 // paper §IV cost containment).
 func BenchmarkExtThroughput(b *testing.B) { benchExperiment(b, "ext-throughput") }
+
+// BenchmarkExtServing runs the HTTP serving throughput/latency study over
+// the dynamic-batching server (extension; paper §IV-C latency budget).
+func BenchmarkExtServing(b *testing.B) { benchExperiment(b, "ext-serving") }

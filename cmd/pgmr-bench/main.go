@@ -47,6 +47,19 @@ func main() {
 	if len(args) == 1 && args[0] == "all" {
 		args = experiments.IDs()
 	}
+	// Unknown ids are usage errors: catch them before any experiment runs
+	// rather than hours into a multi-id invocation.
+	known := make(map[string]bool)
+	for _, id := range experiments.IDs() {
+		known[id] = true
+	}
+	for _, id := range args {
+		if !known[id] {
+			fmt.Fprintf(os.Stderr, "pgmr-bench: unknown experiment %q\n", id)
+			flag.Usage()
+			os.Exit(2)
+		}
+	}
 
 	ctx := experiments.NewContext()
 	ctx.Workers = *workers

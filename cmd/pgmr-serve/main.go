@@ -1,0 +1,169 @@
+// Command pgmr-serve runs the PolygraphMR HTTP serving subsystem: it builds
+// (or loads from the zoo cache) a system for one benchmark and serves the
+// classify API with dynamic batching, admission control and /metrics.
+//
+// Usage:
+//
+//	pgmr-serve -benchmark convnet -addr :8080
+//	pgmr-serve -benchmark convnet -batch-window 2ms -max-batch 32 -queue 512
+//	pgmr-serve -benchmark convnet -loadtest -clients 16 -requests 500
+//
+// In serving mode the process runs until SIGINT/SIGTERM, then drains
+// gracefully: readiness flips to 503, new classify requests are refused,
+// in-flight requests finish, and the process exits. In -loadtest mode the
+// server is stood up in-process on a loopback port, driven by closed-loop
+// concurrent clients, and the throughput/latency summary is printed.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro"
+	"repro/internal/server"
+	"repro/internal/server/telemetry"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address for serving mode")
+	benchmark := flag.String("benchmark", "convnet", "benchmark name (see pgmr -h)")
+	members := flag.Int("members", 4, "number of member networks (2-8)")
+	bits := flag.Int("bits", 0, "RAMR precision bits (0 = full precision)")
+	noStage := flag.Bool("no-stage", false, "disable RADE staged activation")
+	workers := flag.Int("workers", 0, "worker-pool size inside ClassifyBatch (0 = NumCPU)")
+	batchWindow := flag.Duration("batch-window", 5*time.Millisecond, "how long the batcher waits to coalesce images after the first")
+	maxBatch := flag.Int("max-batch", 64, "max images per backend batch")
+	queue := flag.Int("queue", 256, "admission queue depth in images (429 beyond it)")
+	deadline := flag.Duration("deadline", 30*time.Second, "default per-request deadline when the request carries no timeout_ms")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long graceful shutdown waits for in-flight requests")
+	quiet := flag.Bool("quiet", false, "suppress training progress output")
+
+	loadtest := flag.Bool("loadtest", false, "run an in-process load test instead of serving")
+	clients := flag.Int("clients", 8, "loadtest: closed-loop client goroutines")
+	requests := flag.Int("requests", 200, "loadtest: total requests to send")
+	perRequest := flag.Int("images-per-request", 1, "loadtest: images per request")
+	pool := flag.Int("n", 64, "loadtest: size of the rotating image pool")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "pgmr-serve: unexpected arguments: %v\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	sys, err := polygraph.Build(*benchmark, polygraph.Options{
+		Members:       *members,
+		PrecisionBits: *bits,
+		DisableStaged: *noStage,
+		Workers:       *workers,
+		Quiet:         *quiet,
+		Progress:      func(f string, a ...any) { fmt.Fprintf(os.Stderr, "# "+f+"\n", a...) },
+	})
+	if err != nil {
+		fatalf("building system: %v", err)
+	}
+	conf, freq := sys.Thresholds()
+	fmt.Fprintf(os.Stderr, "# system ready: %s members=%d Thr_Conf=%.2f Thr_Freq=%d\n",
+		*benchmark, *members, conf, freq)
+
+	metrics := telemetry.NewMetrics(*members)
+	srv, err := server.New(server.Config{
+		Backend:         sys,
+		BatchWindow:     *batchWindow,
+		MaxBatch:        *maxBatch,
+		QueueDepth:      *queue,
+		DefaultDeadline: *deadline,
+		Metrics:         metrics,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	if *loadtest {
+		runLoadtest(srv, metrics, *benchmark, *pool, *clients, *requests, *perRequest)
+		return
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "# serving on http://%s (POST /v1/classify; /healthz /readyz /metrics)\n", ln.Addr())
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "# %s: draining (in-flight requests finish, new ones are refused)\n", sig)
+	case err := <-errc:
+		fatalf("%v", err)
+	}
+
+	// Graceful drain: refuse new classify work first, then stop accepting
+	// connections, then wait out the in-flight requests and the batcher.
+	srv.BeginDrain()
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		fatalf("shutdown: %v", err)
+	}
+	if err := srv.Drain(ctx); err != nil {
+		fatalf("drain: %v", err)
+	}
+	fmt.Fprintln(os.Stderr, "# drained cleanly")
+}
+
+// runLoadtest serves on a loopback port and drives the server in-process.
+func runLoadtest(srv *server.Server, metrics *telemetry.Metrics, benchmark string, pool, clients, requests, perRequest int) {
+	images, _, err := polygraph.TestImages(benchmark, pool)
+	if err != nil {
+		fatalf("loading test images: %v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fatalf("%v", err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+
+	res, err := server.RunLoad(context.Background(), server.LoadConfig{
+		URL:              "http://" + ln.Addr().String(),
+		Images:           images,
+		Concurrency:      clients,
+		Requests:         requests,
+		ImagesPerRequest: perRequest,
+	})
+	if err != nil {
+		fatalf("loadtest: %v", err)
+	}
+	fmt.Println(res)
+	fmt.Printf("batcher: %d batches over %d images, %d coalesced; decisions: %d reliable / %d escalated\n",
+		metrics.Batches.Value(), metrics.Images.Value(), metrics.Coalesced.Value(),
+		metrics.Reliable.Value(), metrics.Escalated.Value())
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		fatalf("shutdown: %v", err)
+	}
+	if err := srv.Drain(ctx); err != nil {
+		fatalf("drain: %v", err)
+	}
+	if res.Failed > 0 {
+		fatalf("loadtest: %d requests failed", res.Failed)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "pgmr-serve: "+format+"\n", args...)
+	os.Exit(1)
+}

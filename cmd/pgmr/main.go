@@ -31,6 +31,11 @@ func main() {
 	batch := flag.Int("batch", 0, "classify images in batches of this size (throughput mode; 0 = one at a time)")
 	verbose := flag.Bool("v", false, "print one line per image")
 	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "pgmr: unexpected arguments: %v\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	sys, err := polygraph.Build(*benchmark, polygraph.Options{
 		Members:       *members,

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/tensor"
+)
+
+// TestClassifyContextMatchesClassify checks the context variants are exact
+// aliases of the plain calls under a never-done context, on a real (shared
+// network) system and on both execution strategies.
+func TestClassifyContextMatchesClassify(t *testing.T) {
+	sys, xs := raceFixture(t)
+	for _, parallel := range []bool{false, true} {
+		sys.Parallel = parallel
+		sys.Workers = 4
+		for i, x := range xs {
+			want := sys.Classify(x)
+			got, err := sys.ClassifyContext(context.Background(), x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Errorf("parallel=%v frame %d: %+v != %+v", parallel, i, got, want)
+			}
+		}
+	}
+	sys.Parallel = false
+	want := sys.ClassifyBatch(xs)
+	got, err := sys.ClassifyBatchContext(context.Background(), xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("ClassifyBatchContext diverges from ClassifyBatch")
+	}
+}
+
+// TestClassifyContextCancelled checks a pre-cancelled context aborts before
+// any member runs, on both execution strategies.
+func TestClassifyContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	x := tensor.New(1)
+	ran := 0
+	infer := func(i int, _ *tensor.T) []float64 {
+		ran++
+		return []float64{1, 0}
+	}
+	s := tableSystem(3, Thresholds{Conf: 0.5, Freq: 2}, true, 1, 3)
+	if _, err := s.classifySequential(ctx, x, infer); !errors.Is(err, context.Canceled) {
+		t.Errorf("sequential err = %v, want context.Canceled", err)
+	}
+	if ran != 0 {
+		t.Errorf("sequential ran %d members under a cancelled context", ran)
+	}
+	if _, err := s.classifyParallel(ctx, x, tableInfer([][]float64{{1, 0}, {1, 0}, {1, 0}})); !errors.Is(err, context.Canceled) {
+		t.Errorf("parallel err = %v, want context.Canceled", err)
+	}
+}
+
+// TestClassifyParallelDeadlineAborts checks the parallel wait arm: member
+// inferences that never finish must not hang ClassifyContext past its
+// deadline.
+func TestClassifyParallelDeadlineAborts(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	blocked := func(i int, _ *tensor.T) []float64 {
+		<-release
+		return []float64{1, 0}
+	}
+	s := tableSystem(3, Thresholds{Conf: 0.5, Freq: 2}, true, 1, 3)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.classifyParallel(ctx, tensor.New(1), blocked)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Errorf("err = %v, want context.DeadlineExceeded", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("classifyParallel did not honor the deadline")
+	}
+}
+
+// TestClassifyBatchContextCancelled checks batch classification reports the
+// abort instead of returning partial results.
+func TestClassifyBatchContextCancelled(t *testing.T) {
+	s := tableSystem(2, Thresholds{Conf: 0, Freq: 1}, false, 1, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	xs := []*tensor.T{tensor.New(1), tensor.New(1), tensor.New(1)}
+	if out, err := s.ClassifyBatchContext(ctx, xs); !errors.Is(err, context.Canceled) || out != nil {
+		t.Errorf("ClassifyBatchContext = %v, %v; want nil, context.Canceled", out, err)
+	}
+	// Empty input returns successfully even under a cancelled context —
+	// there is no work to abort.
+	if out, err := s.ClassifyBatchContext(ctx, nil); err != nil || len(out) != 0 {
+		t.Errorf("empty batch = %v, %v; want [], nil", out, err)
+	}
+}

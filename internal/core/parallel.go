@@ -41,14 +41,18 @@ func (s *System) workerCount(n int) int {
 // results in priority order, stage by stage, and stops at the same member
 // the sequential engine would — speculative results beyond that point are
 // discarded and the context cancels tasks that have not started yet.
-func (s *System) classifyParallel(x *tensor.T, infer inferFn) Decision {
+//
+// The parent context doubles as the caller's deadline: when it is done
+// before the decision is determined, the wait aborts, pending tasks are
+// cancelled, and ctx.Err() is returned.
+func (s *System) classifyParallel(parent context.Context, x *tensor.T, infer inferFn) (Decision, error) {
 	n := len(s.Members)
 	workers := s.workerCount(n)
 	if workers <= 1 || n <= 1 {
-		return s.classifySequential(x, infer)
+		return s.classifySequential(parent, x, infer)
 	}
 
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := context.WithCancel(parent)
 	defer cancel()
 
 	rows := make([][]float64, n)
@@ -81,16 +85,29 @@ func (s *System) classifyParallel(x *tensor.T, infer inferFn) Decision {
 			}
 		}()
 	}
+	// wait blocks until member i's speculative result is ready, aborting
+	// when the context is done (a worker that skipped the task after
+	// cancellation never closes ready[i], so the ctx arm is load-bearing).
+	wait := func(i int) error {
+		select {
+		case <-ready[i]:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
 
 	// Decision loop: identical staging to classifySequential, but "running
 	// a member" is waiting for its speculative result.
 	if !s.Staged {
 		all := make([][]float64, n)
 		for i := 0; i < n; i++ {
-			<-ready[i]
+			if err := wait(i); err != nil {
+				return Decision{}, err
+			}
 			all[i] = rows[i]
 		}
-		return Decide(all, s.Th)
+		return Decide(all, s.Th), nil
 	}
 
 	batch := s.Batch
@@ -101,9 +118,11 @@ func (s *System) classifyParallel(x *tensor.T, infer inferFn) Decision {
 	accepted := 0
 	var consumed [][]float64
 	active := 0
-	consume := func(k int) {
+	consume := func(k int) error {
 		for ; active < k && active < n; active++ {
-			<-ready[active]
+			if err := wait(active); err != nil {
+				return err
+			}
 			row := rows[active]
 			consumed = append(consumed, row)
 			pred := metrics.Argmax(row)
@@ -112,12 +131,15 @@ func (s *System) classifyParallel(x *tensor.T, infer inferFn) Decision {
 				accepted++
 			}
 		}
+		return nil
 	}
 	initial := s.Th.Freq
 	if initial < 2 {
 		initial = 2
 	}
-	consume(initial)
+	if err := consume(initial); err != nil {
+		return Decision{}, err
+	}
 	decided := func() bool {
 		_, leaderVotes, unique := modalVote(votes)
 		if accepted > 0 && unique && leaderVotes >= s.Th.Freq {
@@ -126,9 +148,11 @@ func (s *System) classifyParallel(x *tensor.T, infer inferFn) Decision {
 		return leaderVotes+(n-active) < s.Th.Freq
 	}
 	for !decided() && active < n {
-		consume(active + batch)
+		if err := consume(active + batch); err != nil {
+			return Decision{}, err
+		}
 	}
-	return Decide(consumed, s.Th)
+	return Decide(consumed, s.Th), nil
 }
 
 // arenaInfer returns a member execution strategy whose forward passes draw
@@ -152,18 +176,32 @@ func (s *System) arenaInfer(a *tensor.Arena) inferFn {
 // Classify would return for the same input, including staged activation
 // counts.
 func (s *System) ClassifyBatch(xs []*tensor.T) []Decision {
+	out, _ := s.ClassifyBatchContext(context.Background(), xs)
+	return out
+}
+
+// ClassifyBatchContext is ClassifyBatch with cooperative cancellation: when
+// the context is done before every item has been classified, feeding stops,
+// workers abandon their remaining items, and ctx.Err() is returned with a
+// nil slice. With a never-done context it behaves exactly like
+// ClassifyBatch.
+func (s *System) ClassifyBatchContext(ctx context.Context, xs []*tensor.T) ([]Decision, error) {
 	out := make([]Decision, len(xs))
 	if len(xs) == 0 {
-		return out
+		return out, nil
 	}
 	workers := s.workerCount(len(xs))
 	if workers == 1 {
 		a := tensor.NewArena()
 		infer := s.arenaInfer(a)
 		for i, x := range xs {
-			out[i] = s.classifySequential(x, infer)
+			d, err := s.classifySequential(ctx, x, infer)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = d
 		}
-		return out
+		return out, nil
 	}
 	idx := make(chan int)
 	var wg sync.WaitGroup
@@ -174,14 +212,25 @@ func (s *System) ClassifyBatch(xs []*tensor.T) []Decision {
 			a := tensor.NewArena()
 			infer := s.arenaInfer(a)
 			for i := range idx {
-				out[i] = s.classifySequential(xs[i], infer)
+				// classifySequential only fails when ctx is done, in which
+				// case the final ctx.Err() check reports the abort; the
+				// zero Decision left behind is never returned.
+				out[i], _ = s.classifySequential(ctx, xs[i], infer)
 			}
 		}()
 	}
+feed:
 	for i := range xs {
-		idx <- i
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(idx)
 	wg.Wait()
-	return out
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -56,8 +57,11 @@ func TestClassifyParallelMatchesSequential(t *testing.T) {
 
 		seq := tableSystem(n, th, staged, batch, workers)
 		par := tableSystem(n, th, staged, batch, workers)
-		want := seq.classifySequential(x, tableInfer(rows))
-		got := par.classifyParallel(x, tableInfer(rows))
+		want, werr := seq.classifySequential(context.Background(), x, tableInfer(rows))
+		got, gerr := par.classifyParallel(context.Background(), x, tableInfer(rows))
+		if werr != nil || gerr != nil {
+			t.Fatalf("case %d: unexpected errors %v / %v", c, werr, gerr)
+		}
 		if !reflect.DeepEqual(want, got) {
 			t.Fatalf("case %d (n=%d th=%v staged=%v batch=%d workers=%d):\nsequential %+v\nparallel   %+v",
 				c, n, th, staged, batch, workers, want, got)
@@ -74,8 +78,8 @@ func TestClassifyParallelSingleWorkerFallsBack(t *testing.T) {
 	for _, workers := range []int{1, -1} {
 		seq := tableSystem(3, Thresholds{Conf: 0.2, Freq: 2}, true, 1, workers)
 		par := tableSystem(3, Thresholds{Conf: 0.2, Freq: 2}, true, 1, workers)
-		want := seq.classifySequential(x, tableInfer(rows))
-		got := par.classifyParallel(x, tableInfer(rows))
+		want, _ := seq.classifySequential(context.Background(), x, tableInfer(rows))
+		got, _ := par.classifyParallel(context.Background(), x, tableInfer(rows))
 		if !reflect.DeepEqual(want, got) {
 			t.Errorf("workers=%d: sequential %+v != parallel %+v", workers, want, got)
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/metrics"
@@ -85,22 +86,36 @@ func (s *System) memberInfer(i int, x *tensor.T) []float64 {
 // With Parallel set, member forward passes run concurrently on a bounded
 // worker pool; the decision is identical either way.
 func (s *System) Classify(x *tensor.T) Decision {
+	d, _ := s.ClassifyContext(context.Background(), x)
+	return d
+}
+
+// ClassifyContext is Classify with cooperative cancellation: the engine
+// checks the context between member activations (sequential path) and
+// aborts in-flight waits (parallel path), returning ctx.Err() when the
+// context is done before a decision is reached. With a never-done context
+// it behaves exactly like Classify.
+func (s *System) ClassifyContext(ctx context.Context, x *tensor.T) (Decision, error) {
 	if s.Parallel {
-		return s.classifyParallel(x, s.memberInfer)
+		return s.classifyParallel(ctx, x, s.memberInfer)
 	}
-	return s.classifySequential(x, s.memberInfer)
+	return s.classifySequential(ctx, x, s.memberInfer)
 }
 
 // classifySequential runs members one after another on the calling
 // goroutine. It is the reference implementation of the engine semantics.
-func (s *System) classifySequential(x *tensor.T, infer inferFn) Decision {
+// The context is polled before each member forward pass.
+func (s *System) classifySequential(ctx context.Context, x *tensor.T, infer inferFn) (Decision, error) {
 	n := len(s.Members)
 	if !s.Staged {
 		rows := make([][]float64, n)
 		for i := range rows {
+			if err := ctx.Err(); err != nil {
+				return Decision{}, err
+			}
 			rows[i] = infer(i, x)
 		}
-		return Decide(rows, s.Th)
+		return Decide(rows, s.Th), nil
 	}
 
 	batch := s.Batch
@@ -111,8 +126,11 @@ func (s *System) classifySequential(x *tensor.T, infer inferFn) Decision {
 	accepted := 0
 	var rows [][]float64
 	active := 0
-	activate := func(k int) {
+	activate := func(k int) error {
 		for ; active < k && active < n; active++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			row := infer(active, x)
 			rows = append(rows, row)
 			pred := metrics.Argmax(row)
@@ -121,13 +139,16 @@ func (s *System) classifySequential(x *tensor.T, infer inferFn) Decision {
 				accepted++
 			}
 		}
+		return nil
 	}
 	// At least two members in the initial stage (see Recorded.Staged).
 	initial := s.Th.Freq
 	if initial < 2 {
 		initial = 2
 	}
-	activate(initial)
+	if err := activate(initial); err != nil {
+		return Decision{}, err
+	}
 	decided := func() bool {
 		_, leaderVotes, unique := modalVote(votes)
 		if accepted > 0 && unique && leaderVotes >= s.Th.Freq {
@@ -136,9 +157,11 @@ func (s *System) classifySequential(x *tensor.T, infer inferFn) Decision {
 		return leaderVotes+(n-active) < s.Th.Freq
 	}
 	for !decided() && active < n {
-		activate(active + batch)
+		if err := activate(active + batch); err != nil {
+			return Decision{}, err
+		}
 	}
-	return Decide(rows, s.Th)
+	return Decide(rows, s.Th), nil
 }
 
 // BuildSystem constructs a live system for a benchmark from zoo-trained

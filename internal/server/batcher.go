@@ -1,0 +1,160 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	polygraph "repro"
+)
+
+// item is one image queued for classification, plus the channel its
+// request handler is waiting on.
+type item struct {
+	img  polygraph.Image
+	ctx  context.Context
+	done chan itemResult // buffered(1): the batcher never blocks delivering
+}
+
+type itemResult struct {
+	pred polygraph.Prediction
+	err  error
+}
+
+// errServerStopped is delivered to items still queued when the batcher is
+// told to stop (only possible when their handlers already gave up).
+var errServerStopped = errors.New("server: stopped before the image was classified")
+
+// runBatcher is the single goroutine that turns the admission queue into
+// ClassifyBatch calls: it blocks for the first queued image, coalesces
+// whatever else arrives within BatchWindow (up to MaxBatch), and dispatches
+// the batch to the backend. One goroutine is enough — the parallelism lives
+// inside ClassifyBatch's worker pool, and a single consumer keeps batch
+// formation free of cross-goroutine coordination.
+func (s *Server) runBatcher() {
+	defer close(s.batcherDone)
+	for {
+		var first *item
+		select {
+		case first = <-s.queue:
+		case <-s.stop:
+			s.failLeftovers()
+			return
+		}
+		batch := s.collect(first)
+		s.release(len(batch))
+		s.dispatch(batch)
+	}
+}
+
+// collect gathers a batch starting from first: up to MaxBatch images, not
+// waiting longer than BatchWindow past the first.
+func (s *Server) collect(first *item) []*item {
+	batch := append(make([]*item, 0, s.cfg.MaxBatch), first)
+	if s.cfg.BatchWindow <= 0 {
+		// No waiting: take only what is already queued.
+		for len(batch) < s.cfg.MaxBatch {
+			select {
+			case it := <-s.queue:
+				batch = append(batch, it)
+			default:
+				return batch
+			}
+		}
+		return batch
+	}
+	timer := time.NewTimer(s.cfg.BatchWindow)
+	defer timer.Stop()
+	for len(batch) < s.cfg.MaxBatch {
+		select {
+		case it := <-s.queue:
+			batch = append(batch, it)
+		case <-timer.C:
+			return batch
+		}
+	}
+	return batch
+}
+
+// release returns n reserved admission slots.
+func (s *Server) release(n int) {
+	s.metrics.QueueDepth.Set(s.depth.Add(-int64(n)))
+}
+
+// dispatch classifies one coalesced batch. Items whose context is already
+// done are answered with their context error without being classified; the
+// rest share one ClassifyBatchContext call whose context carries the
+// latest deadline among them, so the RADE cancellation plumbing in
+// internal/core stops member evaluation once nobody is left waiting.
+func (s *Server) dispatch(batch []*item) {
+	live := batch[:0]
+	for _, it := range batch {
+		if err := it.ctx.Err(); err != nil {
+			it.done <- itemResult{err: err}
+			continue
+		}
+		live = append(live, it)
+	}
+	if len(live) == 0 {
+		return
+	}
+
+	bctx, cancel := batchContext(live)
+	defer cancel()
+
+	images := make([]polygraph.Image, len(live))
+	for i, it := range live {
+		images[i] = it.img
+	}
+	s.metrics.ObserveBatch(len(images))
+	preds, err := s.cfg.Backend.ClassifyBatchContext(bctx, images)
+	if err != nil {
+		for _, it := range live {
+			// Prefer the item's own context error so a request that
+			// exceeded its deadline reports DeadlineExceeded, not the
+			// batch-level abort.
+			if ierr := it.ctx.Err(); ierr != nil {
+				it.done <- itemResult{err: ierr}
+			} else {
+				it.done <- itemResult{err: err}
+			}
+		}
+		return
+	}
+	for i, it := range live {
+		s.metrics.ObserveDecision(preds[i].Reliable, preds[i].Agreement, preds[i].Activated)
+		it.done <- itemResult{pred: preds[i]}
+	}
+}
+
+// batchContext derives the context for one backend call: when every item
+// carries a deadline, the batch runs under the latest of them (earlier
+// items time out at their own handlers); otherwise the batch is unbounded.
+func batchContext(live []*item) (context.Context, context.CancelFunc) {
+	var latest time.Time
+	for _, it := range live {
+		d, ok := it.ctx.Deadline()
+		if !ok {
+			return context.Background(), func() {}
+		}
+		if d.After(latest) {
+			latest = d
+		}
+	}
+	return context.WithDeadline(context.Background(), latest)
+}
+
+// failLeftovers answers any items still queued at stop time. Drain only
+// closes the stop channel after every in-flight request finished, so
+// leftovers can only belong to handlers that already timed out.
+func (s *Server) failLeftovers() {
+	for {
+		select {
+		case it := <-s.queue:
+			s.release(1)
+			it.done <- itemResult{err: errServerStopped}
+		default:
+			return
+		}
+	}
+}

@@ -1,0 +1,377 @@
+// Package server is the production serving subsystem: an HTTP JSON API
+// that feeds classification requests through a dynamic batcher into
+// polygraph.ClassifyBatch, wrapped in the envelope a deployed reliability
+// system needs — per-request deadlines honored via context, a bounded
+// admission queue with load shedding (429 + Retry-After), graceful drain
+// (in-flight requests finish, new ones are rejected), health/readiness
+// probes, and a Prometheus-text /metrics endpoint backed by the
+// internal/server/telemetry registry.
+//
+// Endpoints:
+//
+//	POST /v1/classify  {"image": {...}} or {"images": [...]}, optional "timeout_ms"
+//	GET  /healthz      liveness (200 while the process runs)
+//	GET  /readyz       readiness (503 once draining)
+//	GET  /metrics      Prometheus text exposition
+//
+// The dynamic batcher coalesces images that arrive within Config.BatchWindow
+// (up to Config.MaxBatch) into one ClassifyBatch call, so concurrent
+// single-image requests exercise the arena/worker-pool fast path instead of
+// paying one Classify each.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	polygraph "repro"
+	"repro/internal/server/telemetry"
+)
+
+// Backend classifies batches of images — satisfied by *polygraph.System.
+type Backend interface {
+	ClassifyBatchContext(ctx context.Context, images []polygraph.Image) ([]polygraph.Prediction, error)
+	InputShape() (channels, height, width int)
+}
+
+// Config parameterizes New. The zero value of every field except Backend is
+// usable; see the field comments for defaults.
+type Config struct {
+	// Backend is the classification system behind the API. Required.
+	Backend Backend
+	// BatchWindow is how long the batcher waits, after the first queued
+	// image, for more images to coalesce. Negative batches only what is
+	// already queued without waiting; 0 selects the 5ms default.
+	BatchWindow time.Duration
+	// MaxBatch caps images per ClassifyBatch call. Default 64.
+	MaxBatch int
+	// QueueDepth bounds the admission queue in images; requests that would
+	// overflow it are shed with 429. Default 256.
+	QueueDepth int
+	// MaxImagesPerRequest caps the images field of one request (413 above
+	// it). Default 64.
+	MaxImagesPerRequest int
+	// DefaultDeadline applies to requests that carry no timeout_ms.
+	// 0 means no server-imposed deadline. Default 30s.
+	DefaultDeadline time.Duration
+	// RetryAfter is the hint returned with 429 responses. Default 1s.
+	RetryAfter time.Duration
+	// MaxBodyBytes bounds the request body. Default 64 MiB.
+	MaxBodyBytes int64
+	// Metrics receives everything the server observes. Default: a fresh
+	// telemetry.NewMetrics(8) bundle.
+	Metrics *telemetry.Metrics
+}
+
+func (c Config) withDefaults() Config {
+	if c.BatchWindow == 0 {
+		c.BatchWindow = 5 * time.Millisecond
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.MaxImagesPerRequest <= 0 {
+		c.MaxImagesPerRequest = 64
+	}
+	if c.DefaultDeadline == 0 {
+		c.DefaultDeadline = 30 * time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	if c.Metrics == nil {
+		c.Metrics = telemetry.NewMetrics(8)
+	}
+	return c
+}
+
+// Server is a running serving subsystem: handlers plus the batcher
+// goroutine. Create with New, expose via Handler, stop with Drain.
+type Server struct {
+	cfg     Config
+	metrics *telemetry.Metrics
+
+	queue chan *item
+	depth atomic.Int64 // reserved queue slots, ≤ cfg.QueueDepth
+
+	draining    atomic.Bool
+	inflight    sync.WaitGroup
+	stop        chan struct{}
+	stopOnce    sync.Once
+	batcherDone chan struct{}
+}
+
+// New validates the config and starts the batcher.
+func New(cfg Config) (*Server, error) {
+	if cfg.Backend == nil {
+		return nil, errors.New("server: Config.Backend is required")
+	}
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:         cfg,
+		metrics:     cfg.Metrics,
+		queue:       make(chan *item, cfg.QueueDepth),
+		stop:        make(chan struct{}),
+		batcherDone: make(chan struct{}),
+	}
+	go s.runBatcher()
+	return s, nil
+}
+
+// Handler returns the HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/classify", s.handleClassify)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if s.draining.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ready")
+	})
+	mux.Handle("/metrics", s.metrics.Registry.Handler())
+	return mux
+}
+
+// BeginDrain flips the server into draining mode: /readyz turns 503 and new
+// classify requests are rejected, while requests already admitted keep
+// running. Idempotent.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Drain gracefully shuts the subsystem down: BeginDrain, wait for every
+// in-flight request to finish (bounded by ctx), then stop the batcher. It
+// returns ctx.Err() when the wait is cut short — in-flight work may then
+// still be running.
+func (s *Server) Drain(ctx context.Context) error {
+	s.BeginDrain()
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	s.stopOnce.Do(func() { close(s.stop) })
+	select {
+	case <-s.batcherDone:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	return nil
+}
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// API payloads.
+
+type imageJSON struct {
+	Channels int       `json:"channels"`
+	Height   int       `json:"height"`
+	Width    int       `json:"width"`
+	Pixels   []float64 `json:"pixels"`
+}
+
+func (j imageJSON) image() polygraph.Image {
+	return polygraph.Image{Channels: j.Channels, Height: j.Height, Width: j.Width, Pixels: j.Pixels}
+}
+
+type classifyRequest struct {
+	// Image carries a single-image request; Images a multi-image one.
+	// Exactly one of the two must be set.
+	Image  *imageJSON  `json:"image,omitempty"`
+	Images []imageJSON `json:"images,omitempty"`
+	// TimeoutMS is the per-request deadline in milliseconds; 0 selects the
+	// server's default deadline.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+type predictionJSON struct {
+	Label      int     `json:"label"`
+	Reliable   bool    `json:"reliable"`
+	Confidence float64 `json:"confidence"`
+	Activated  int     `json:"activated"`
+	Agreement  int     `json:"agreement"`
+}
+
+func toPredictionJSON(p polygraph.Prediction) predictionJSON {
+	return predictionJSON{
+		Label: p.Label, Reliable: p.Reliable, Confidence: p.Confidence,
+		Activated: p.Activated, Agreement: p.Agreement,
+	}
+}
+
+type classifyResponse struct {
+	Prediction  *predictionJSON  `json:"prediction,omitempty"`
+	Predictions []predictionJSON `json:"predictions,omitempty"`
+	ElapsedMS   float64          `json:"elapsed_ms"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// handleClassify is the admission-controlled, deadline-aware entry point of
+// the classify API.
+func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	respond := func(code int, payload any) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		_ = json.NewEncoder(w).Encode(payload)
+		s.metrics.ObserveResponse(code, time.Since(start))
+	}
+	fail := func(code int, format string, args ...any) {
+		respond(code, errorResponse{Error: fmt.Sprintf(format, args...)})
+	}
+
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		fail(http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+
+	// Admission gate 1: drain mode. The in-flight count is raised before
+	// the flag is read, so Drain's Wait can never miss a request that saw
+	// the flag unset.
+	s.inflight.Add(1)
+	defer s.inflight.Done()
+	if s.draining.Load() {
+		fail(http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	s.metrics.Requests.Inc()
+	s.metrics.InFlight.Add(1)
+	defer s.metrics.InFlight.Add(-1)
+
+	var req classifyRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		fail(http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	single := req.Image != nil
+	if single && len(req.Images) > 0 {
+		fail(http.StatusBadRequest, `set "image" or "images", not both`)
+		return
+	}
+	images := req.Images
+	if single {
+		images = []imageJSON{*req.Image}
+	}
+	if len(images) == 0 {
+		fail(http.StatusBadRequest, "request carries no images")
+		return
+	}
+	if len(images) > s.cfg.MaxImagesPerRequest {
+		fail(http.StatusRequestEntityTooLarge, "%d images exceed the per-request limit of %d",
+			len(images), s.cfg.MaxImagesPerRequest)
+		return
+	}
+	wantC, wantH, wantW := s.cfg.Backend.InputShape()
+	ims := make([]polygraph.Image, len(images))
+	for i, j := range images {
+		im := j.image()
+		if err := im.Validate(); err != nil {
+			fail(http.StatusBadRequest, "image %d: %v", i, err)
+			return
+		}
+		if im.Channels != wantC || im.Height != wantH || im.Width != wantW {
+			fail(http.StatusBadRequest, "image %d: shape %dx%dx%d does not match the served model input %dx%dx%d",
+				i, im.Channels, im.Height, im.Width, wantC, wantH, wantW)
+			return
+		}
+		ims[i] = im
+	}
+
+	// Per-request deadline.
+	ctx := r.Context()
+	timeout := s.cfg.DefaultDeadline
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	// Admission gate 2: bounded queue with load shedding. Slots are
+	// reserved atomically for the whole request, so a multi-image request
+	// is admitted all-or-nothing and the channel send below can never
+	// block.
+	k := int64(len(ims))
+	if depth := s.depth.Add(k); depth > int64(s.cfg.QueueDepth) {
+		s.depth.Add(-k)
+		s.metrics.Rejected.Inc()
+		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+		fail(http.StatusTooManyRequests, "admission queue full (%d images)", s.cfg.QueueDepth)
+		return
+	}
+	s.metrics.QueueDepth.Set(s.depth.Load())
+
+	items := make([]*item, len(ims))
+	for i, im := range ims {
+		it := &item{img: im, ctx: ctx, done: make(chan itemResult, 1)}
+		items[i] = it
+		s.queue <- it
+	}
+
+	// Collect results in request order.
+	preds := make([]predictionJSON, len(items))
+	for i, it := range items {
+		select {
+		case res := <-it.done:
+			if res.err != nil {
+				fail(statusFor(res.err), "image %d: %v", i, res.err)
+				return
+			}
+			preds[i] = toPredictionJSON(res.pred)
+		case <-ctx.Done():
+			fail(statusFor(ctx.Err()), "image %d: %v", i, ctx.Err())
+			return
+		}
+	}
+
+	resp := classifyResponse{ElapsedMS: float64(time.Since(start).Microseconds()) / 1000}
+	if single {
+		resp.Prediction = &preds[0]
+	} else {
+		resp.Predictions = preds
+	}
+	respond(http.StatusOK, resp)
+}
+
+// statusFor maps classification errors to HTTP status codes.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		// The client went away or the server is shutting down.
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}

@@ -1,0 +1,136 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/stream"
+)
+
+// Metrics is the pre-registered series bundle for the PolygraphMR serving
+// subsystem. Everything the server, the dynamic batcher, and the stream
+// processor report flows through one of these handles, so /metrics is a
+// single-registry render.
+type Metrics struct {
+	Registry *Registry
+
+	// HTTP envelope.
+	Requests       *Counter   // every request that reached the classify handler
+	Rejected       *Counter   // load-shed with 429 (admission queue full)
+	InFlight       *Gauge     // classify requests currently being served
+	QueueDepth     *Gauge     // items waiting in the batcher's admission queue
+	RequestSeconds *Histogram // classify request wall-clock latency
+
+	// Dynamic batcher.
+	Batches   *Counter   // ClassifyBatch calls issued by the batcher
+	Coalesced *Counter   // batches that coalesced more than one queue item
+	Images    *Counter   // images classified through the batcher
+	BatchSize *Histogram // images per ClassifyBatch call
+
+	// Decision outcomes (paper Layer-3 accounting).
+	Reliable  *Counter   // predictions that passed the reliability gate
+	Escalated *Counter   // predictions flagged for escalation
+	Agreement *Histogram // accepted member votes for the winning label
+	Activated *Histogram // member networks consulted per decision
+
+	// Stream deadline accounting (internal/stream).
+	StreamFrames   *Counter   // frames observed via ObserveFrame
+	DeadlineMisses *Counter   // frames whose latency exceeded the budget
+	FrameSeconds   *Histogram // per-frame classification latency
+
+	mu        sync.Mutex
+	responses map[int]*Counter // responses by HTTP status code
+}
+
+// NewMetrics builds a bundle on a fresh registry. maxMembers sizes the
+// agreement/activation histograms (one bucket per possible member count);
+// values below 2 fall back to the paper's 8-member ceiling.
+func NewMetrics(maxMembers int) *Metrics {
+	if maxMembers < 2 {
+		maxMembers = 8
+	}
+	r := NewRegistry()
+	latency := ExponentialBuckets(0.0005, 2, 14) // 0.5ms .. 4.1s
+	m := &Metrics{
+		Registry: r,
+
+		Requests:       r.Counter("pgmr_serve_requests_total", "Classify requests accepted by the handler."),
+		Rejected:       r.Counter("pgmr_serve_rejected_total", "Classify requests load-shed with 429 because the admission queue was full."),
+		InFlight:       r.Gauge("pgmr_serve_in_flight", "Classify requests currently being served."),
+		QueueDepth:     r.Gauge("pgmr_serve_queue_depth", "Images waiting in the batcher admission queue."),
+		RequestSeconds: r.Histogram("pgmr_serve_request_seconds", "Classify request latency in seconds.", latency),
+
+		Batches:   r.Counter("pgmr_serve_batches_total", "ClassifyBatch calls issued by the dynamic batcher."),
+		Coalesced: r.Counter("pgmr_serve_coalesced_batches_total", "Batches that coalesced more than one queued image."),
+		Images:    r.Counter("pgmr_serve_images_total", "Images classified through the dynamic batcher."),
+		BatchSize: r.Histogram("pgmr_serve_batch_size", "Images per ClassifyBatch call.", ExponentialBuckets(1, 2, 8)),
+
+		Reliable:  r.Counter("pgmr_decisions_total", "Decision outcomes by reliability verdict.", Label{"outcome", "reliable"}),
+		Escalated: r.Counter("pgmr_decisions_total", "Decision outcomes by reliability verdict.", Label{"outcome", "escalated"}),
+		Agreement: r.Histogram("pgmr_decision_agreement", "Accepted member votes for the winning label.", LinearBuckets(1, 1, maxMembers)),
+		Activated: r.Histogram("pgmr_decision_activated", "Member networks consulted per decision (RADE staged activation).", LinearBuckets(1, 1, maxMembers)),
+
+		StreamFrames:   r.Counter("pgmr_stream_frames_total", "Stream frames observed."),
+		DeadlineMisses: r.Counter("pgmr_stream_deadline_misses_total", "Stream frames whose latency exceeded the deadline budget."),
+		FrameSeconds:   r.Histogram("pgmr_stream_frame_seconds", "Per-frame stream classification latency in seconds.", latency),
+
+		responses: map[int]*Counter{},
+	}
+	return m
+}
+
+// ObserveDecision ingests one decision outcome: the reliability verdict,
+// the accepted-vote count behind it, and how many members ran.
+func (m *Metrics) ObserveDecision(reliable bool, agreement, activated int) {
+	if reliable {
+		m.Reliable.Inc()
+	} else {
+		m.Escalated.Inc()
+	}
+	m.Agreement.Observe(float64(agreement))
+	m.Activated.Observe(float64(activated))
+}
+
+// ObserveFrame ingests one stream frame: the deadline-miss accounting the
+// stream package computes (a miss is only possible with a positive budget —
+// stream.Frame.DeadlineMiss is never set when Config.Budget is 0) plus the
+// frame latency and its decision outcome.
+func (m *Metrics) ObserveFrame(f stream.Frame) {
+	m.StreamFrames.Inc()
+	if f.DeadlineMiss {
+		m.DeadlineMisses.Inc()
+	}
+	m.FrameSeconds.Observe(f.Latency.Seconds())
+	m.ObserveDecision(f.Decision.Reliable, f.Decision.Votes[f.Decision.Label], f.Decision.Activated)
+}
+
+// ObserveResponse records one finished HTTP classify request.
+func (m *Metrics) ObserveResponse(code int, latency time.Duration) {
+	m.Response(code).Inc()
+	m.RequestSeconds.Observe(latency.Seconds())
+}
+
+// Response returns (registering on first use) the response counter for one
+// HTTP status code: pgmr_serve_responses_total{code="NNN"}.
+func (m *Metrics) Response(code int) *Counter {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.responses[code]
+	if !ok {
+		c = m.Registry.Counter("pgmr_serve_responses_total", "Classify responses by HTTP status code.",
+			Label{"code", fmt.Sprintf("%d", code)})
+		m.responses[code] = c
+	}
+	return c
+}
+
+// ObserveBatch records one dynamic batch dispatch.
+func (m *Metrics) ObserveBatch(size int) {
+	m.Batches.Inc()
+	if size > 1 {
+		m.Coalesced.Inc()
+	}
+	m.Images.Add(uint64(size))
+	m.BatchSize.Observe(float64(size))
+}

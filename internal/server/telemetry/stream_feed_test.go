@@ -1,0 +1,106 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/stream"
+	"repro/internal/tensor"
+)
+
+// slowClassifier burns real wall-clock per frame so deadline accounting has
+// something to measure without an injectable clock.
+type slowClassifier struct {
+	delay    time.Duration
+	decision core.Decision
+}
+
+func (s slowClassifier) Classify(*tensor.T) core.Decision {
+	if s.delay > 0 {
+		time.Sleep(s.delay)
+	}
+	return s.decision
+}
+
+func runStream(t *testing.T, m *Metrics, cfg stream.Config, cls stream.Classifier, frames int) stream.Stats {
+	t.Helper()
+	p, err := stream.NewProcessor(cls, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := make([]*tensor.T, frames)
+	for i := range fs {
+		fs[i] = tensor.New(1)
+	}
+	return p.Process(&stream.SliceSource{Frames: fs}, func(f stream.Frame) { m.ObserveFrame(f) })
+}
+
+// TestStreamDeadlineMissesFeedRegistry wires internal/stream's deadline-miss
+// accounting into the telemetry registry the way the serving subsystem does
+// (a per-frame handle calling ObserveFrame) and checks the counters agree
+// with the processor's own Stats.
+func TestStreamDeadlineMissesFeedRegistry(t *testing.T) {
+	m := NewMetrics(4)
+	dec := core.Decision{Label: 2, Reliable: true, Votes: map[int]int{2: 3}, Activated: 3}
+	// Every frame sleeps ~2ms against a 100µs budget, so every frame must
+	// miss: the measured latency can only exceed the sleep, never undercut
+	// it.
+	stats := runStream(t, m, stream.Config{Budget: 100 * time.Microsecond}, slowClassifier{2 * time.Millisecond, dec}, 5)
+
+	if stats.DeadlineMisses != 5 {
+		t.Fatalf("stream stats report %d misses, want 5", stats.DeadlineMisses)
+	}
+	if got := m.DeadlineMisses.Value(); got != uint64(stats.DeadlineMisses) {
+		t.Errorf("registry misses = %d, stream stats = %d", got, stats.DeadlineMisses)
+	}
+	if m.StreamFrames.Value() != 5 {
+		t.Errorf("frames counter = %d, want 5", m.StreamFrames.Value())
+	}
+	if m.FrameSeconds.Count() != 5 {
+		t.Errorf("latency histogram count = %d, want 5", m.FrameSeconds.Count())
+	}
+	// Decision outcomes ride along: 5 reliable frames with agreement 3 of 3.
+	if m.Reliable.Value() != 5 || m.Escalated.Value() != 0 {
+		t.Errorf("reliable=%d escalated=%d", m.Reliable.Value(), m.Escalated.Value())
+	}
+	if m.Agreement.Sum() != 15 || m.Activated.Sum() != 15 {
+		t.Errorf("agreement sum=%v activated sum=%v", m.Agreement.Sum(), m.Activated.Sum())
+	}
+
+	var sb strings.Builder
+	if err := m.Registry.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "pgmr_stream_deadline_misses_total 5") {
+		t.Errorf("exposition missing miss counter:\n%s", sb.String())
+	}
+}
+
+// TestStreamZeroBudgetNeverMisses locks in the Budget == 0 contract: with
+// deadline accounting disabled, no frame is ever a miss — in the stream's
+// own stats and in the registry it feeds — no matter how slow the
+// classifier is.
+func TestStreamZeroBudgetNeverMisses(t *testing.T) {
+	m := NewMetrics(4)
+	dec := core.Decision{Label: 0, Reliable: false, Votes: map[int]int{}, Activated: 4}
+	stats := runStream(t, m, stream.Config{Budget: 0}, slowClassifier{time.Millisecond, dec}, 4)
+
+	if stats.DeadlineMisses != 0 {
+		t.Fatalf("Budget=0 produced %d misses in stream stats", stats.DeadlineMisses)
+	}
+	if m.DeadlineMisses.Value() != 0 {
+		t.Errorf("Budget=0 produced %d misses in the registry", m.DeadlineMisses.Value())
+	}
+	if m.StreamFrames.Value() != 4 {
+		t.Errorf("frames counter = %d, want 4", m.StreamFrames.Value())
+	}
+	// Latency is still observed — only the miss verdict is disabled.
+	if m.FrameSeconds.Count() != 4 {
+		t.Errorf("latency histogram count = %d, want 4", m.FrameSeconds.Count())
+	}
+	if m.Escalated.Value() != 4 || m.Reliable.Value() != 0 {
+		t.Errorf("reliable=%d escalated=%d", m.Reliable.Value(), m.Escalated.Value())
+	}
+}

@@ -1,0 +1,142 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "test counter")
+	g := r.Gauge("g", "test gauge")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("counter = %d, want 8000", c.Value())
+	}
+	if g.Value() != 0 {
+		t.Errorf("gauge = %d, want 0", g.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "test histogram", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	cum, sum, count := h.snapshot()
+	// le=1: 0.5 and 1 (bounds are inclusive); le=2: +1.5; le=4: +3; +Inf: +100.
+	want := []uint64{2, 3, 4, 5}
+	for i, w := range want {
+		if cum[i] != w {
+			t.Errorf("cumulative bucket %d = %d, want %d (all: %v)", i, cum[i], w, cum)
+		}
+	}
+	if count != 5 || sum != 106 {
+		t.Errorf("count=%d sum=%v", count, sum)
+	}
+}
+
+func TestWriteTextFormat(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("pgmr_things_total", "Things seen.", Label{"kind", "a"})
+	c2 := r.Counter("pgmr_things_total", "Things seen.", Label{"kind", "b"})
+	h := r.Histogram("pgmr_lat_seconds", "Latency.", []float64{0.1, 1})
+	g := r.Gauge("pgmr_depth", "Depth.")
+	c.Add(3)
+	c2.Inc()
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(10)
+	g.Set(7)
+
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP pgmr_things_total Things seen.\n",
+		"# TYPE pgmr_things_total counter\n",
+		`pgmr_things_total{kind="a"} 3` + "\n",
+		`pgmr_things_total{kind="b"} 1` + "\n",
+		"# TYPE pgmr_lat_seconds histogram\n",
+		`pgmr_lat_seconds_bucket{le="0.1"} 1` + "\n",
+		`pgmr_lat_seconds_bucket{le="1"} 2` + "\n",
+		`pgmr_lat_seconds_bucket{le="+Inf"} 3` + "\n",
+		"pgmr_lat_seconds_sum 10.55\n",
+		"pgmr_lat_seconds_count 3\n",
+		"# TYPE pgmr_depth gauge\npgmr_depth 7\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// HELP/TYPE emitted once per family even with two labeled series.
+	if n := strings.Count(out, "# TYPE pgmr_things_total"); n != 1 {
+		t.Errorf("TYPE line repeated %d times", n)
+	}
+}
+
+func TestRegistryPanicsOnMisuse(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	r := NewRegistry()
+	r.Counter("x_total", "x")
+	mustPanic("duplicate series", func() { r.Counter("x_total", "x") })
+	mustPanic("kind clash", func() { r.Gauge("x_total", "x") })
+	mustPanic("empty bounds", func() { r.Histogram("h", "h", nil) })
+	mustPanic("unsorted bounds", func() { r.Histogram("h2", "h", []float64{2, 1}) })
+}
+
+func TestMetricsObserveDecision(t *testing.T) {
+	m := NewMetrics(4)
+	m.ObserveDecision(true, 3, 2)
+	m.ObserveDecision(false, 1, 4)
+	m.ObserveDecision(true, 4, 4)
+	if m.Reliable.Value() != 2 || m.Escalated.Value() != 1 {
+		t.Errorf("reliable=%d escalated=%d", m.Reliable.Value(), m.Escalated.Value())
+	}
+	if m.Agreement.Count() != 3 || m.Agreement.Sum() != 8 {
+		t.Errorf("agreement count=%d sum=%v", m.Agreement.Count(), m.Agreement.Sum())
+	}
+	if m.Activated.Count() != 3 || m.Activated.Sum() != 10 {
+		t.Errorf("activated count=%d sum=%v", m.Activated.Count(), m.Activated.Sum())
+	}
+}
+
+func TestMetricsResponseCodes(t *testing.T) {
+	m := NewMetrics(0)
+	m.Response(200).Inc()
+	m.Response(200).Inc()
+	m.Response(429).Inc()
+	var sb strings.Builder
+	if err := m.Registry.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `pgmr_serve_responses_total{code="200"} 2`) ||
+		!strings.Contains(out, `pgmr_serve_responses_total{code="429"} 1`) {
+		t.Errorf("per-code counters missing:\n%s", out)
+	}
+}

@@ -20,6 +20,7 @@
 package polygraph
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -76,6 +77,10 @@ type Prediction struct {
 	// Activated is the number of member networks that ran for this input
 	// (less than Members() when staged activation resolved early).
 	Activated int
+	// Agreement is the number of accepted member votes for Label — the
+	// modal frequency the decision engine compared against Thr_Freq. It is
+	// 0 when no vote passed the confidence gate.
+	Agreement int
 }
 
 // Options configures Build.
@@ -223,16 +228,30 @@ func prediction(d core.Decision) Prediction {
 		Reliable:   d.Reliable,
 		Confidence: d.Confidence,
 		Activated:  d.Activated,
+		Agreement:  d.Votes[d.Label],
 	}
 }
 
 // Classify runs the system on one image. It is safe to call concurrently
 // from many goroutines on a shared System.
 func (s *System) Classify(im Image) (Prediction, error) {
+	return s.ClassifyContext(context.Background(), im)
+}
+
+// ClassifyContext is Classify with a deadline/cancellation context: the
+// engine checks ctx between member activations (and aborts speculative
+// waits on the parallel path), returning ctx.Err() when the context is done
+// before the decision is reached. This is the entry point network servers
+// use to honor per-request deadlines.
+func (s *System) ClassifyContext(ctx context.Context, im Image) (Prediction, error) {
 	if err := s.checkImage(im); err != nil {
 		return Prediction{}, err
 	}
-	return prediction(s.sys.Classify(im.tensor())), nil
+	d, err := s.sys.ClassifyContext(ctx, im.tensor())
+	if err != nil {
+		return Prediction{}, err
+	}
+	return prediction(d), nil
 }
 
 // ClassifyBatch classifies every image and returns index-aligned
@@ -242,6 +261,18 @@ func (s *System) Classify(im Image) (Prediction, error) {
 // allocation-light. Each prediction is identical to what Classify would
 // return for the same image.
 func (s *System) ClassifyBatch(images []Image) ([]Prediction, error) {
+	return s.ClassifyBatchContext(context.Background(), images)
+}
+
+// ClassifyBatchContext is ClassifyBatch with a deadline/cancellation
+// context: when ctx is done before every image has been classified, the
+// worker pool winds down and ctx.Err() is returned with no predictions.
+// A zero-length batch returns immediately — no validation pass, no worker
+// pool — with an empty, non-nil slice.
+func (s *System) ClassifyBatchContext(ctx context.Context, images []Image) ([]Prediction, error) {
+	if len(images) == 0 {
+		return []Prediction{}, nil
+	}
 	xs := make([]*tensor.T, len(images))
 	for i, im := range images {
 		if err := s.checkImage(im); err != nil {
@@ -249,7 +280,10 @@ func (s *System) ClassifyBatch(images []Image) ([]Prediction, error) {
 		}
 		xs[i] = im.tensor()
 	}
-	ds := s.sys.ClassifyBatch(xs)
+	ds, err := s.sys.ClassifyBatchContext(ctx, xs)
+	if err != nil {
+		return nil, err
+	}
 	preds := make([]Prediction, len(ds))
 	for i, d := range ds {
 		preds[i] = prediction(d)
