@@ -5,14 +5,16 @@
 //
 //	pgmr-bench -list
 //	pgmr-bench fig9 tab3
-//	pgmr-bench all
+//	pgmr-bench -json results.json all
 //
 // Set PGMR_FULL=1 for paper-scale sweeps (slower).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -23,29 +25,41 @@ import (
 )
 
 func main() {
-	list := flag.Bool("list", false, "list experiment ids and exit")
-	quiet := flag.Bool("quiet", false, "suppress training progress")
-	csvDir := flag.String("csv", "", "also write each result as CSV into this directory")
-	workers := flag.Int("workers", 0, "worker-pool size for throughput experiments (0 = NumCPU)")
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: pgmr-bench [-list] [-quiet] <experiment-id>... | all\n")
-		fmt.Fprintf(os.Stderr, "experiments: %s\n", strings.Join(experiments.IDs(), ", "))
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses flags from args, writes tables
+// to stdout and diagnostics to stderr, and returns the process exit code
+// (0 ok, 1 experiment failure, 2 usage error).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pgmr-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list experiment ids and exit")
+	quiet := fs.Bool("quiet", false, "suppress training progress")
+	csvDir := fs.String("csv", "", "also write each result as CSV into this directory")
+	jsonPath := fs.String("json", "", "write all results as a JSON array to this file (\"-\" = stdout)")
+	workers := fs.Int("workers", 0, "worker-pool size for throughput experiments (0 = NumCPU)")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: pgmr-bench [-list] [-quiet] [-csv DIR] [-json FILE] <experiment-id>... | all\n")
+		fmt.Fprintf(stderr, "experiments: %s\n", strings.Join(experiments.IDs(), ", "))
 	}
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, id := range experiments.IDs() {
-			fmt.Println(id)
+			fmt.Fprintln(stdout, id)
 		}
-		return
+		return 0
 	}
-	args := flag.Args()
-	if len(args) == 0 {
-		flag.Usage()
-		os.Exit(2)
+	ids := fs.Args()
+	if len(ids) == 0 {
+		fs.Usage()
+		return 2
 	}
-	if len(args) == 1 && args[0] == "all" {
-		args = experiments.IDs()
+	if len(ids) == 1 && ids[0] == "all" {
+		ids = experiments.IDs()
 	}
 	// Unknown ids are usage errors: catch them before any experiment runs
 	// rather than hours into a multi-id invocation.
@@ -53,11 +67,11 @@ func main() {
 	for _, id := range experiments.IDs() {
 		known[id] = true
 	}
-	for _, id := range args {
+	for _, id := range ids {
 		if !known[id] {
-			fmt.Fprintf(os.Stderr, "pgmr-bench: unknown experiment %q\n", id)
-			flag.Usage()
-			os.Exit(2)
+			fmt.Fprintf(stderr, "pgmr-bench: unknown experiment %q\n", id)
+			fs.Usage()
+			return 2
 		}
 	}
 
@@ -65,30 +79,39 @@ func main() {
 	ctx.Workers = *workers
 	if !*quiet {
 		ctx.Zoo.Progress = func(f string, a ...any) {
-			fmt.Fprintf(os.Stderr, "# "+f+"\n", a...)
+			fmt.Fprintf(stderr, "# "+f+"\n", a...)
 		}
 	}
 	failed := false
-	for _, id := range args {
+	var results []*experiments.Result
+	for _, id := range ids {
 		start := time.Now()
 		res, err := experiments.Run(ctx, id)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "pgmr-bench: %s: %v\n", id, err)
+			fmt.Fprintf(stderr, "pgmr-bench: %s: %v\n", id, err)
 			failed = true
 			continue
 		}
-		fmt.Println(res)
-		fmt.Printf("(%s completed in %s)\n\n", id, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintln(stdout, res)
+		fmt.Fprintf(stdout, "(%s completed in %s)\n\n", id, time.Since(start).Round(time.Millisecond))
+		results = append(results, res)
 		if *csvDir != "" {
 			if err := writeCSV(*csvDir, res); err != nil {
-				fmt.Fprintf(os.Stderr, "pgmr-bench: %s: %v\n", id, err)
+				fmt.Fprintf(stderr, "pgmr-bench: %s: %v\n", id, err)
 				failed = true
 			}
 		}
 	}
-	if failed {
-		os.Exit(1)
+	if *jsonPath != "" {
+		if err := writeJSON(*jsonPath, stdout, results); err != nil {
+			fmt.Fprintf(stderr, "pgmr-bench: %v\n", err)
+			failed = true
+		}
 	}
+	if failed {
+		return 1
+	}
+	return 0
 }
 
 // writeCSV stores one result as <dir>/<id>.csv.
@@ -105,4 +128,22 @@ func writeCSV(dir string, res *experiments.Result) error {
 		return err
 	}
 	return f.Close()
+}
+
+// writeJSON stores all completed results as one indented JSON array, either
+// to the given path or to stdout when path is "-".
+func writeJSON(path string, stdout io.Writer, results []*experiments.Result) error {
+	if results == nil {
+		results = []*experiments.Result{}
+	}
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
 }

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/metrics"
+	"repro/internal/tensor"
+)
+
+// This file implements per-network batched classification: instead of fanning
+// individual images across workers (each paying a full per-image forward pass
+// per member), the engine runs every still-undecided image through one member
+// network at a time via nn.InferBatchArena, so each member's weights are
+// streamed once per stage for the whole batch and the fused minibatch kernels
+// (batched im2col + blocked GEMM, Winograd 3×3) do the heavy lifting.
+//
+// RADE staged-activation semantics are preserved exactly: all images follow
+// the same global stage schedule the sequential engine uses (an initial chunk
+// of max(Thr_Freq, 2) members, then +Batch per stage), images drop out of the
+// batch at the stage boundary where classifySequential would have stopped,
+// and the per-image Decision — label, reliability, votes, Activated count —
+// matches the sequential result. Confidence matches within the batched-kernel
+// float tolerance (|Δ| ≤ 1e-9 on softmax outputs; see internal/nn/batch.go
+// for the floating-point contract).
+
+// batchInferFn runs one member on a set of images and returns index-aligned
+// probability rows. It is the batched counterpart of inferFn and must be safe
+// for concurrent calls on distinct members.
+type batchInferFn func(member int, xs []*tensor.T) [][]float64
+
+// batchImgState carries one image's staged-activation progress.
+type batchImgState struct {
+	rows     [][]float64
+	votes    map[int]int
+	accepted int
+}
+
+// classifyBatchNetworks is the per-network batched decision engine. Chunk
+// boundaries replicate the sequential activate() checkpoints; within a chunk,
+// members run over the pending images (concurrently up to the Workers cap),
+// and their rows are consumed in member order so vote accounting is
+// order-identical to classifySequential.
+func (s *System) classifyBatchNetworks(ctx context.Context, xs []*tensor.T, infer batchInferFn) ([]Decision, error) {
+	n := len(s.Members)
+	out := make([]Decision, len(xs))
+
+	st := make([]batchImgState, len(xs))
+	pending := make([]int, len(xs))
+	for i := range pending {
+		st[i].votes = make(map[int]int)
+		pending[i] = i
+	}
+	pendXs := make([]*tensor.T, 0, len(xs))
+
+	batch := s.Batch
+	if batch < 1 {
+		batch = 1
+	}
+	decided := func(im *batchImgState, active int) bool {
+		_, leaderVotes, unique := modalVote(im.votes)
+		if im.accepted > 0 && unique && leaderVotes >= s.Th.Freq {
+			return true
+		}
+		return leaderVotes+(n-active) < s.Th.Freq
+	}
+
+	active := 0
+	for len(pending) > 0 && active < n {
+		end := n
+		if s.Staged {
+			if active == 0 {
+				end = s.Th.Freq
+				if end < 2 {
+					end = 2
+				}
+			} else {
+				end = active + batch
+			}
+			if end > n {
+				end = n
+			}
+		}
+
+		pendXs = pendXs[:0]
+		for _, i := range pending {
+			pendXs = append(pendXs, xs[i])
+		}
+		chunk, err := s.runMemberRange(ctx, active, end, pendXs, infer)
+		if err != nil {
+			return nil, err
+		}
+		for _, mrows := range chunk {
+			for pi, i := range pending {
+				row := mrows[pi]
+				im := &st[i]
+				im.rows = append(im.rows, row)
+				pred := metrics.Argmax(row)
+				if row[pred] >= s.Th.Conf {
+					im.votes[pred]++
+					im.accepted++
+				}
+			}
+		}
+		active = end
+
+		keep := pending[:0]
+		for _, i := range pending {
+			if !s.Staged || active >= n || decided(&st[i], active) {
+				out[i] = Decide(st[i].rows, s.Th)
+			} else {
+				keep = append(keep, i)
+			}
+		}
+		pending = keep
+	}
+	return out, nil
+}
+
+// runMemberRange evaluates members [start, end) on the given images, fanning
+// the member-level calls across a bounded pool (Workers cap). The context is
+// polled before every member inference; on cancellation the already-started
+// members drain and ctx.Err() is returned. Results are index-aligned with the
+// member range so the caller can consume them in priority order regardless of
+// completion order.
+func (s *System) runMemberRange(ctx context.Context, start, end int, xs []*tensor.T, infer batchInferFn) ([][][]float64, error) {
+	count := end - start
+	rows := make([][][]float64, count)
+	workers := s.workerCount(count)
+	// A batched member inference already keeps one core busy end to end;
+	// oversubscribing CPUs would interleave working sets that are each sized
+	// to the cache, so extra Workers beyond the core count only thrash.
+	if ncpu := runtime.NumCPU(); workers > ncpu {
+		workers = ncpu
+	}
+	if workers <= 1 || count <= 1 {
+		for m := start; m < end; m++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			rows[m-start] = infer(m, xs)
+		}
+		return rows, nil
+	}
+	var next atomic.Int64
+	next.Store(int64(start))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				m := int(next.Add(1)) - 1
+				if m >= end || ctx.Err() != nil {
+					return
+				}
+				rows[m-start] = infer(m, xs)
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// batchArenaInfer returns a batched member execution strategy: preprocess
+// each image, run the member's network over the whole set with
+// nn.InferBatchArena, and copy out the probability rows. Arenas are drawn
+// from the pool so concurrent member calls never share scratch memory.
+func (s *System) batchArenaInfer(pool *sync.Pool) batchInferFn {
+	return func(m int, xs []*tensor.T) [][]float64 {
+		a := pool.Get().(*tensor.Arena)
+		mem := s.Members[m]
+		pre := make([]*tensor.T, len(xs))
+		for i, x := range xs {
+			pre[i] = mem.Pre.Apply(x)
+		}
+		probs := mem.Net.InferBatchArena(pre, a)
+		rows := make([][]float64, len(xs))
+		for i, p := range probs {
+			rows[i] = append([]float64(nil), p.Data...)
+		}
+		a.Reset()
+		pool.Put(a)
+		return rows
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"math"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -10,6 +11,20 @@ import (
 	"repro/internal/model"
 	"repro/internal/tensor"
 )
+
+// decisionsEquivalent compares decisions under the batched-kernel contract:
+// Label, Reliable, Activated and the vote histogram must be exact; the
+// Confidence may drift within the 1e-9 softmax tolerance of the fused batch
+// inference path (internal/nn/batch.go).
+func decisionsEquivalent(a, b Decision) bool {
+	if a.Label != b.Label || a.Reliable != b.Reliable || a.Activated != b.Activated {
+		return false
+	}
+	if !reflect.DeepEqual(a.Votes, b.Votes) {
+		return false
+	}
+	return math.Abs(a.Confidence-b.Confidence) <= 1e-9
+}
 
 // tableSystem builds a System driven purely through an injected inferFn —
 // the members are placeholders, so the decision engine can be exercised on
@@ -100,6 +115,99 @@ func TestWorkerCount(t *testing.T) {
 	}
 }
 
+// TestClassifyBatchNetworksMatchesSequential is the equivalence property of
+// the per-network batched engine: for random member-output tables, staging
+// configurations and batch compositions, classifyBatchNetworks must return,
+// for every image, a Decision deeply equal to running classifySequential on
+// that image alone — same label, reliability, confidence, vote histogram and
+// Activated count — even though images share a global stage schedule and
+// drop out of the batch at different boundaries. The injected tables are
+// exact, so the comparison is bit-exact here; float tolerance only enters
+// with real batched kernels (covered by TestParallelAndBatchMatchOnRealSystem).
+func TestClassifyBatchNetworksMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	const cases = 1500
+	for c := 0; c < cases; c++ {
+		n := 2 + rng.Intn(7)
+		classes := 2 + rng.Intn(5)
+		B := 1 + rng.Intn(9)
+		// tables[i][m] is image i's softmax row from member m.
+		tables := make([][][]float64, B)
+		for i := range tables {
+			tables[i] = make([][]float64, n)
+			for m := range tables[i] {
+				tables[i][m] = randDist(rng, classes)
+				if rng.Intn(2) == 0 {
+					peak := rng.Intn(classes)
+					for j := range tables[i][m] {
+						tables[i][m][j] *= 0.2
+					}
+					tables[i][m][peak] += 0.8
+				}
+			}
+		}
+		th := Thresholds{Conf: rng.Float64() * 0.95, Freq: 1 + rng.Intn(n)}
+		staged := rng.Intn(4) != 0
+		batch := 1 + rng.Intn(3)
+		workers := 1 + rng.Intn(8)
+		s := tableSystem(n, th, staged, batch, workers)
+
+		// Images carry their table index in Data[0] so the batched seam can
+		// serve the right rows regardless of pending-set composition.
+		xs := make([]*tensor.T, B)
+		for i := range xs {
+			xs[i] = tensor.New(1)
+			xs[i].Data[0] = float64(i)
+		}
+		batchInfer := func(m int, pend []*tensor.T) [][]float64 {
+			rows := make([][]float64, len(pend))
+			for i, x := range pend {
+				rows[i] = append([]float64(nil), tables[int(x.Data[0])][m]...)
+			}
+			return rows
+		}
+
+		got, err := s.classifyBatchNetworks(context.Background(), xs, batchInfer)
+		if err != nil {
+			t.Fatalf("case %d: unexpected error %v", c, err)
+		}
+		for i := 0; i < B; i++ {
+			want, werr := s.classifySequential(context.Background(), xs[i], tableInfer(tables[i]))
+			if werr != nil {
+				t.Fatalf("case %d: sequential error %v", c, werr)
+			}
+			if !reflect.DeepEqual(want, got[i]) {
+				t.Fatalf("case %d image %d (n=%d B=%d th=%v staged=%v batch=%d workers=%d):\nsequential %+v\nbatched    %+v",
+					c, i, n, B, th, staged, batch, workers, want, got[i])
+			}
+		}
+	}
+}
+
+// TestClassifyBatchNetworksCancelled checks the batched engine aborts before
+// any member inference under a pre-cancelled context.
+func TestClassifyBatchNetworksCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran int32
+	infer := func(m int, pend []*tensor.T) [][]float64 {
+		ran++
+		rows := make([][]float64, len(pend))
+		for i := range rows {
+			rows[i] = []float64{1, 0}
+		}
+		return rows
+	}
+	s := tableSystem(3, Thresholds{Conf: 0.5, Freq: 2}, true, 1, 3)
+	xs := []*tensor.T{tensor.New(1), tensor.New(1)}
+	if out, err := s.classifyBatchNetworks(ctx, xs, infer); err == nil || out != nil {
+		t.Errorf("classifyBatchNetworks = %v, %v; want nil, ctx error", out, err)
+	}
+	if ran != 0 {
+		t.Errorf("ran %d member inferences under a cancelled context", ran)
+	}
+}
+
 func TestClassifyBatchEmpty(t *testing.T) {
 	s := tableSystem(2, Thresholds{Freq: 1}, false, 1, 2)
 	if out := s.ClassifyBatch(nil); len(out) != 0 {
@@ -148,14 +256,24 @@ func TestParallelAndBatchMatchOnRealSystem(t *testing.T) {
 				t.Fatalf("staged=%v parallel Classify frame %d: %+v != %+v", staged, i, got, want[i])
 			}
 		}
-		for _, workers := range []int{1, 3} {
-			seq.Workers = workers
-			got := seq.ClassifyBatch(xs)
-			for i := range got {
-				if !reflect.DeepEqual(want[i], got[i]) {
-					t.Fatalf("staged=%v workers=%d ClassifyBatch frame %d: %+v != %+v",
-						staged, workers, i, got[i], want[i])
-				}
+		// Workers == 1 takes the sequential arena path, which must stay
+		// bit-exact; Workers > 1 takes the per-network batched path, which
+		// must agree on every discrete field and on Confidence within the
+		// batched-kernel tolerance.
+		seq.Workers = 1
+		got := seq.ClassifyBatch(xs)
+		for i := range got {
+			if !reflect.DeepEqual(want[i], got[i]) {
+				t.Fatalf("staged=%v workers=1 ClassifyBatch frame %d: %+v != %+v",
+					staged, i, got[i], want[i])
+			}
+		}
+		seq.Workers = 3
+		got = seq.ClassifyBatch(xs)
+		for i := range got {
+			if !decisionsEquivalent(want[i], got[i]) {
+				t.Fatalf("staged=%v workers=3 batched ClassifyBatch frame %d: %+v !~ %+v",
+					staged, i, got[i], want[i])
 			}
 		}
 	}

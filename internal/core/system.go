@@ -50,8 +50,10 @@ type System struct {
 	// decision is determined. Decisions are identical to the sequential
 	// path (see TestClassifyParallelMatchesSequential).
 	Parallel bool
-	// Workers caps concurrent member inferences (Classify) and in-flight
-	// items (ClassifyBatch); 0 or negative selects runtime.NumCPU().
+	// Workers caps concurrent member inferences, both inside a single
+	// Classify and per stage of the batched ClassifyBatch engine; 0 or
+	// negative selects runtime.NumCPU(). Workers == 1 forces ClassifyBatch
+	// onto the bit-exact sequential per-image path.
 	Workers int
 }
 

@@ -1,0 +1,169 @@
+package nn_test
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/tensor"
+)
+
+// batchFixtures builds one (untrained, deterministically initialized)
+// network per zoo topology at its native input shape, plus a pool of random
+// inputs. Training is irrelevant to the kernel-equivalence property, so the
+// fixtures stay fast.
+func batchFixtures(t testing.TB) []struct {
+	name string
+	net  interface {
+		InferArena(*tensor.T, *tensor.Arena) *tensor.T
+		InferBatchArena([]*tensor.T, *tensor.Arena) []*tensor.T
+	}
+	xs []*tensor.T
+} {
+	t.Helper()
+	type fixture = struct {
+		name string
+		net  interface {
+			InferArena(*tensor.T, *tensor.Arena) *tensor.T
+			InferBatchArena([]*tensor.T, *tensor.Arena) []*tensor.T
+		}
+		xs []*tensor.T
+	}
+	var fs []fixture
+	for _, b := range model.Benchmarks() {
+		cfg, err := b.DatasetConfig(0) // dataset.Fast
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(71))
+		net := b.Build(rng, cfg.Classes, []int{cfg.Channels, cfg.H, cfg.W})
+		xs := make([]*tensor.T, 32)
+		for i := range xs {
+			xs[i] = tensor.New(cfg.Channels, cfg.H, cfg.W)
+			xs[i].FillUniform(rng, 0, 1)
+		}
+		fs = append(fs, fixture{name: b.Name, net: net, xs: xs})
+	}
+	return fs
+}
+
+// TestInferBatchArenaMatchesInferArena is the batched/per-image equivalence
+// contract: for every zoo topology and B ∈ {1, 2, 7, 32}, the fused batch
+// path must agree with per-image InferArena on the argmax always and on
+// every softmax probability within 1e-9 (the batched Dense kernel
+// reassociates floating-point sums; every other kernel is bit-exact).
+func TestInferBatchArenaMatchesInferArena(t *testing.T) {
+	for _, f := range batchFixtures(t) {
+		f := f
+		t.Run(f.name, func(t *testing.T) {
+			ref := tensor.NewArena()
+			want := make([]*tensor.T, len(f.xs))
+			for i, x := range f.xs {
+				want[i] = f.net.InferArena(x, ref).Clone()
+				ref.Reset()
+			}
+			for _, bsz := range []int{1, 2, 7, 32} {
+				a := tensor.NewArena()
+				got := f.net.InferBatchArena(f.xs[:bsz], a)
+				if len(got) != bsz {
+					t.Fatalf("B=%d: got %d outputs", bsz, len(got))
+				}
+				for i, p := range got {
+					wi, _ := want[i].MaxIndex()
+					gi, _ := p.MaxIndex()
+					if wi != gi {
+						t.Errorf("B=%d image %d: argmax %d != per-image %d", bsz, i, gi, wi)
+					}
+					for j := range p.Data {
+						if d := math.Abs(p.Data[j] - want[i].Data[j]); d > 1e-9 {
+							t.Fatalf("B=%d image %d class %d: |Δsoftmax| = %g > 1e-9 (batched %v, per-image %v)",
+								bsz, i, j, d, p.Data[j], want[i].Data[j])
+						}
+					}
+				}
+				// B=1 must be bit-exact: it takes the per-image path.
+				if bsz == 1 {
+					for j := range got[0].Data {
+						if got[0].Data[j] != want[0].Data[j] {
+							t.Fatalf("B=1 image 0 class %d: not bit-exact", j)
+						}
+					}
+				}
+				a.Reset()
+			}
+		})
+	}
+}
+
+// TestInferBatchArenaSharedNetwork hammers one network from several
+// goroutines, each running batched inference with its own arena — the
+// read-only inference contract extended to the fused path (run under -race
+// via the core race job, and meaningful without it too: results must match
+// the single-goroutine reference exactly).
+func TestInferBatchArenaSharedNetwork(t *testing.T) {
+	f := batchFixtures(t)[1] // convnet
+	ref := tensor.NewArena()
+	want := f.net.InferBatchArena(f.xs, ref)
+	wantCopy := make([]*tensor.T, len(want))
+	for i, w := range want {
+		wantCopy[i] = w.Clone()
+	}
+	ref.Reset()
+
+	const goroutines = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			a := tensor.NewArena()
+			for rep := 0; rep < 3; rep++ {
+				got := f.net.InferBatchArena(f.xs, a)
+				for i, p := range got {
+					for j := range p.Data {
+						if p.Data[j] != wantCopy[i].Data[j] {
+							errs <- fmt.Errorf("image %d class %d: concurrent result diverged", i, j)
+							return
+						}
+					}
+				}
+				a.Reset()
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestInferBatchArenaEdgeCases covers the degenerate entry points.
+func TestInferBatchArenaEdgeCases(t *testing.T) {
+	f := batchFixtures(t)[0] // lenet5
+	if out := f.net.InferBatchArena(nil, tensor.NewArena()); len(out) != 0 {
+		t.Errorf("empty batch returned %d outputs", len(out))
+	}
+	// nil arena falls back to Infer per image.
+	out := f.net.InferBatchArena(f.xs[:2], nil)
+	a := tensor.NewArena()
+	want := f.net.InferBatchArena(f.xs[:2], a)
+	for i := range out {
+		for j := range out[i].Data {
+			if math.Abs(out[i].Data[j]-want[i].Data[j]) > 1e-9 {
+				t.Fatalf("nil-arena path diverged at image %d class %d", i, j)
+			}
+		}
+	}
+	// Mixed shapes must panic.
+	defer func() {
+		if recover() == nil {
+			t.Error("mixed-shape batch did not panic")
+		}
+	}()
+	f.net.InferBatchArena([]*tensor.T{f.xs[0], tensor.New(1, 2, 2)}, a)
+}

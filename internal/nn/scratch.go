@@ -144,25 +144,8 @@ func (f *Flatten) forwardArena(x *tensor.T, _ *tensor.Arena) *tensor.T {
 // forwardArena implements arenaForwarder for MaxPool2D.
 func (p *MaxPool2D) forwardArena(x *tensor.T, a *tensor.Arena) *tensor.T {
 	ch, h, w := x.Shape[0], x.Shape[1], x.Shape[2]
-	oh, ow := h/p.K, w/p.K
-	out := a.New(ch, oh, ow)
-	for c := 0; c < ch; c++ {
-		chanOff := c * h * w
-		for oy := 0; oy < oh; oy++ {
-			for ox := 0; ox < ow; ox++ {
-				best := math.Inf(-1)
-				for ky := 0; ky < p.K; ky++ {
-					rowOff := chanOff + (oy*p.K+ky)*w + ox*p.K
-					for kx := 0; kx < p.K; kx++ {
-						if v := x.Data[rowOff+kx]; v > best {
-							best = v
-						}
-					}
-				}
-				out.Data[c*oh*ow+oy*ow+ox] = best
-			}
-		}
-	}
+	out := a.New(ch, h/p.K, w/p.K)
+	maxPoolInto(out.Data, x.Data, ch, h, w, p.K)
 	return out
 }
 

@@ -1,0 +1,44 @@
+package perf
+
+import (
+	"encoding/json"
+	"os"
+)
+
+// This file holds the machine-readable output format of the measured kernel
+// benchmark harness (kernels_bench_test.go) — as opposed to the analytical
+// GPU model in perf.go, these numbers are wall-clock measurements of the
+// repository's own CPU kernels. Running the benchmarks with -bench writes a
+// BENCH_kernels.json report (path overridable via PGMR_BENCH_JSON) capturing
+// ns/op, B/op and the batched-inference speedup over the per-image baseline.
+
+// BenchEntry is one benchmark measurement.
+type BenchEntry struct {
+	// Name is the full benchmark name, e.g. "BenchmarkInferBatch/B=32".
+	Name string `json:"name"`
+	// NsPerOp is wall-clock nanoseconds per benchmark operation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp is heap bytes allocated per operation.
+	BytesPerOp int64 `json:"bytes_per_op"`
+	// Metrics holds benchmark-specific extras, e.g. "img_per_sec" and
+	// "speedup_vs_per_image" for the batched inference benchmarks, or
+	// "gflops" for the GEMM shapes.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// BenchReport is the BENCH_kernels.json document.
+type BenchReport struct {
+	// GoMaxProcs records the parallelism the numbers were taken at.
+	GoMaxProcs int `json:"gomaxprocs"`
+	// Entries are the collected measurements in execution order.
+	Entries []BenchEntry `json:"entries"`
+}
+
+// WriteBenchReport writes the report as indented JSON.
+func WriteBenchReport(path string, r BenchReport) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

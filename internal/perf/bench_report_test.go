@@ -1,0 +1,36 @@
+package perf
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestWriteBenchReport round-trips the BENCH_kernels.json document.
+func TestWriteBenchReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	r := BenchReport{
+		GoMaxProcs: 1,
+		Entries: []BenchEntry{
+			{Name: "BenchmarkInferBatch/B=32", NsPerOp: 7.1e6, BytesPerOp: 2048,
+				Metrics: map[string]float64{"img_per_sec": 4500, "speedup_vs_per_image": 2.3}},
+			{Name: "BenchmarkGemm/square_m128_k128_n128", NsPerOp: 1.2e6, BytesPerOp: 0},
+		},
+	}
+	if err := WriteBenchReport(path, r); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got BenchReport
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if !reflect.DeepEqual(got, r) {
+		t.Errorf("round-trip mismatch:\nwrote %+v\nread  %+v", r, got)
+	}
+}

@@ -49,6 +49,34 @@ func (a *Arena) New(shape ...int) *T {
 	return t
 }
 
+// NewRaw is New without the zero fill: a recycled buffer keeps whatever
+// values it last held. Callers must overwrite every element before reading
+// the tensor — the batched inference kernels qualify (im2col, GEMM and the
+// element-wise passes each fully write their output), and skipping the
+// redundant clear of multi-megabyte column matrices is a measurable win on
+// the hot path. Use New when in doubt.
+func (a *Arena) NewRaw(shape ...int) *T {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic("tensor: negative dimension in arena shape")
+		}
+		n *= d
+	}
+	bucket := a.free[n]
+	if len(bucket) == 0 {
+		t := New(shape...)
+		a.used = append(a.used, t)
+		return t
+	}
+	t := bucket[len(bucket)-1]
+	bucket[len(bucket)-1] = nil
+	a.free[n] = bucket[:len(bucket)-1]
+	t.Shape = append(t.Shape[:0], shape...)
+	a.used = append(a.used, t)
+	return t
+}
+
 // Reset recycles every tensor handed out since the previous Reset. The
 // caller must not use those tensors (or views of them) afterwards.
 func (a *Arena) Reset() {

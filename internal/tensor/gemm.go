@@ -1,0 +1,351 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements GemmInto, the cache-blocked GEMM behind the
+// minibatch-fused inference path (nn.Network.InferBatchArena). Batched
+// im2col lowering produces matrices whose N dimension is B*OutH*OutW —
+// tens of thousands of columns — where the plain i-k-j kernel leaves
+// throughput on the table: it re-streams each C row from memory k times
+// and carries no instruction-level parallelism across rows.
+//
+// GemmInto tiles the output into 4-row × 2-column register blocks (8
+// accumulators + 4 A values + 2 B values fit the 16 SSE registers of
+// amd64) and works K-block by K-block. Within a K-block the column range
+// is swept in gemmJB-wide sub-panels so the touched B rows stay
+// L1-resident while every 4-row group of A streams against them. Short
+// K-blocks (kc ≤ gemmDirectK — every convolution shape in the model zoo)
+// read B rows in place; longer K-blocks first pack the current column
+// pair into contiguous scratch so the inner loop does not stride
+// n-element rows. When the matrix is large enough to amortize goroutine
+// startup, independent column panels are sharded across a bounded worker
+// pool.
+//
+// C is fully overwritten: the first K-block's kernels start their
+// accumulators at zero and store, rather than pre-zeroing C and
+// read-modify-writing it, so callers may hand in uninitialized (arena
+// NewRaw) buffers and the whole matrix is written exactly once per
+// K-block.
+//
+// Floating-point contract: results are bit-identical to MatMulInto's
+// dense kernel for every shape, thread count and blocking choice. Each
+// output element is one accumulation chain in ascending-k order starting
+// from +0; K-blocks after the first resume the chain from the stored
+// partial sum rather than reducing into a separate register, and workers
+// own disjoint column panels. (Sole exception: the k==3 fast kernel folds
+// away the leading +0, so a chain whose partial products are all exact
+// zeros may differ in the sign of its zero result — unobservable
+// downstream and unreachable for non-degenerate inputs.) This is
+// verified by TestGemmIntoMatchesMatMul.
+
+const (
+	// gemmSmallMACs: below this many multiply-accumulates the blocked
+	// kernel's bookkeeping costs more than it saves; such matrices take
+	// the same single-threaded i-k-j path MatMulInto uses, keeping
+	// training-sized multiplies on the code path they always had.
+	gemmSmallMACs = 1 << 14
+	// gemmParallelMACs: above this many multiply-accumulates the column
+	// panels are sharded across a goroutine pool.
+	gemmParallelMACs = 1 << 21
+	// gemmNC is the width of one column panel — the unit of parallel work.
+	gemmNC = 512
+	// gemmKC is the K-block length: the unit in which accumulation chains
+	// are built before moving down the K dimension.
+	gemmKC = 256
+	// gemmDirectK: K-blocks no longer than this skip B-packing and read B
+	// rows in place — at most gemmDirectK row fragments are live at once,
+	// which the sub-panel sweep keeps cache-resident. Packing only pays
+	// for itself when the k loop is long enough to amortize copying the
+	// column pair.
+	gemmDirectK = 128
+	// gemmJB is the direct-path column sub-panel width: kc×gemmJB B
+	// elements (≤ 32 KiB at kc = gemmDirectK) stay L1-resident while all
+	// m/4 row groups sweep the sub-panel.
+	gemmJB = 32
+)
+
+// GemmInto computes C = A×B into an existing m×n tensor, overwriting every
+// element (C's prior contents are ignored, so arena NewRaw buffers are
+// fine). It panics on any shape mismatch. Results are bit-identical to
+// MatMulInto's dense kernel; only the throughput differs.
+func GemmInto(c, a, b *T) {
+	if a.Rank() != 2 || b.Rank() != 2 || c.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: GemmInto requires rank-2 operands, got C%v = A%v × B%v", c.Shape, a.Shape, b.Shape))
+	}
+	m, k := a.Shape[0], a.Shape[1]
+	n := b.Shape[1]
+	if b.Shape[0] != k || c.Shape[0] != m || c.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: GemmInto shape mismatch: C%v = A%v × B%v", c.Shape, a.Shape, b.Shape))
+	}
+	macs := m * n * k
+	if macs <= gemmSmallMACs {
+		c.Zero()
+		matMulRowsDense(c.Data, a.Data, b.Data, 0, m, k, n)
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	panels := (n + gemmNC - 1) / gemmNC
+	if workers > panels {
+		workers = panels
+	}
+	if macs < gemmParallelMACs || workers <= 1 {
+		gemmPanel(c.Data, a.Data, b.Data, m, k, n, 0, n, gemmScratch(k))
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			pack := gemmScratch(k)
+			for {
+				p := int(next.Add(1)) - 1
+				if p >= panels {
+					return
+				}
+				j0 := p * gemmNC
+				j1 := min(j0+gemmNC, n)
+				gemmPanel(c.Data, a.Data, b.Data, m, k, n, j0, j1, pack)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// gemmScratch returns the pack buffer for a K dimension of k, or nil when
+// every K-block takes the pack-free direct path.
+func gemmScratch(k int) []float64 {
+	if k <= gemmDirectK {
+		return nil
+	}
+	return make([]float64, 2*gemmKC)
+}
+
+// gemmPanel computes the column panel C[:, j0:j1) = A×B[:, j0:j1),
+// overwriting it. pack is scratch of at least 2*gemmKC floats (may be nil
+// when k ≤ gemmDirectK).
+func gemmPanel(cd, ad, bd []float64, m, k, n, j0, j1 int, pack []float64) {
+	for p0 := 0; p0 < k; p0 += gemmKC {
+		kc := min(p0+gemmKC, k) - p0
+		first := p0 == 0
+		if kc <= gemmDirectK {
+			gemmBlockDirect(cd, ad, bd, m, k, n, j0, j1, p0, kc, first)
+		} else {
+			gemmBlockPacked(cd, ad, bd, m, k, n, j0, j1, p0, kc, first, pack)
+		}
+	}
+}
+
+// gemmBlockDirect applies one short K-block to the panel, reading B rows
+// in place. The column range is swept in gemmJB-wide sub-panels so the kc
+// live B-row fragments stay cache-resident across all row groups.
+func gemmBlockDirect(cd, ad, bd []float64, m, k, n, j0, j1, p0, kc int, first bool) {
+	for jj := j0; jj < j1; jj += gemmJB {
+		je := min(jj+gemmJB, j1)
+		i := 0
+		for ; i+4 <= m; i += 4 {
+			if kc == 3 && k == 3 {
+				gemmQuadK3(cd, ad, bd, n, i, jj, je)
+			} else {
+				gemmQuadDirect(cd, ad, bd, k, n, i, jj, je, p0, kc, first)
+			}
+		}
+		for ; i < m; i++ {
+			gemmRowDirect(cd, ad, bd, k, n, i, jj, je, p0, kc, first)
+		}
+	}
+}
+
+// gemmQuadDirect computes (or, when first is false, accumulates into) the
+// 4-row output strip C[i:i+4, j0:j1) over one K-block, reading B in place.
+func gemmQuadDirect(cd, ad, bd []float64, k, n, i, j0, j1, p0, kc int, first bool) {
+	a0 := ad[i*k+p0:][:kc]
+	a1 := ad[(i+1)*k+p0:][:kc]
+	a2 := ad[(i+2)*k+p0:][:kc]
+	a3 := ad[(i+3)*k+p0:][:kc]
+	r0 := cd[i*n:]
+	r1 := cd[(i+1)*n:]
+	r2 := cd[(i+2)*n:]
+	r3 := cd[(i+3)*n:]
+	j := j0
+	for ; j+2 <= j1; j += 2 {
+		var c00, c01, c10, c11, c20, c21, c30, c31 float64
+		if !first {
+			c00, c01 = r0[j], r0[j+1]
+			c10, c11 = r1[j], r1[j+1]
+			c20, c21 = r2[j], r2[j+1]
+			c30, c31 = r3[j], r3[j+1]
+		}
+		bi := p0*n + j
+		for p := 0; p < kc; p++ {
+			b0, b1 := bd[bi], bd[bi+1]
+			bi += n
+			av0, av1, av2, av3 := a0[p], a1[p], a2[p], a3[p]
+			c00 += av0 * b0
+			c01 += av0 * b1
+			c10 += av1 * b0
+			c11 += av1 * b1
+			c20 += av2 * b0
+			c21 += av2 * b1
+			c30 += av3 * b0
+			c31 += av3 * b1
+		}
+		r0[j], r0[j+1] = c00, c01
+		r1[j], r1[j+1] = c10, c11
+		r2[j], r2[j+1] = c20, c21
+		r3[j], r3[j+1] = c30, c31
+	}
+	if j < j1 { // odd trailing column
+		var c0, c1, c2, c3 float64
+		if !first {
+			c0, c1, c2, c3 = r0[j], r1[j], r2[j], r3[j]
+		}
+		bi := p0*n + j
+		for p := 0; p < kc; p++ {
+			bv := bd[bi]
+			bi += n
+			c0 += a0[p] * bv
+			c1 += a1[p] * bv
+			c2 += a2[p] * bv
+			c3 += a3[p] * bv
+		}
+		r0[j], r1[j], r2[j], r3[j] = c0, c1, c2, c3
+	}
+}
+
+// gemmQuadK3 is the k == 3 special case (the Winograd data GEMMs have
+// k = InC, which is 3 for RGB input): all twelve A values are hoisted into
+// registers and each output column costs three B loads shared by four
+// rows. Only valid when the whole K dimension is the single block, so the
+// strip is written, not accumulated.
+func gemmQuadK3(cd, ad, bd []float64, n, i, j0, j1 int) {
+	a00, a01, a02 := ad[i*3], ad[i*3+1], ad[i*3+2]
+	a10, a11, a12 := ad[(i+1)*3], ad[(i+1)*3+1], ad[(i+1)*3+2]
+	a20, a21, a22 := ad[(i+2)*3], ad[(i+2)*3+1], ad[(i+2)*3+2]
+	a30, a31, a32 := ad[(i+3)*3], ad[(i+3)*3+1], ad[(i+3)*3+2]
+	b0 := bd[j0:j1]
+	b1 := bd[n+j0 : n+j1]
+	b2 := bd[2*n+j0 : 2*n+j1]
+	r0 := cd[i*n+j0 : i*n+j1]
+	r1 := cd[(i+1)*n+j0 : (i+1)*n+j1]
+	r2 := cd[(i+2)*n+j0 : (i+2)*n+j1]
+	r3 := cd[(i+3)*n+j0 : (i+3)*n+j1]
+	for x, v0 := range b0 {
+		v1, v2 := b1[x], b2[x]
+		r0[x] = a00*v0 + a01*v1 + a02*v2
+		r1[x] = a10*v0 + a11*v1 + a12*v2
+		r2[x] = a20*v0 + a21*v1 + a22*v2
+		r3[x] = a30*v0 + a31*v1 + a32*v2
+	}
+}
+
+// gemmRowDirect handles the m%4 remainder rows of the direct path.
+func gemmRowDirect(cd, ad, bd []float64, k, n, i, j0, j1, p0, kc int, first bool) {
+	arow := ad[i*k+p0:][:kc]
+	row := cd[i*n:]
+	for j := j0; j < j1; j++ {
+		var acc float64
+		if !first {
+			acc = row[j]
+		}
+		bi := p0*n + j
+		for _, av := range arow {
+			acc += av * bd[bi]
+			bi += n
+		}
+		row[j] = acc
+	}
+}
+
+// gemmBlockPacked applies one long K-block to the panel, packing each B
+// column pair into contiguous scratch first: the packed block is re-read
+// by every 4-row group from L1 instead of striding n-element rows.
+func gemmBlockPacked(cd, ad, bd []float64, m, k, n, j0, j1, p0, kc int, first bool, pack []float64) {
+	p1 := p0 + kc
+	j := j0
+	for ; j+2 <= j1; j += 2 {
+		bp := pack[:2*kc]
+		for p := 0; p < kc; p++ {
+			bp[2*p] = bd[(p0+p)*n+j]
+			bp[2*p+1] = bd[(p0+p)*n+j+1]
+		}
+		i := 0
+		for ; i+4 <= m; i += 4 {
+			gemm4x2(cd, ad, bp, k, n, i, j, p0, kc, first)
+		}
+		for ; i < m; i++ {
+			arow := ad[i*k+p0 : i*k+p1]
+			var c0, c1 float64
+			if !first {
+				c0, c1 = cd[i*n+j], cd[i*n+j+1]
+			}
+			for p, av := range arow {
+				c0 += av * bp[2*p]
+				c1 += av * bp[2*p+1]
+			}
+			cd[i*n+j], cd[i*n+j+1] = c0, c1
+		}
+	}
+	if j < j1 { // odd trailing column
+		for i := 0; i < m; i++ {
+			arow := ad[i*k+p0 : i*k+p1]
+			var acc float64
+			if !first {
+				acc = cd[i*n+j]
+			}
+			for p, av := range arow {
+				acc += av * bd[(p0+p)*n+j]
+			}
+			cd[i*n+j] = acc
+		}
+	}
+}
+
+// gemm4x2 computes (or, when first is false, accumulates into) the 4×2
+// output block C[i:i+4, j:j+2] over the K-block [p0, p0+kc) against the
+// packed column pair bp. The eight accumulators start at zero on the first
+// K-block and resume from the values already in C afterwards, so the
+// per-element accumulation chain is exactly the ascending-k order of the
+// i-k-j kernel.
+func gemm4x2(cd, ad, bp []float64, k, n, i, j int, p0, kc int, first bool) {
+	a0 := ad[i*k+p0 : i*k+p0+kc]
+	a1 := ad[(i+1)*k+p0:][:kc]
+	a2 := ad[(i+2)*k+p0:][:kc]
+	a3 := ad[(i+3)*k+p0:][:kc]
+
+	c0 := cd[i*n+j:]
+	c1 := cd[(i+1)*n+j:]
+	c2 := cd[(i+2)*n+j:]
+	c3 := cd[(i+3)*n+j:]
+	var c00, c01, c10, c11, c20, c21, c30, c31 float64
+	if !first {
+		c00, c01 = c0[0], c0[1]
+		c10, c11 = c1[0], c1[1]
+		c20, c21 = c2[0], c2[1]
+		c30, c31 = c3[0], c3[1]
+	}
+
+	for p := 0; p < kc; p++ {
+		b0 := bp[2*p]
+		b1 := bp[2*p+1]
+		av0, av1, av2, av3 := a0[p], a1[p], a2[p], a3[p]
+		c00 += av0 * b0
+		c01 += av0 * b1
+		c10 += av1 * b0
+		c11 += av1 * b1
+		c20 += av2 * b0
+		c21 += av2 * b1
+		c30 += av3 * b0
+		c31 += av3 * b1
+	}
+	c0[0], c0[1] = c00, c01
+	c1[0], c1[1] = c10, c11
+	c2[0], c2[1] = c20, c21
+	c3[0], c3[1] = c30, c31
+}

@@ -1,0 +1,132 @@
+package tensor
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// TestGemmIntoMatchesMatMul locks the floating-point contract of the blocked
+// kernel: GemmInto must be bit-identical to the dense i-k-j kernel for every
+// shape — including shapes that exercise the small-matrix path, the blocked
+// single-threaded path, the parallel multi-panel path, and every remainder
+// case (rows % 4, columns % 2, k % gemmKC).
+func TestGemmIntoMatchesMatMul(t *testing.T) {
+	// Force a multi-worker pool even on single-CPU machines so the parallel
+	// panel sharding is exercised (and shown to be deterministic) everywhere.
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	rng := rand.New(rand.NewSource(11))
+	shapes := [][3]int{
+		{1, 1, 1},
+		{3, 5, 7},                      // all-remainder tiny (small path)
+		{4, 8, 2},                      // exact register tiles
+		{5, 9, 1031},                   // odd column count past the small path
+		{8, 27, 4096},                  // conv1-like: few rows, huge N
+		{16, gemmKC + 13, 777},         // K-block remainder
+		{13, 64, 2*gemmNC + 3},         // multiple panels + odd remainder
+		{32, 2*gemmKC + 1, gemmNC * 2}, // parallel path (m*n*k > gemmParallelMACs)
+	}
+	for _, s := range shapes {
+		m, k, n := s[0], s[1], s[2]
+		t.Run(fmt.Sprintf("%dx%dx%d", m, k, n), func(t *testing.T) {
+			a := New(m, k)
+			a.FillNormal(rng, 0, 1)
+			b := New(k, n)
+			b.FillNormal(rng, 0, 1)
+
+			want := New(m, n)
+			want.Zero()
+			matMulRowsDense(want.Data, a.Data, b.Data, 0, m, k, n)
+
+			got := New(m, n)
+			got.FillUniform(rng, -1, 1) // must be fully overwritten
+			GemmInto(got, a, b)
+
+			for i := range want.Data {
+				if want.Data[i] != got.Data[i] {
+					t.Fatalf("element %d: GemmInto=%v, i-k-j kernel=%v (must be bit-identical)", i, got.Data[i], want.Data[i])
+				}
+			}
+		})
+	}
+}
+
+// TestGemmIntoShapePanics verifies shape validation.
+func TestGemmIntoShapePanics(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	expectPanic("inner mismatch", func() { GemmInto(New(2, 2), New(2, 3), New(4, 2)) })
+	expectPanic("out mismatch", func() { GemmInto(New(3, 2), New(2, 3), New(3, 2)) })
+	expectPanic("rank", func() { GemmInto(New(2, 2), New(4), New(2, 2)) })
+}
+
+// TestMatMulIntoSparseAndDenseAgree verifies the density probe never changes
+// results on inputs with exact zeros: the skip-zero and dense kernels agree
+// to the last bit for finite data (0*x contributes an exact ±0).
+func TestMatMulIntoSparseAndDenseAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 20; trial++ {
+		m, k, n := 1+rng.Intn(8), 1+rng.Intn(16), 1+rng.Intn(32)
+		a := New(m, k)
+		a.FillNormal(rng, 0, 1)
+		// ReLU-like sparsity: clamp a fraction of entries to exactly zero.
+		for i := range a.Data {
+			if rng.Float64() < 0.6 {
+				a.Data[i] = 0
+			}
+		}
+		b := New(k, n)
+		b.FillNormal(rng, 0, 1)
+
+		dense := New(m, n)
+		dense.Zero()
+		matMulRowsDense(dense.Data, a.Data, b.Data, 0, m, k, n)
+		skip := New(m, n)
+		skip.Zero()
+		matMulRowsSkipZero(skip.Data, a.Data, b.Data, 0, m, k, n)
+
+		for i := range dense.Data {
+			if dense.Data[i] != skip.Data[i] {
+				t.Fatalf("trial %d element %d: dense=%v skip=%v", trial, i, dense.Data[i], skip.Data[i])
+			}
+		}
+	}
+}
+
+// TestLikelySparse pins the probe's decision boundary.
+func TestLikelySparse(t *testing.T) {
+	dense := make([]float64, 1000)
+	for i := range dense {
+		dense[i] = 1 + float64(i)
+	}
+	if likelySparse(dense) {
+		t.Error("all-nonzero input classified sparse")
+	}
+	if likelySparse(nil) {
+		t.Error("empty input classified sparse")
+	}
+	rng := rand.New(rand.NewSource(13))
+	sparse := make([]float64, 1000)
+	for i := range sparse {
+		if rng.Float64() < 0.4 {
+			sparse[i] = 1 + rng.Float64()
+		}
+	}
+	// ~60% zeros at random positions: well past the 1/4 cutoff.
+	if !likelySparse(sparse) {
+		t.Error("60%-zero input classified dense")
+	}
+	if !likelySparse(make([]float64, 500)) {
+		t.Error("all-zero input classified dense")
+	}
+}

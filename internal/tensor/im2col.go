@@ -51,30 +51,73 @@ func Im2Col(dst, src *T, g ConvGeom) {
 		chanOff := c * g.InH * g.InW
 		for kh := 0; kh < g.KH; kh++ {
 			for kw := 0; kw < g.KW; kw++ {
-				drow := dd[row*oh*ow : (row+1)*oh*ow]
-				di := 0
-				for oy := 0; oy < oh; oy++ {
-					iy := oy*g.Stride + kh - g.Pad
-					if iy < 0 || iy >= g.InH {
-						for ox := 0; ox < ow; ox++ {
-							drow[di] = 0
-							di++
-						}
-						continue
-					}
-					srow := sd[chanOff+iy*g.InW : chanOff+(iy+1)*g.InW]
-					ix := kw - g.Pad
-					for ox := 0; ox < ow; ox++ {
-						if ix >= 0 && ix < g.InW {
-							drow[di] = srow[ix]
-						} else {
-							drow[di] = 0
-						}
-						di++
-						ix += g.Stride
-					}
-				}
+				im2colRow(dd[row*oh*ow:(row+1)*oh*ow], sd, chanOff, kh, kw, oh, ow, g)
 				row++
+			}
+		}
+	}
+}
+
+// im2colRow fills one [OutH*OutW] row of a column matrix: the input patch
+// element at kernel offset (kh, kw) of channel chanOff for every output
+// position, with zeros where the patch hangs over the padding border.
+func im2colRow(drow, sd []float64, chanOff, kh, kw, oh, ow int, g ConvGeom) {
+	di := 0
+	for oy := 0; oy < oh; oy++ {
+		iy := oy*g.Stride + kh - g.Pad
+		if iy < 0 || iy >= g.InH {
+			for ox := 0; ox < ow; ox++ {
+				drow[di] = 0
+				di++
+			}
+			continue
+		}
+		srow := sd[chanOff+iy*g.InW : chanOff+(iy+1)*g.InW]
+		ix := kw - g.Pad
+		for ox := 0; ox < ow; ox++ {
+			if ix >= 0 && ix < g.InW {
+				drow[di] = srow[ix]
+			} else {
+				drow[di] = 0
+			}
+			di++
+			ix += g.Stride
+		}
+	}
+}
+
+// Im2ColBatch lowers a minibatch of same-shaped [C,H,W] images into one
+// [C*KH*KW, B*OutH*OutW] column matrix. Image b owns the contiguous column
+// block [b*OutH*OutW, (b+1)*OutH*OutW), so row r of dst is the concatenation
+// of row r of Im2Col(srcs[0]) … Im2Col(srcs[B-1]), bit-exactly, and the
+// convolution of the whole batch becomes a single
+// [OutC, C*KH*KW] × [C*KH*KW, B*OutH*OutW] matmul (see nn's batched
+// inference path). dst is fully overwritten.
+func Im2ColBatch(dst *T, srcs []*T, g ConvGeom) {
+	bsz := len(srcs)
+	oh, ow := g.OutH(), g.OutW()
+	ohw := oh * ow
+	rows := g.InC * g.KH * g.KW
+	if dst.Shape[0] != rows || dst.Shape[1] != bsz*ohw {
+		panic(fmt.Sprintf("tensor: Im2ColBatch dst shape %v, want [%d %d]", dst.Shape, rows, bsz*ohw))
+	}
+	for _, src := range srcs {
+		if src.Len() != g.InC*g.InH*g.InW {
+			panic(fmt.Sprintf("tensor: Im2ColBatch src len %d, want %d", src.Len(), g.InC*g.InH*g.InW))
+		}
+	}
+	dd := dst.Data
+	for b, src := range srcs {
+		sd := src.Data
+		row := 0
+		for c := 0; c < g.InC; c++ {
+			chanOff := c * g.InH * g.InW
+			for kh := 0; kh < g.KH; kh++ {
+				for kw := 0; kw < g.KW; kw++ {
+					base := row*bsz*ohw + b*ohw
+					im2colRow(dd[base:base+ohw], sd, chanOff, kh, kw, oh, ow, g)
+					row++
+				}
 			}
 		}
 	}

@@ -1,0 +1,108 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomGeom draws a ConvGeom from a stride/pad/kernel sweep wide enough to
+// hit border clipping, stride>kernel gaps, and 1x1 kernels.
+func randomGeom(rng *rand.Rand) ConvGeom {
+	for {
+		g := ConvGeom{
+			InC: 1 + rng.Intn(4), InH: 3 + rng.Intn(10), InW: 3 + rng.Intn(10),
+			KH: 1 + rng.Intn(5), KW: 1 + rng.Intn(5),
+			Stride: 1 + rng.Intn(3), Pad: rng.Intn(3),
+		}
+		if g.Validate() == nil {
+			return g
+		}
+	}
+}
+
+// TestIm2ColCol2ImAdjointSweep is the property `<Im2Col(x), y> == <x,
+// Col2Im(y)>` — the defining condition for Col2Im to be the adjoint of
+// Im2Col — over a randomized geometry sweep much broader than the original
+// fixed-case test (stride 1–3, pad 0–2, kernels 1–5, rectangular).
+func TestIm2ColCol2ImAdjointSweep(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 200; trial++ {
+		g := randomGeom(rng)
+		rows, cols := g.InC*g.KH*g.KW, g.OutH()*g.OutW()
+
+		x := New(g.InC, g.InH, g.InW)
+		x.FillNormal(rng, 0, 1)
+		y := New(rows, cols)
+		y.FillNormal(rng, 0, 1)
+
+		ix := New(rows, cols)
+		Im2Col(ix, x, g)
+		cy := New(g.InC, g.InH, g.InW)
+		Col2Im(cy, y, g)
+
+		lhs := ix.Dot(y)
+		rhs := x.Dot(cy)
+		if math.Abs(lhs-rhs) > 1e-9*(1+math.Abs(lhs)) {
+			t.Fatalf("trial %d: adjoint violated: <Im2Col x, y>=%v, <x, Col2Im y>=%v (geom %+v)", trial, lhs, rhs, g)
+		}
+	}
+}
+
+// TestIm2ColBatchMatchesStacked verifies the batched lowering is exactly B
+// stacked single-image lowerings: row r of the batch matrix must be the
+// concatenation of row r of each per-image matrix, bit-exact, over the same
+// randomized geometry sweep.
+func TestIm2ColBatchMatchesStacked(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 100; trial++ {
+		g := randomGeom(rng)
+		bsz := 1 + rng.Intn(5)
+		rows, ohw := g.InC*g.KH*g.KW, g.OutH()*g.OutW()
+
+		srcs := make([]*T, bsz)
+		singles := make([]*T, bsz)
+		for b := range srcs {
+			srcs[b] = New(g.InC, g.InH, g.InW)
+			srcs[b].FillNormal(rng, 0, 1)
+			singles[b] = New(rows, ohw)
+			Im2Col(singles[b], srcs[b], g)
+		}
+
+		batch := New(rows, bsz*ohw)
+		batch.FillUniform(rng, -1, 1) // must be fully overwritten
+		Im2ColBatch(batch, srcs, g)
+
+		for r := 0; r < rows; r++ {
+			for b := 0; b < bsz; b++ {
+				for s := 0; s < ohw; s++ {
+					got := batch.Data[r*bsz*ohw+b*ohw+s]
+					want := singles[b].Data[r*ohw+s]
+					if got != want {
+						t.Fatalf("trial %d: row %d image %d col %d: batch=%v single=%v (geom %+v)", trial, r, b, s, got, want, g)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestIm2ColBatchShapePanics verifies shape validation of the batched path.
+func TestIm2ColBatchShapePanics(t *testing.T) {
+	g := ConvGeom{InC: 1, InH: 4, InW: 4, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	expectPanic("dst shape", func() {
+		Im2ColBatch(New(9, 15), []*T{New(1, 4, 4)}, g)
+	})
+	expectPanic("src len", func() {
+		Im2ColBatch(New(9, 32), []*T{New(1, 4, 4), New(1, 3, 3)}, g)
+	})
+}

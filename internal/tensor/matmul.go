@@ -22,6 +22,12 @@ func MatMul(a, b *T) *T {
 
 // MatMulInto computes C = A×B into an existing m×n tensor, overwriting it.
 // It panics on any shape mismatch.
+//
+// The kernel is chosen by a density probe on A: genuinely sparse operands
+// (post-ReLU activation columns in the backward pass) keep the zero-skip
+// branch, while dense operands (weights, raw inputs) run a branch-free inner
+// loop — the data-dependent `av == 0` test mispredicts on dense data and
+// costs more than the skipped multiplies save (see BenchmarkMatMulDense).
 func MatMulInto(c, a, b *T) {
 	m, k := a.Shape[0], a.Shape[1]
 	n := b.Shape[1]
@@ -29,8 +35,30 @@ func MatMulInto(c, a, b *T) {
 		panic(fmt.Sprintf("tensor: MatMulInto shape mismatch: C%v = A%v × B%v", c.Shape, a.Shape, b.Shape))
 	}
 	c.Zero()
-	ad, bd, cd := a.Data, b.Data, c.Data
-	for i := 0; i < m; i++ {
+	if likelySparse(a.Data) {
+		matMulRowsSkipZero(c.Data, a.Data, b.Data, 0, m, k, n)
+		return
+	}
+	matMulRowsDense(c.Data, a.Data, b.Data, 0, m, k, n)
+}
+
+// matMulRowsDense computes rows [i0,i1) of C = A×B with the i-k-j loop order
+// and no zero test: every A element issues an axpy.
+func matMulRowsDense(cd, ad, bd []float64, i0, i1, k, n int) {
+	for i := i0; i < i1; i++ {
+		arow := ad[i*k : (i+1)*k]
+		crow := cd[i*n : (i+1)*n]
+		for p, av := range arow {
+			brow := bd[p*n : (p+1)*n]
+			axpyUnrolled(crow, av, brow)
+		}
+	}
+}
+
+// matMulRowsSkipZero is matMulRowsDense with the zero-skip branch, worthwhile
+// only when a meaningful fraction of A is exactly zero.
+func matMulRowsSkipZero(cd, ad, bd []float64, i0, i1, k, n int) {
+	for i := i0; i < i1; i++ {
 		arow := ad[i*k : (i+1)*k]
 		crow := cd[i*n : (i+1)*n]
 		for p, av := range arow {
@@ -43,8 +71,30 @@ func MatMulInto(c, a, b *T) {
 	}
 }
 
+// likelySparse probes up to 128 evenly spaced elements and reports whether
+// at least a quarter of them are exactly zero — the break-even point below
+// which the zero-skip branch mispredicts more than it saves. The probe is
+// O(1) relative to the O(m·n·k) multiply it steers.
+func likelySparse(data []float64) bool {
+	const maxSamples = 128
+	n := len(data)
+	if n == 0 {
+		return false
+	}
+	stride := n/maxSamples + 1
+	zeros, seen := 0, 0
+	for i := 0; i < n; i += stride {
+		if data[i] == 0 {
+			zeros++
+		}
+		seen++
+	}
+	return zeros*4 >= seen
+}
+
 // MatMulTransAInto computes C = Aᵀ×B where A is k×m, B is k×n, C is m×n.
-// Used by convolution backward passes.
+// Used by convolution backward passes. Like MatMulInto, the zero-skip branch
+// is kept only when the density probe says A is actually sparse.
 func MatMulTransAInto(c, a, b *T) {
 	k, m := a.Shape[0], a.Shape[1]
 	n := b.Shape[1]
@@ -53,15 +103,21 @@ func MatMulTransAInto(c, a, b *T) {
 	}
 	c.Zero()
 	ad, bd, cd := a.Data, b.Data, c.Data
+	skip := likelySparse(ad)
 	for p := 0; p < k; p++ {
 		arow := ad[p*m : (p+1)*m]
 		brow := bd[p*n : (p+1)*n]
-		for i, av := range arow {
-			if av == 0 {
-				continue
+		if skip {
+			for i, av := range arow {
+				if av == 0 {
+					continue
+				}
+				axpyUnrolled(cd[i*n:(i+1)*n], av, brow)
 			}
-			crow := cd[i*n : (i+1)*n]
-			axpyUnrolled(crow, av, brow)
+		} else {
+			for i, av := range arow {
+				axpyUnrolled(cd[i*n:(i+1)*n], av, brow)
+			}
 		}
 	}
 }

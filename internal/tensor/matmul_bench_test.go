@@ -1,0 +1,67 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The dense/sparse pair below is the evidence for gating the zero-skip
+// branch behind the density probe: on fully dense operands the branch-free
+// kernel wins (the `av == 0` test is a data-dependent branch that never
+// pays off), while on ReLU-sparse operands the skip path still wins by
+// dropping whole axpy rows.
+
+func benchMatMulOperands(b *testing.B, m, k, n int, zeroFrac float64) (c, a, bb *T) {
+	rng := rand.New(rand.NewSource(31))
+	a = New(m, k)
+	a.FillNormal(rng, 0, 1)
+	for i := range a.Data {
+		if rng.Float64() < zeroFrac {
+			a.Data[i] = 0
+		}
+	}
+	bb = New(k, n)
+	bb.FillNormal(rng, 0, 1)
+	c = New(m, n)
+	b.ResetTimer()
+	return c, a, bb
+}
+
+// BenchmarkMatMulDense measures MatMulInto on a fully dense A (the probe
+// selects the branch-free kernel); compare against
+// BenchmarkMatMulDenseSkipZero, the pre-probe behavior on the same data.
+func BenchmarkMatMulDense(b *testing.B) {
+	c, a, bb := benchMatMulOperands(b, 64, 128, 256, 0)
+	for i := 0; i < b.N; i++ {
+		MatMulInto(c, a, bb)
+	}
+}
+
+// BenchmarkMatMulDenseSkipZero forces the zero-skip kernel onto dense data:
+// the historical behavior the density probe retires.
+func BenchmarkMatMulDenseSkipZero(b *testing.B) {
+	c, a, bb := benchMatMulOperands(b, 64, 128, 256, 0)
+	for i := 0; i < b.N; i++ {
+		c.Zero()
+		matMulRowsSkipZero(c.Data, a.Data, bb.Data, 0, 64, 128, 256)
+	}
+}
+
+// BenchmarkMatMulSparse measures MatMulInto on 60%-zero A (the probe keeps
+// the zero-skip kernel, which drops whole rows of work).
+func BenchmarkMatMulSparse(b *testing.B) {
+	c, a, bb := benchMatMulOperands(b, 64, 128, 256, 0.6)
+	for i := 0; i < b.N; i++ {
+		MatMulInto(c, a, bb)
+	}
+}
+
+// BenchmarkMatMulSparseDense forces the branch-free kernel onto the same
+// sparse data, quantifying what the probe saves in the sparse direction.
+func BenchmarkMatMulSparseDense(b *testing.B) {
+	c, a, bb := benchMatMulOperands(b, 64, 128, 256, 0.6)
+	for i := 0; i < b.N; i++ {
+		c.Zero()
+		matMulRowsDense(c.Data, a.Data, bb.Data, 0, 64, 128, 256)
+	}
+}
