@@ -39,11 +39,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 	csvDir := fs.String("csv", "", "also write each result as CSV into this directory")
 	jsonPath := fs.String("json", "", "write all results as a JSON array to this file (\"-\" = stdout)")
 	workers := fs.Int("workers", 0, "worker-pool size for throughput experiments (0 = NumCPU)")
+	cacheMB := fs.Int("cache-mb", 64, "ext-caching: prediction-cache budget in MiB")
+	cacheTTL := fs.Duration("cache-ttl", 0, "ext-caching: cache entry TTL (0 = entries never expire)")
+	zipfS := fs.Float64("zipf", 1.1, "ext-caching: Zipf skew exponent of the duplicate workload (> 1)")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: pgmr-bench [-list] [-quiet] [-csv DIR] [-json FILE] <experiment-id>... | all\n")
 		fmt.Fprintf(stderr, "experiments: %s\n", strings.Join(experiments.IDs(), ", "))
 	}
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *cacheMB < 0 || *cacheTTL < 0 {
+		fmt.Fprintln(stderr, "pgmr-bench: -cache-mb and -cache-ttl must be >= 0")
+		fs.Usage()
+		return 2
+	}
+	if *zipfS <= 1 {
+		fmt.Fprintln(stderr, "pgmr-bench: -zipf must be > 1 (Zipf skew exponent)")
+		fs.Usage()
 		return 2
 	}
 
@@ -77,6 +90,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	ctx := experiments.NewContext()
 	ctx.Workers = *workers
+	ctx.CacheMB = *cacheMB
+	ctx.CacheTTL = *cacheTTL
+	ctx.ZipfS = *zipfS
 	if !*quiet {
 		ctx.Zoo.Progress = func(f string, a ...any) {
 			fmt.Fprintf(stderr, "# "+f+"\n", a...)

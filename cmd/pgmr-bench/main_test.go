@@ -21,6 +21,10 @@ func TestRunUsageErrors(t *testing.T) {
 		{"no ids", nil},
 		{"unknown id", []string{"nosuchfig"}},
 		{"bad flag", []string{"-definitely-not-a-flag"}},
+		{"negative cache-mb", []string{"-cache-mb", "-1", "ext-caching"}},
+		{"negative cache-ttl", []string{"-cache-ttl", "-1s", "ext-caching"}},
+		{"zipf at 1", []string{"-zipf", "1", "ext-caching"}},
+		{"zipf below 1", []string{"-zipf", "0.5", "ext-caching"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -6,6 +6,7 @@
 //
 //	pgmr-serve -benchmark convnet -addr :8080
 //	pgmr-serve -benchmark convnet -batch-window 2ms -max-batch 32 -queue 512
+//	pgmr-serve -benchmark convnet -cache-mb 64 -cache-ttl 10m
 //	pgmr-serve -benchmark convnet -loadtest -clients 16 -requests 500
 //
 // In serving mode the process runs until SIGINT/SIGTERM, then drains
@@ -43,6 +44,8 @@ func main() {
 	queue := flag.Int("queue", 256, "admission queue depth in images (429 beyond it)")
 	deadline := flag.Duration("deadline", 30*time.Second, "default per-request deadline when the request carries no timeout_ms")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long graceful shutdown waits for in-flight requests")
+	cacheMB := flag.Int("cache-mb", 0, "prediction-cache budget in MiB (0 = caching off)")
+	cacheTTL := flag.Duration("cache-ttl", 0, "prediction-cache entry TTL (0 = entries never expire)")
 	quiet := flag.Bool("quiet", false, "suppress training progress output")
 
 	loadtest := flag.Bool("loadtest", false, "run an in-process load test instead of serving")
@@ -56,15 +59,24 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *cacheMB < 0 || *cacheTTL < 0 {
+		fmt.Fprintln(os.Stderr, "pgmr-serve: -cache-mb and -cache-ttl must be >= 0")
+		flag.Usage()
+		os.Exit(2)
+	}
 
-	sys, err := polygraph.Build(*benchmark, polygraph.Options{
+	opts := polygraph.Options{
 		Members:       *members,
 		PrecisionBits: *bits,
 		DisableStaged: *noStage,
 		Workers:       *workers,
 		Quiet:         *quiet,
 		Progress:      func(f string, a ...any) { fmt.Fprintf(os.Stderr, "# "+f+"\n", a...) },
-	})
+	}
+	if *cacheMB > 0 {
+		opts.Cache = &polygraph.CacheOptions{MaxBytes: int64(*cacheMB) << 20, TTL: *cacheTTL}
+	}
+	sys, err := polygraph.Build(*benchmark, opts)
 	if err != nil {
 		fatalf("building system: %v", err)
 	}

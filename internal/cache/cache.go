@@ -1,0 +1,253 @@
+// Package cache implements the content-addressed prediction cache: a
+// power-of-two lock-sharded LRU+TTL store (this file), stable content
+// digests binding cached values to the exact system configuration that
+// produced them (digest.go), and singleflight coalescing of concurrent
+// identical work (singleflight.go).
+//
+// The store is generic over the cached value so the package stays free of
+// internal/core imports (core wraps it as a Decision cache; see
+// core.PredictionCache). The sharding shape — a power-of-two shard array
+// indexed by key bits, each shard owning its own mutex, hash map, intrusive
+// LRU list, byte budget and counters — keeps contention local: two
+// goroutines touching different shards never share a lock.
+package cache
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config parameterizes a Cache.
+type Config struct {
+	// MaxBytes is the total byte budget across all shards; at most
+	// MaxBytes/Shards lives in any one shard. <= 0 selects 64 MiB.
+	MaxBytes int64
+	// TTL is the entry lifetime; expired entries count as misses and are
+	// reclaimed lazily on access and on insert-driven eviction. 0 disables
+	// expiry.
+	TTL time.Duration
+	// Shards is rounded up to a power of two; <= 0 selects 16.
+	Shards int
+	// Now is injectable for tests; nil selects time.Now.
+	Now func() time.Time
+}
+
+// Stats is a point-in-time aggregate of the per-shard counters.
+type Stats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Expired   uint64
+	Entries   int
+	Bytes     int64
+}
+
+// entryOverhead approximates the fixed per-entry cost (key, list links,
+// expiry stamp, map bucket share) charged against the byte budget on top of
+// the caller-reported value size.
+const entryOverhead = 128
+
+type entry[V any] struct {
+	key        Key
+	val        V
+	bytes      int64
+	expires    int64 // unix nanos; 0 = never
+	prev, next *entry[V]
+}
+
+// shard is one lock domain: a map for lookup plus an intrusive
+// doubly-linked list in recency order (front = MRU, back = LRU).
+type shard[V any] struct {
+	mu      sync.Mutex
+	entries map[Key]*entry[V]
+	front   *entry[V]
+	back    *entry[V]
+	bytes   int64
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+	expired   atomic.Uint64
+}
+
+// Cache is a sharded LRU+TTL store keyed by content digests. All methods
+// are safe for concurrent use.
+type Cache[V any] struct {
+	shards   []shard[V]
+	mask     uint64
+	ttl      time.Duration
+	perShard int64
+	now      func() time.Time
+	sizeOf   func(V) int64
+}
+
+// New creates a cache. sizeOf reports the approximate heap footprint of a
+// value and is charged (plus a fixed per-entry overhead) against the byte
+// budget; nil treats every value as zero-sized, leaving only the overhead.
+func New[V any](cfg Config, sizeOf func(V) int64) *Cache[V] {
+	if cfg.MaxBytes <= 0 {
+		cfg.MaxBytes = 64 << 20
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 16
+	}
+	n := 1
+	for n < cfg.Shards {
+		n <<= 1
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if sizeOf == nil {
+		sizeOf = func(V) int64 { return 0 }
+	}
+	perShard := cfg.MaxBytes / int64(n)
+	if perShard < entryOverhead {
+		perShard = entryOverhead
+	}
+	c := &Cache[V]{
+		shards:   make([]shard[V], n),
+		mask:     uint64(n - 1),
+		ttl:      cfg.TTL,
+		perShard: perShard,
+		now:      cfg.Now,
+		sizeOf:   sizeOf,
+	}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[Key]*entry[V])
+	}
+	return c
+}
+
+// shardFor indexes the shard array with the key's low bits; keys are
+// uniformly distributed digests, so any bit window balances the shards.
+func (c *Cache[V]) shardFor(k Key) *shard[V] {
+	idx := (uint64(k[0]) | uint64(k[1])<<8 | uint64(k[2])<<16 | uint64(k[3])<<24 |
+		uint64(k[4])<<32 | uint64(k[5])<<40 | uint64(k[6])<<48 | uint64(k[7])<<56) & c.mask
+	return &c.shards[idx]
+}
+
+// Get returns the cached value for k and bumps it to MRU. An expired entry
+// is reclaimed on the spot and reported as a miss. The returned value is
+// the stored one — callers caching pointer-bearing types must treat it as
+// shared and clone before mutating.
+func (c *Cache[V]) Get(k Key) (V, bool) {
+	sh := c.shardFor(k)
+	sh.mu.Lock()
+	e, ok := sh.entries[k]
+	if !ok {
+		sh.mu.Unlock()
+		sh.misses.Add(1)
+		var zero V
+		return zero, false
+	}
+	if e.expires != 0 && c.now().UnixNano() > e.expires {
+		sh.unlink(e)
+		delete(sh.entries, k)
+		sh.bytes -= e.bytes
+		sh.mu.Unlock()
+		sh.expired.Add(1)
+		sh.misses.Add(1)
+		var zero V
+		return zero, false
+	}
+	sh.unlink(e)
+	sh.pushFront(e)
+	v := e.val
+	sh.mu.Unlock()
+	sh.hits.Add(1)
+	return v, true
+}
+
+// Add inserts or refreshes the value for k at MRU, resetting its TTL, then
+// evicts LRU entries until the shard is back under its byte budget. The
+// cache takes ownership of v; callers must not mutate it afterwards.
+func (c *Cache[V]) Add(k Key, v V) {
+	bytes := c.sizeOf(v) + entryOverhead
+	var expires int64
+	if c.ttl > 0 {
+		expires = c.now().Add(c.ttl).UnixNano()
+	}
+	sh := c.shardFor(k)
+	sh.mu.Lock()
+	if e, ok := sh.entries[k]; ok {
+		sh.bytes += bytes - e.bytes
+		e.val, e.bytes, e.expires = v, bytes, expires
+		sh.unlink(e)
+		sh.pushFront(e)
+	} else {
+		e := &entry[V]{key: k, val: v, bytes: bytes, expires: expires}
+		sh.entries[k] = e
+		sh.pushFront(e)
+		sh.bytes += bytes
+	}
+	var evicted uint64
+	for sh.bytes > c.perShard && sh.back != nil {
+		lru := sh.back
+		sh.unlink(lru)
+		delete(sh.entries, lru.key)
+		sh.bytes -= lru.bytes
+		evicted++
+	}
+	sh.mu.Unlock()
+	if evicted > 0 {
+		sh.evictions.Add(evicted)
+	}
+}
+
+// Len reports the number of live entries (including any not yet reclaimed
+// expired ones).
+func (c *Cache[V]) Len() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += len(sh.entries)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Stats aggregates the per-shard counters.
+func (c *Cache[V]) Stats() Stats {
+	var st Stats
+	for i := range c.shards {
+		sh := &c.shards[i]
+		st.Hits += sh.hits.Load()
+		st.Misses += sh.misses.Load()
+		st.Evictions += sh.evictions.Load()
+		st.Expired += sh.expired.Load()
+		sh.mu.Lock()
+		st.Entries += len(sh.entries)
+		st.Bytes += sh.bytes
+		sh.mu.Unlock()
+	}
+	return st
+}
+
+func (sh *shard[V]) pushFront(e *entry[V]) {
+	e.prev = nil
+	e.next = sh.front
+	if sh.front != nil {
+		sh.front.prev = e
+	}
+	sh.front = e
+	if sh.back == nil {
+		sh.back = e
+	}
+}
+
+func (sh *shard[V]) unlink(e *entry[V]) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else if sh.front == e {
+		sh.front = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else if sh.back == e {
+		sh.back = e.prev
+	}
+	e.prev, e.next = nil, nil
+}

@@ -1,0 +1,175 @@
+package cache
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// testKey builds a deterministic key whose shard index tracks the low byte.
+func testKey(i int) Key {
+	var k Key
+	k[0] = byte(i)
+	k[1] = byte(i >> 8)
+	k[8] = byte(i >> 16) // disambiguate beyond the shard-index window
+	return k
+}
+
+// singleShard returns a one-shard cache so LRU order is global and
+// deterministic. Each entry costs entryOverhead + 8 bytes; budget holds
+// exactly `capEntries` of them.
+func singleShard(capEntries int, ttl time.Duration, now func() time.Time) *Cache[int] {
+	return New[int](Config{
+		MaxBytes: int64(capEntries) * (entryOverhead + 8),
+		TTL:      ttl,
+		Shards:   1,
+		Now:      now,
+	}, func(int) int64 { return 8 })
+}
+
+func TestCacheGetAdd(t *testing.T) {
+	c := singleShard(4, 0, nil)
+	if _, ok := c.Get(testKey(1)); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Add(testKey(1), 100)
+	v, ok := c.Get(testKey(1))
+	if !ok || v != 100 {
+		t.Fatalf("Get = %v, %v; want 100, true", v, ok)
+	}
+	c.Add(testKey(1), 200) // refresh
+	if v, _ := c.Get(testKey(1)); v != 200 {
+		t.Fatalf("after refresh Get = %v; want 200", v)
+	}
+	if n := c.Len(); n != 1 {
+		t.Fatalf("Len = %d; want 1", n)
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v; want 2 hits, 1 miss, 1 entry", st)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := singleShard(3, 0, nil)
+	for i := 1; i <= 3; i++ {
+		c.Add(testKey(i), i)
+	}
+	// Touch 1 so it becomes MRU; 2 is now LRU.
+	if _, ok := c.Get(testKey(1)); !ok {
+		t.Fatal("expected hit for key 1")
+	}
+	c.Add(testKey(4), 4) // evicts 2
+	if _, ok := c.Get(testKey(2)); ok {
+		t.Fatal("key 2 should have been evicted (LRU)")
+	}
+	for _, i := range []int{1, 3, 4} {
+		if _, ok := c.Get(testKey(i)); !ok {
+			t.Fatalf("key %d should have survived", i)
+		}
+	}
+	if ev := c.Stats().Evictions; ev != 1 {
+		t.Fatalf("evictions = %d; want 1", ev)
+	}
+}
+
+func TestCacheByteBudget(t *testing.T) {
+	// Values report their own size; one big value displaces several small.
+	c := New[[]byte](Config{MaxBytes: 4 * (entryOverhead + 64), Shards: 1},
+		func(b []byte) int64 { return int64(len(b)) })
+	for i := 0; i < 4; i++ {
+		c.Add(testKey(i), make([]byte, 64))
+	}
+	if n := c.Len(); n != 4 {
+		t.Fatalf("Len = %d; want 4", n)
+	}
+	c.Add(testKey(9), make([]byte, 3*64+2*entryOverhead))
+	st := c.Stats()
+	if st.Bytes > 4*(entryOverhead+64) {
+		t.Fatalf("bytes %d over budget %d", st.Bytes, 4*(entryOverhead+64))
+	}
+	if _, ok := c.Get(testKey(9)); !ok {
+		t.Fatal("newest entry should survive its own insert-eviction")
+	}
+	if st.Evictions == 0 {
+		t.Fatal("expected evictions to reclaim budget")
+	}
+}
+
+func TestCacheTTLExpiry(t *testing.T) {
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	c := singleShard(8, time.Minute, clock)
+	c.Add(testKey(1), 1)
+	now = now.Add(30 * time.Second)
+	if _, ok := c.Get(testKey(1)); !ok {
+		t.Fatal("entry expired before TTL")
+	}
+	now = now.Add(31 * time.Second) // refreshless total 61s > TTL? Get refreshed nothing; Add stamped at t=0
+	if _, ok := c.Get(testKey(1)); ok {
+		t.Fatal("entry served past TTL")
+	}
+	st := c.Stats()
+	if st.Expired != 1 {
+		t.Fatalf("expired = %d; want 1", st.Expired)
+	}
+	if st.Entries != 0 {
+		t.Fatalf("expired entry not reclaimed: %d entries", st.Entries)
+	}
+	// Re-adding restarts the clock.
+	c.Add(testKey(1), 2)
+	now = now.Add(59 * time.Second)
+	if v, ok := c.Get(testKey(1)); !ok || v != 2 {
+		t.Fatalf("re-added entry: Get = %v, %v; want 2, true", v, ok)
+	}
+}
+
+func TestCacheShardRoundingAndDistribution(t *testing.T) {
+	c := New[int](Config{Shards: 5}, nil) // rounds up to 8
+	if len(c.shards) != 8 {
+		t.Fatalf("shards = %d; want 8", len(c.shards))
+	}
+	if c.mask != 7 {
+		t.Fatalf("mask = %d; want 7", c.mask)
+	}
+	// Keys differing only in low byte land on different shards.
+	a, b := c.shardFor(testKey(0)), c.shardFor(testKey(1))
+	if a == b {
+		t.Fatal("adjacent keys mapped to one shard")
+	}
+}
+
+// TestCacheConcurrentHammer is the shared-cache race exercise: concurrent
+// Get/Add/evict/expire over a small hot key space. Run under -race in CI.
+func TestCacheConcurrentHammer(t *testing.T) {
+	c := New[int](Config{MaxBytes: 64 * (entryOverhead + 8), TTL: time.Microsecond, Shards: 4},
+		func(int) int64 { return 8 })
+	const (
+		goroutines = 8
+		iters      = 2000
+		keySpace   = 128 // > budget so evictions happen constantly
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				k := testKey((seed*31 + i) % keySpace)
+				if v, ok := c.Get(k); ok && v < 0 {
+					t.Error("corrupt value")
+					return
+				}
+				c.Add(k, i)
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Hits+st.Misses == 0 {
+		t.Fatal("hammer recorded no lookups")
+	}
+	if st.Bytes < 0 || st.Entries < 0 {
+		t.Fatalf("negative accounting: %+v", st)
+	}
+}

@@ -1,0 +1,95 @@
+package cache
+
+import (
+	"context"
+	"sync"
+)
+
+// Flight is one in-progress computation of a key's value. Followers block
+// on Wait; the leader publishes with Group.Finish.
+type Flight[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// Wait blocks until the flight is finished or ctx is done, whichever comes
+// first, and returns the published result or ctx.Err().
+func (f *Flight[V]) Wait(ctx context.Context) (V, error) {
+	select {
+	case <-f.done:
+		return f.val, f.err
+	case <-ctx.Done():
+		var zero V
+		return zero, ctx.Err()
+	}
+}
+
+// Group coalesces concurrent computations of the same key: while a flight
+// for a key is in progress, joiners share its result instead of repeating
+// the work. Unlike golang.org/x/sync/singleflight, the join/finish steps
+// are exposed separately so a batch caller can register many flights, run
+// them in one fused pass, and publish each result — and waiting is
+// context-aware.
+type Group[V any] struct {
+	mu sync.Mutex
+	m  map[Key]*Flight[V]
+}
+
+// NewGroup creates an empty group.
+func NewGroup[V any]() *Group[V] {
+	return &Group[V]{m: make(map[Key]*Flight[V])}
+}
+
+// Join returns the flight for k, creating one when none is in progress.
+// leader reports whether the caller created it — a leader MUST eventually
+// call Finish exactly once (even on error), or followers block until their
+// contexts expire.
+func (g *Group[V]) Join(k Key) (f *Flight[V], leader bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if f, ok := g.m[k]; ok {
+		return f, false
+	}
+	f = &Flight[V]{done: make(chan struct{})}
+	g.m[k] = f
+	return f, true
+}
+
+// Finish publishes the leader's result to every follower of f and retires
+// the flight, so the next Join for k starts fresh.
+func (g *Group[V]) Finish(k Key, f *Flight[V], v V, err error) {
+	g.mu.Lock()
+	// Only retire the flight we own: a slow Finish after a retry could
+	// otherwise delete a successor flight's registration.
+	if g.m[k] == f {
+		delete(g.m, k)
+	}
+	g.mu.Unlock()
+	f.val, f.err = v, err
+	close(f.done)
+}
+
+// Do computes the value for k, coalescing with any in-progress flight.
+// shared reports whether the result came from another caller's flight.
+// When a joined flight fails with a context error that is not ours — the
+// leader's caller gave up — we retry rather than propagate a cancellation
+// the local caller never asked for.
+func (g *Group[V]) Do(ctx context.Context, k Key, fn func() (V, error)) (v V, shared bool, err error) {
+	for {
+		f, leader := g.Join(k)
+		if leader {
+			v, err = fn()
+			g.Finish(k, f, v, err)
+			return v, false, err
+		}
+		v, err = f.Wait(ctx)
+		if err == nil || ctx.Err() != nil {
+			return v, true, err
+		}
+		if err != context.Canceled && err != context.DeadlineExceeded {
+			return v, true, err
+		}
+		// Leader died of its own context; our caller is still live — retry.
+	}
+}

@@ -1,0 +1,124 @@
+package cache
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestGroupDoCoalesces(t *testing.T) {
+	g := NewGroup[int]()
+	var calls atomic.Int64
+	release := make(chan struct{})
+	const followers = 16
+
+	var wg sync.WaitGroup
+	sharedCount := atomic.Int64{}
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, shared, err := g.Do(context.Background(), testKey(1), func() (int, error) {
+				calls.Add(1)
+				<-release
+				return 42, nil
+			})
+			if err != nil || v != 42 {
+				t.Errorf("Do = %v, %v; want 42, nil", v, err)
+			}
+			if shared {
+				sharedCount.Add(1)
+			}
+		}()
+	}
+	// Let every goroutine join the flight, then let the leader finish.
+	for calls.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	if c := calls.Load(); c != 1 {
+		t.Fatalf("fn ran %d times; want 1", c)
+	}
+	if s := sharedCount.Load(); s != followers-1 {
+		t.Fatalf("shared for %d callers; want %d", s, followers-1)
+	}
+}
+
+func TestGroupErrorNotCached(t *testing.T) {
+	g := NewGroup[int]()
+	boom := errors.New("boom")
+	_, _, err := g.Do(context.Background(), testKey(2), func() (int, error) { return 0, boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v; want boom", err)
+	}
+	v, shared, err := g.Do(context.Background(), testKey(2), func() (int, error) { return 7, nil })
+	if err != nil || v != 7 || shared {
+		t.Fatalf("retry after error = %v, %v, %v; want 7, false, nil", v, shared, err)
+	}
+}
+
+func TestFlightWaitHonorsContext(t *testing.T) {
+	g := NewGroup[int]()
+	f, leader := g.Join(testKey(3))
+	if !leader {
+		t.Fatal("expected to lead")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := f.Wait(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Wait err = %v; want deadline", err)
+	}
+	g.Finish(testKey(3), f, 1, nil) // leader contract: always finish
+}
+
+// TestGroupRetriesAfterLeaderCancel: a follower whose own context is live
+// must not inherit the leader's cancellation — it retries and becomes the
+// new leader.
+func TestGroupRetriesAfterLeaderCancel(t *testing.T) {
+	g := NewGroup[int]()
+	f, leader := g.Join(testKey(4))
+	if !leader {
+		t.Fatal("expected to lead")
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		v, _, err := g.Do(context.Background(), testKey(4), func() (int, error) { return 99, nil })
+		if err != nil || v != 99 {
+			t.Errorf("follower Do = %v, %v; want 99, nil", v, err)
+		}
+	}()
+	time.Sleep(5 * time.Millisecond)
+	// Leader gives up with its own context error.
+	g.Finish(testKey(4), f, 0, context.Canceled)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("follower did not retry after leader cancellation")
+	}
+}
+
+func TestFinishDoesNotRetireSuccessor(t *testing.T) {
+	g := NewGroup[int]()
+	f1, _ := g.Join(testKey(5))
+	// Simulate a successor racing in before f1's Finish runs: drop f1's
+	// registration and register a fresh flight under the same key.
+	g.mu.Lock()
+	delete(g.m, testKey(5))
+	g.mu.Unlock()
+	f2, leader := g.Join(testKey(5))
+	if !leader {
+		t.Fatal("expected fresh flight")
+	}
+	// f1's late Finish must not retire f2's registration.
+	g.Finish(testKey(5), f1, 1, nil)
+	if f3, lead := g.Join(testKey(5)); lead || f3 != f2 {
+		t.Fatal("stale Finish retired the successor flight")
+	}
+	g.Finish(testKey(5), f2, 2, nil)
+}

@@ -1,0 +1,317 @@
+package core
+
+import (
+	"context"
+	"sync/atomic"
+
+	"repro/internal/cache"
+	"repro/internal/tensor"
+)
+
+// This file wires the content-addressed prediction cache (internal/cache)
+// into the classification engines. When System.Cache is set, Classify and
+// ClassifyBatch probe the cache before running any member network, coalesce
+// concurrent identical inputs onto one ensemble pass (singleflight), and
+// compute duplicates within a single ClassifyBatch call only once. Cached
+// decisions are bit-identical to uncached ones: the cache key binds the
+// quantized image content to a fingerprint of every decision-relevant
+// configuration field, so a hit can only ever return what the very same
+// system would have computed.
+
+// PredictionCache is the Decision-typed wrapper around the generic sharded
+// store plus the inflight-coalescing group. Safe for concurrent use and for
+// sharing between a System, the HTTP server's pre-admission probe, and
+// stream processors.
+type PredictionCache struct {
+	store     *cache.Cache[Decision]
+	group     *cache.Group[Decision]
+	fp        cache.Fingerprint
+	coalesced atomic.Uint64
+}
+
+// CacheStats aggregates store counters with the engine-level coalescing
+// count (inputs served by joining another caller's in-flight ensemble pass
+// or by intra-batch dedup).
+type CacheStats struct {
+	Hits      uint64
+	Misses    uint64
+	Coalesced uint64
+	Evictions uint64
+	Expired   uint64
+	Entries   int
+	Bytes     int64
+}
+
+// decisionBytes approximates a Decision's heap footprint for the byte
+// budget: the struct itself plus the votes histogram buckets.
+func decisionBytes(d Decision) int64 {
+	return 64 + 48*int64(len(d.Votes))
+}
+
+// NewPredictionCache creates a prediction cache bound to the given system
+// fingerprint. Use System.ConfigFingerprint (or EnableCache) so the
+// fingerprint actually matches the serving configuration.
+func NewPredictionCache(cfg cache.Config, fp cache.Fingerprint) *PredictionCache {
+	return &PredictionCache{
+		store: cache.New[Decision](cfg, decisionBytes),
+		group: cache.NewGroup[Decision](),
+		fp:    fp,
+	}
+}
+
+// Fingerprint returns the system fingerprint the cache is bound to.
+func (p *PredictionCache) Fingerprint() cache.Fingerprint { return p.fp }
+
+// KeyFor computes the content address of one input under the cache's
+// fingerprint.
+func (p *PredictionCache) KeyFor(x *tensor.T) cache.Key {
+	return cache.ImageKey(p.fp, x.Shape, x.Data)
+}
+
+// Lookup probes the cache without computing anything. The returned decision
+// owns its Votes map (cloned), so callers may mutate it freely.
+func (p *PredictionCache) Lookup(x *tensor.T) (Decision, bool) {
+	d, ok := p.store.Get(p.KeyFor(x))
+	if !ok {
+		return Decision{}, false
+	}
+	return cloneDecision(d), true
+}
+
+// Insert stores a decision for an input (clone-in: the caller keeps
+// ownership of d).
+func (p *PredictionCache) Insert(x *tensor.T, d Decision) {
+	p.store.Add(p.KeyFor(x), cloneDecision(d))
+}
+
+// Stats snapshots the cache counters.
+func (p *PredictionCache) Stats() CacheStats {
+	st := p.store.Stats()
+	return CacheStats{
+		Hits:      st.Hits,
+		Misses:    st.Misses,
+		Coalesced: p.coalesced.Load(),
+		Evictions: st.Evictions,
+		Expired:   st.Expired,
+		Entries:   st.Entries,
+		Bytes:     st.Bytes,
+	}
+}
+
+// ConfigFingerprint digests every configuration field that can change a
+// Decision — thresholds, staging shape, and the member set (variant keys)
+// in priority order — plus a caller salt for transformations the member
+// names cannot see (e.g. RAMR precision bits, which rewrite network weights
+// after assembly). Workers/Parallel are deliberately excluded: they change
+// wall-clock time, never decisions.
+func (s *System) ConfigFingerprint(salt string) cache.Fingerprint {
+	names := make([]string, len(s.Members))
+	for i, m := range s.Members {
+		names[i] = m.Name
+	}
+	batch := s.Batch
+	if batch < 1 {
+		batch = 1 // the engines normalize Batch<1 to 1; key identically
+	}
+	return cache.SystemFingerprint(cache.SystemConfig{
+		Conf:    s.Th.Conf,
+		Freq:    s.Th.Freq,
+		Staged:  s.Staged,
+		Batch:   batch,
+		Members: names,
+		Salt:    salt,
+	})
+}
+
+// EnableCache attaches a prediction cache fingerprinted against the current
+// configuration. Call it after the system is fully configured: mutating
+// Th, Staged, Batch or Members afterwards would serve stale predictions
+// (re-enable to re-fingerprint).
+func (s *System) EnableCache(cfg cache.Config, salt string) *PredictionCache {
+	s.Cache = NewPredictionCache(cfg, s.ConfigFingerprint(salt))
+	return s.Cache
+}
+
+// cloneDecision gives the decision its own Votes map so cached values, the
+// singleflight publication, and caller-visible results never alias.
+func cloneDecision(d Decision) Decision {
+	if d.Votes != nil {
+		v := make(map[int]int, len(d.Votes))
+		for label, n := range d.Votes {
+			v[label] = n
+		}
+		d.Votes = v
+	}
+	return d
+}
+
+func isCtxErr(err error) bool {
+	return err == context.Canceled || err == context.DeadlineExceeded
+}
+
+// runOneFn computes one image uncached; runBatchFn computes a batch
+// uncached. The cached paths are written against these seams — mirroring
+// the inferFn seam of the engines — so the equivalence property tests can
+// drive them with exact synthetic softmax tables.
+type runOneFn func(context.Context, *tensor.T) (Decision, error)
+type runBatchFn func(context.Context, []*tensor.T) ([]Decision, error)
+
+// classifyCached is the single-image cached path: probe, then join or lead
+// the singleflight for the key. Followers whose own context is still live
+// retry when the leader's caller gave up.
+func (s *System) classifyCached(ctx context.Context, x *tensor.T) (Decision, error) {
+	return s.classifyCachedWith(ctx, x, s.classifyUncached)
+}
+
+func (s *System) classifyCachedWith(ctx context.Context, x *tensor.T, runOne runOneFn) (Decision, error) {
+	pc := s.Cache
+	k := pc.KeyFor(x)
+	if d, ok := pc.store.Get(k); ok {
+		return cloneDecision(d), nil
+	}
+	for {
+		f, leader := pc.group.Join(k)
+		if leader {
+			d, err := runOne(ctx, x)
+			if err != nil {
+				pc.group.Finish(k, f, Decision{}, err)
+				return Decision{}, err
+			}
+			pc.store.Add(k, cloneDecision(d))
+			pc.group.Finish(k, f, cloneDecision(d), nil)
+			return d, nil
+		}
+		pc.coalesced.Add(1)
+		d, err := f.Wait(ctx)
+		if err == nil {
+			return cloneDecision(d), nil
+		}
+		if ctx.Err() != nil || !isCtxErr(err) {
+			return Decision{}, err
+		}
+		// The leader's caller cancelled; ours did not. Re-probe (another
+		// leader may have landed the value meanwhile) and try again.
+		if d, ok := pc.store.Get(k); ok {
+			return cloneDecision(d), nil
+		}
+	}
+}
+
+// classifyBatchCached is the batched cached path. Within one call, each
+// distinct key is resolved exactly once — by store hit, by joining another
+// caller's flight, or by one fused uncached pass over the unique misses —
+// and duplicates are fanned back out, so a duplicate-heavy batch pays for
+// its unique images only. Decisions are index-aligned and identical to the
+// uncached engine's.
+func (s *System) classifyBatchCached(ctx context.Context, xs []*tensor.T) ([]Decision, error) {
+	return s.classifyBatchCachedWith(ctx, xs, s.classifyBatchUncached, s.classifyUncached)
+}
+
+func (s *System) classifyBatchCachedWith(ctx context.Context, xs []*tensor.T, runBatch runBatchFn, runOne runOneFn) ([]Decision, error) {
+	pc := s.Cache
+	out := make([]Decision, len(xs))
+	keys := make([]cache.Key, len(xs))
+	resolved := make([]bool, len(xs))
+	first := make(map[cache.Key]int, len(xs))
+
+	type lead struct {
+		idx    int
+		flight *cache.Flight[Decision]
+	}
+	var leads, follows []lead
+
+	for i, x := range xs {
+		k := pc.KeyFor(x)
+		keys[i] = k
+		if _, dup := first[k]; dup {
+			pc.coalesced.Add(1) // intra-batch duplicate: fanned out below
+			continue
+		}
+		first[k] = i
+		if d, ok := pc.store.Get(k); ok {
+			out[i] = cloneDecision(d)
+			resolved[i] = true
+			continue
+		}
+		f, leader := pc.group.Join(k)
+		if leader {
+			leads = append(leads, lead{i, f})
+		} else {
+			pc.coalesced.Add(1)
+			follows = append(follows, lead{i, f})
+		}
+	}
+
+	// One fused uncached pass over the unique misses this call leads.
+	if len(leads) > 0 {
+		cxs := make([]*tensor.T, len(leads))
+		for j, l := range leads {
+			cxs[j] = xs[l.idx]
+		}
+		ds, err := runBatch(ctx, cxs)
+		if err != nil {
+			for _, l := range leads {
+				pc.group.Finish(keys[l.idx], l.flight, Decision{}, err)
+			}
+			return nil, err
+		}
+		for j, l := range leads {
+			d := ds[j]
+			pc.store.Add(keys[l.idx], cloneDecision(d))
+			pc.group.Finish(keys[l.idx], l.flight, cloneDecision(d), nil)
+			out[l.idx] = d
+			resolved[l.idx] = true
+		}
+	}
+
+	// Collect results computed by other callers' flights.
+	for _, fw := range follows {
+		d, err := s.awaitFlight(ctx, keys[fw.idx], xs[fw.idx], fw.flight, runOne)
+		if err != nil {
+			return nil, err
+		}
+		out[fw.idx] = d
+		resolved[fw.idx] = true
+	}
+
+	// Fan intra-batch duplicates out from their first occurrence.
+	for i := range xs {
+		if !resolved[i] {
+			out[i] = cloneDecision(out[first[keys[i]]])
+		}
+	}
+	return out, nil
+}
+
+// awaitFlight waits on another caller's flight for key k. When that leader
+// dies of its own cancellation while our context is live, we re-probe and,
+// if needed, compute the single image ourselves rather than inherit a
+// cancellation our caller never issued.
+func (s *System) awaitFlight(ctx context.Context, k cache.Key, x *tensor.T, f *cache.Flight[Decision], runOne runOneFn) (Decision, error) {
+	pc := s.Cache
+	for {
+		d, err := f.Wait(ctx)
+		if err == nil {
+			return cloneDecision(d), nil
+		}
+		if ctx.Err() != nil || !isCtxErr(err) {
+			return Decision{}, err
+		}
+		if d, ok := pc.store.Get(k); ok {
+			return cloneDecision(d), nil
+		}
+		var leader bool
+		f, leader = pc.group.Join(k)
+		if !leader {
+			continue
+		}
+		d, err = runOne(ctx, x)
+		if err != nil {
+			pc.group.Finish(k, f, Decision{}, err)
+			return Decision{}, err
+		}
+		pc.store.Add(k, cloneDecision(d))
+		pc.group.Finish(k, f, cloneDecision(d), nil)
+		return d, nil
+	}
+}

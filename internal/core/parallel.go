@@ -192,6 +192,16 @@ func (s *System) ClassifyBatchContext(ctx context.Context, xs []*tensor.T) ([]De
 	if len(xs) == 0 {
 		return []Decision{}, nil
 	}
+	if s.Cache != nil {
+		return s.classifyBatchCached(ctx, xs)
+	}
+	return s.classifyBatchUncached(ctx, xs)
+}
+
+// classifyBatchUncached runs the batched engine, bypassing any attached
+// cache: the per-network fused path when the worker pool allows it, the
+// bit-exact sequential per-image arena path otherwise.
+func (s *System) classifyBatchUncached(ctx context.Context, xs []*tensor.T) ([]Decision, error) {
 	if s.workerCount(len(xs)) == 1 {
 		out := make([]Decision, len(xs))
 		a := tensor.NewArena()

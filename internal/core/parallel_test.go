@@ -184,6 +184,77 @@ func TestClassifyBatchNetworksMatchesSequential(t *testing.T) {
 	}
 }
 
+// TestClassifyBatchNetworksDuplicateHeavy extends the equivalence property
+// to duplicate-heavy batches: when many positions repeat the same image,
+// every position's Decision — Activated count, votes, label, reliability,
+// confidence — must stay bit-identical to the undeduped sequential path,
+// and duplicate positions must agree with each other exactly. This is the
+// correctness floor the cache layer's intra-batch dedup builds on.
+func TestClassifyBatchNetworksDuplicateHeavy(t *testing.T) {
+	rng := rand.New(rand.NewSource(4321))
+	const cases = 500
+	for c := 0; c < cases; c++ {
+		n := 2 + rng.Intn(7)
+		classes := 2 + rng.Intn(5)
+		unique := 1 + rng.Intn(4)
+		B := unique + rng.Intn(12) // every batch has at least one duplicate candidate
+		tables := make([][][]float64, unique)
+		for u := range tables {
+			tables[u] = make([][]float64, n)
+			for m := range tables[u] {
+				tables[u][m] = randDist(rng, classes)
+				if rng.Intn(2) == 0 {
+					peak := rng.Intn(classes)
+					for j := range tables[u][m] {
+						tables[u][m][j] *= 0.2
+					}
+					tables[u][m][peak] += 0.8
+				}
+			}
+		}
+		th := Thresholds{Conf: rng.Float64() * 0.95, Freq: 1 + rng.Intn(n)}
+		s := tableSystem(n, th, rng.Intn(4) != 0, 1+rng.Intn(3), 1+rng.Intn(8))
+
+		idx := make([]int, B)
+		xs := make([]*tensor.T, B)
+		for i := range xs {
+			idx[i] = rng.Intn(unique)
+			xs[i] = tensor.New(1)
+			xs[i].Data[0] = float64(idx[i])
+		}
+		batchInfer := func(m int, pend []*tensor.T) [][]float64 {
+			rows := make([][]float64, len(pend))
+			for i, x := range pend {
+				rows[i] = append([]float64(nil), tables[int(x.Data[0])][m]...)
+			}
+			return rows
+		}
+		got, err := s.classifyBatchNetworks(context.Background(), xs, batchInfer)
+		if err != nil {
+			t.Fatalf("case %d: %v", c, err)
+		}
+		firstOf := map[int]int{}
+		for i := 0; i < B; i++ {
+			want, werr := s.classifySequential(context.Background(), xs[i], tableInfer(tables[idx[i]]))
+			if werr != nil {
+				t.Fatalf("case %d: sequential error %v", c, werr)
+			}
+			if !reflect.DeepEqual(want, got[i]) {
+				t.Fatalf("case %d position %d (table %d):\nsequential %+v\nbatched    %+v",
+					c, i, idx[i], want, got[i])
+			}
+			if j, dup := firstOf[idx[i]]; dup {
+				if !reflect.DeepEqual(got[j], got[i]) {
+					t.Fatalf("case %d: duplicate positions %d and %d diverged:\n%+v\n%+v",
+						c, j, i, got[j], got[i])
+				}
+			} else {
+				firstOf[idx[i]] = i
+			}
+		}
+	}
+}
+
 // TestClassifyBatchNetworksCancelled checks the batched engine aborts before
 // any member inference under a pre-cancelled context.
 func TestClassifyBatchNetworksCancelled(t *testing.T) {

@@ -55,6 +55,12 @@ type System struct {
 	// negative selects runtime.NumCPU(). Workers == 1 forces ClassifyBatch
 	// onto the bit-exact sequential per-image path.
 	Workers int
+	// Cache, when non-nil, short-circuits Classify/ClassifyBatch with
+	// content-addressed cached decisions, coalesces concurrent identical
+	// inputs onto one ensemble pass, and dedups repeats within a batch
+	// (see cached.go). Attach with EnableCache after the configuration is
+	// final — the cache key is fingerprinted against it.
+	Cache *PredictionCache
 }
 
 // NewSystem assembles a system from members and thresholds.
@@ -98,6 +104,14 @@ func (s *System) Classify(x *tensor.T) Decision {
 // context is done before a decision is reached. With a never-done context
 // it behaves exactly like Classify.
 func (s *System) ClassifyContext(ctx context.Context, x *tensor.T) (Decision, error) {
+	if s.Cache != nil {
+		return s.classifyCached(ctx, x)
+	}
+	return s.classifyUncached(ctx, x)
+}
+
+// classifyUncached runs the full engine, bypassing any attached cache.
+func (s *System) classifyUncached(ctx context.Context, x *tensor.T) (Decision, error) {
 	if s.Parallel {
 		return s.classifyParallel(ctx, x, s.memberInfer)
 	}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -26,6 +27,13 @@ type Context struct {
 	// (ext-throughput); 0 selects runtime.NumCPU().
 	Workers int
 
+	// CacheMB and CacheTTL parameterize the prediction cache the ext-caching
+	// experiment attaches (budget in MiB; TTL 0 = entries never expire), and
+	// ZipfS is the skew exponent (> 1) of its duplicate-heavy workload.
+	CacheMB  int
+	CacheTTL time.Duration
+	ZipfS    float64
+
 	// designs memoizes greedy designs per (benchmark, size).
 	designs map[string]*core.Design
 }
@@ -33,7 +41,11 @@ type Context struct {
 // NewContext builds a context on the default zoo (repo-local disk cache,
 // PGMR_FULL-selected profile) and the TITAN-X-like GPU model.
 func NewContext() *Context {
-	return &Context{Zoo: model.DefaultZoo(), GPU: perf.TitanX(), designs: map[string]*core.Design{}}
+	return &Context{
+		Zoo: model.DefaultZoo(), GPU: perf.TitanX(),
+		CacheMB: 64, ZipfS: 1.1,
+		designs: map[string]*core.Design{},
+	}
 }
 
 // Profile returns the active dataset profile.

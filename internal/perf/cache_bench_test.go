@@ -1,0 +1,150 @@
+package perf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/preprocess"
+	"repro/internal/tensor"
+)
+
+// Measured benchmarks for the content-addressed prediction cache. Entries
+// whose name starts with "BenchmarkCache" are split out of the kernel report
+// into BENCH_cache.json (see TestMain). The headline number is
+// BenchmarkCacheWorkload/B=32: end-to-end ClassifyBatch throughput on a
+// Zipf-skewed duplicate workload, cache-on vs cache-off, on an untrained
+// 4-member convnet ensemble.
+
+// cacheSystemFixture builds a 4-member SynthCIFAR-shaped ensemble sharing
+// one untrained network behind distinct preprocessors (the race-fixture
+// configuration, at convnet scale), plus a Zipf(s)-drawn frame sequence
+// over a fixed pool — the duplicate-heavy arrival stream of a serving
+// deployment.
+func cacheSystemFixture(b *testing.B, seqLen, poolSize int, s float64) (*core.System, []*tensor.T) {
+	b.Helper()
+	var bench model.Benchmark
+	for _, bb := range model.Benchmarks() {
+		if bb.Name == "convnet" {
+			bench = bb
+		}
+	}
+	rng := rand.New(rand.NewSource(11))
+	net := bench.Build(rng, 10, []int{3, 32, 32})
+	pres := []string{"ORG", "FlipX", "FlipY", "Gamma(2)"}
+	members := make([]core.Member, len(pres))
+	for i, p := range pres {
+		members[i] = core.Member{Name: p, Pre: preprocess.MustByName(p), Net: net}
+	}
+	sys, err := core.NewSystem(members, core.Thresholds{Conf: 0.2, Freq: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys.Staged = true
+
+	pool := make([]*tensor.T, poolSize)
+	for i := range pool {
+		pool[i] = tensor.New(3, 32, 32)
+		pool[i].FillUniform(rng, 0, 1)
+	}
+	zipf := rand.NewZipf(rng, s, 1, uint64(poolSize-1))
+	frames := make([]*tensor.T, seqLen)
+	for i := range frames {
+		frames[i] = pool[zipf.Uint64()]
+	}
+	return sys, frames
+}
+
+// BenchmarkCacheWorkload measures end-to-end ClassifyBatch over the Zipf
+// workload with the prediction cache attached, against the cache-off
+// baseline measured in the same process (best of three passes after
+// warmup). One benchmark op is the full 512-frame sequence in B=32 chunks;
+// the first op runs cold, later ops warm — the steady state of a server.
+func BenchmarkCacheWorkload(b *testing.B) {
+	const batch = 32
+	const seqLen = 16 * batch
+	b.Run("B=32", func(b *testing.B) {
+		sys, frames := cacheSystemFixture(b, seqLen, 64, 1.1)
+		classifyAll := func() {
+			for i := 0; i < len(frames); i += batch {
+				sys.ClassifyBatch(frames[i : i+batch])
+			}
+		}
+		baseline := math.MaxFloat64
+		for rep := 0; rep < 3; rep++ {
+			start := time.Now()
+			classifyAll()
+			if e := float64(time.Since(start).Nanoseconds()); rep > 0 && e < baseline {
+				baseline = e
+			}
+		}
+
+		pc := sys.EnableCache(cache.Config{MaxBytes: 64 << 20}, "bits=0")
+		e := timeOp(b, classifyAll)
+		st := pc.Stats()
+		imgPerSec := float64(seqLen) * 1e9 / e.NsPerOp
+		speedup := baseline / e.NsPerOp
+		hitRatio := 0.0
+		if st.Hits+st.Misses > 0 {
+			hitRatio = float64(st.Hits) / float64(st.Hits+st.Misses)
+		}
+		e.Metrics = map[string]float64{
+			"img_per_sec":         imgPerSec,
+			"speedup_vs_uncached": speedup,
+			"hit_ratio":           hitRatio,
+		}
+		b.ReportMetric(imgPerSec, "img/s")
+		b.ReportMetric(speedup, "x_uncached")
+		b.ReportMetric(hitRatio, "hit_ratio")
+	})
+}
+
+// BenchmarkCacheStore measures the raw sharded store under a realistic key
+// population: Get on a resident key (hit path, MRU bump) and the
+// lookup-then-insert miss path under eviction pressure.
+func BenchmarkCacheStore(b *testing.B) {
+	mkKeys := func(n int) []cache.Key {
+		fp := cache.Fingerprint{}
+		keys := make([]cache.Key, n)
+		x := tensor.New(1, 2, 2)
+		for i := range keys {
+			x.Data[0] = float64(i)
+			keys[i] = cache.ImageKey(fp, x.Shape, x.Data)
+		}
+		return keys
+	}
+	d := core.Decision{Label: 3, Reliable: true, Confidence: 0.9, Votes: map[int]int{3: 2}, Activated: 2}
+
+	b.Run("hit", func(b *testing.B) {
+		c := cache.New[core.Decision](cache.Config{MaxBytes: 1 << 20, Shards: 16}, nil)
+		keys := mkKeys(1024)
+		for _, k := range keys {
+			c.Add(k, d)
+		}
+		i := 0
+		e := timeOp(b, func() {
+			c.Get(keys[i&1023])
+			i++
+		})
+		e.Metrics = map[string]float64{"ns_per_get": e.NsPerOp}
+	})
+	b.Run("miss_insert", func(b *testing.B) {
+		// Budget below the population so inserts continuously evict.
+		c := cache.New[core.Decision](cache.Config{MaxBytes: 64 * 256, Shards: 16},
+			func(core.Decision) int64 { return 64 })
+		keys := mkKeys(4096)
+		i := 0
+		e := timeOp(b, func() {
+			k := keys[i&4095]
+			if _, ok := c.Get(k); !ok {
+				c.Add(k, d)
+			}
+			i++
+		})
+		e.Metrics = map[string]float64{"ns_per_miss_insert": e.NsPerOp}
+	})
+}

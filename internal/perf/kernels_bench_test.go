@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -26,15 +27,32 @@ var collected []BenchEntry
 func TestMain(m *testing.M) {
 	code := m.Run()
 	if code == 0 && len(collected) > 0 {
-		path := os.Getenv("PGMR_BENCH_JSON")
-		if path == "" {
-			path = "BENCH_kernels.json"
+		// Cache benchmarks get their own report so the kernel numbers and
+		// the caching numbers version independently in CI artifacts.
+		var kernels, caches []BenchEntry
+		for _, e := range collected {
+			if strings.HasPrefix(e.Name, "BenchmarkCache") {
+				caches = append(caches, e)
+			} else {
+				kernels = append(kernels, e)
+			}
 		}
-		r := BenchReport{GoMaxProcs: runtime.GOMAXPROCS(0), Entries: collected}
-		if err := WriteBenchReport(path, r); err != nil {
-			fmt.Fprintf(os.Stderr, "perf: writing %s: %v\n", path, err)
-			code = 1
+		write := func(entries []BenchEntry, envKey, fallback string) {
+			if len(entries) == 0 {
+				return
+			}
+			path := os.Getenv(envKey)
+			if path == "" {
+				path = fallback
+			}
+			r := BenchReport{GoMaxProcs: runtime.GOMAXPROCS(0), Entries: entries}
+			if err := WriteBenchReport(path, r); err != nil {
+				fmt.Fprintf(os.Stderr, "perf: writing %s: %v\n", path, err)
+				code = 1
+			}
 		}
+		write(kernels, "PGMR_BENCH_JSON", "BENCH_kernels.json")
+		write(caches, "PGMR_BENCH_CACHE_JSON", "BENCH_cache.json")
 	}
 	os.Exit(code)
 }

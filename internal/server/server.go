@@ -41,6 +41,23 @@ type Backend interface {
 	InputShape() (channels, height, width int)
 }
 
+// CacheProber is the optional backend surface for the pre-admission
+// prediction-cache probe — satisfied by *polygraph.System when Options.Cache
+// is set. When the configured Backend implements it, the classify handler
+// answers cached images before the admission queue, so hits never consume
+// queue slots or batcher capacity and are served even while the queue is
+// saturated and shedding load.
+type CacheProber interface {
+	CacheLookup(im polygraph.Image) (polygraph.Prediction, bool)
+	CacheStats() polygraph.CacheStats
+}
+
+// cacheHeader reports the probe outcome per response: "hit" (every image
+// answered from the cache), "miss" (none), or "coalesced" (a mix — the
+// cached part rode along with the computed remainder). Absent when the
+// backend has no cache.
+const cacheHeader = "X-PGMR-Cache"
+
 // Config parameterizes New. The zero value of every field except Backend is
 // usable; see the field comments for defaults.
 type Config struct {
@@ -305,6 +322,44 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		ims[i] = im
 	}
 
+	// Pre-admission cache probe: cached images are answered here, before
+	// any queue slot is reserved, so repeated traffic cannot displace new
+	// work — and a fully cached request is served even when the admission
+	// queue is saturated.
+	preds := make([]predictionJSON, len(ims))
+	served := make([]bool, len(ims))
+	hits := 0
+	if prober, ok := s.cfg.Backend.(CacheProber); ok {
+		for i, im := range ims {
+			if p, ok := prober.CacheLookup(im); ok {
+				preds[i] = toPredictionJSON(p)
+				served[i] = true
+				hits++
+				s.metrics.ObserveDecision(p.Reliable, p.Agreement, p.Activated)
+			}
+		}
+		st := prober.CacheStats()
+		s.metrics.ObserveCacheProbe(hits, len(ims)-hits, st.Coalesced, st.Entries, st.Bytes)
+		switch {
+		case hits == len(ims):
+			w.Header().Set(cacheHeader, "hit")
+		case hits > 0:
+			w.Header().Set(cacheHeader, "coalesced")
+		default:
+			w.Header().Set(cacheHeader, "miss")
+		}
+	}
+	if hits == len(ims) {
+		resp := classifyResponse{ElapsedMS: float64(time.Since(start).Microseconds()) / 1000}
+		if single {
+			resp.Prediction = &preds[0]
+		} else {
+			resp.Predictions = preds
+		}
+		respond(http.StatusOK, resp)
+		return
+	}
+
 	// Per-request deadline.
 	ctx := r.Context()
 	timeout := s.cfg.DefaultDeadline
@@ -318,10 +373,11 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Admission gate 2: bounded queue with load shedding. Slots are
-	// reserved atomically for the whole request, so a multi-image request
-	// is admitted all-or-nothing and the channel send below can never
-	// block.
-	k := int64(len(ims))
+	// reserved atomically for the request's uncached remainder, so a
+	// multi-image request is admitted all-or-nothing and the channel send
+	// below can never block. Cache hits were answered above and consume
+	// nothing here.
+	k := int64(len(ims) - hits)
 	if depth := s.depth.Add(k); depth > int64(s.cfg.QueueDepth) {
 		s.depth.Add(-k)
 		s.metrics.Rejected.Inc()
@@ -331,16 +387,21 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	}
 	s.metrics.QueueDepth.Set(s.depth.Load())
 
-	items := make([]*item, len(ims))
+	items := make([]*item, 0, k)
+	idxs := make([]int, 0, k)
 	for i, im := range ims {
+		if served[i] {
+			continue
+		}
 		it := &item{img: im, ctx: ctx, done: make(chan itemResult, 1)}
-		items[i] = it
+		items = append(items, it)
+		idxs = append(idxs, i)
 		s.queue <- it
 	}
 
 	// Collect results in request order.
-	preds := make([]predictionJSON, len(items))
-	for i, it := range items {
+	for j, it := range items {
+		i := idxs[j]
 		select {
 		case res := <-it.done:
 			if res.err != nil {

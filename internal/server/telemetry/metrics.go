@@ -39,6 +39,15 @@ type Metrics struct {
 	DeadlineMisses *Counter   // frames whose latency exceeded the budget
 	FrameSeconds   *Histogram // per-frame classification latency
 
+	// Prediction cache (internal/cache). Hits/Misses count the server's
+	// pre-admission probe outcomes; the gauges mirror the backend cache's
+	// own cumulative counters and occupancy, refreshed on every probe.
+	CacheHits      *Counter // images answered from the cache before admission
+	CacheMisses    *Counter // probed images that had to be enqueued
+	CacheCoalesced *Gauge   // inputs served by inflight coalescing / batch dedup
+	CacheEntries   *Gauge   // predictions currently cached
+	CacheBytes     *Gauge   // bytes currently charged against the cache budget
+
 	mu        sync.Mutex
 	responses map[int]*Counter // responses by HTTP status code
 }
@@ -75,9 +84,25 @@ func NewMetrics(maxMembers int) *Metrics {
 		DeadlineMisses: r.Counter("pgmr_stream_deadline_misses_total", "Stream frames whose latency exceeded the deadline budget."),
 		FrameSeconds:   r.Histogram("pgmr_stream_frame_seconds", "Per-frame stream classification latency in seconds.", latency),
 
+		CacheHits:      r.Counter("pgmr_cache_hits_total", "Images served from the prediction cache by the pre-admission probe."),
+		CacheMisses:    r.Counter("pgmr_cache_misses_total", "Probed images that missed the prediction cache and entered the admission queue."),
+		CacheCoalesced: r.Gauge("pgmr_cache_coalesced", "Inputs served by inflight coalescing or intra-batch dedup (cumulative, mirrored from the cache)."),
+		CacheEntries:   r.Gauge("pgmr_cache_entries", "Predictions currently resident in the cache."),
+		CacheBytes:     r.Gauge("pgmr_cache_bytes", "Bytes currently charged against the prediction-cache budget."),
+
 		responses: map[int]*Counter{},
 	}
 	return m
+}
+
+// ObserveCacheProbe records one pre-admission cache probe over a request's
+// images and refreshes the occupancy gauges from the cache's counters.
+func (m *Metrics) ObserveCacheProbe(hits, misses int, coalesced uint64, entries int, bytes int64) {
+	m.CacheHits.Add(uint64(hits))
+	m.CacheMisses.Add(uint64(misses))
+	m.CacheCoalesced.Set(int64(coalesced))
+	m.CacheEntries.Set(int64(entries))
+	m.CacheBytes.Set(bytes)
 }
 
 // ObserveDecision ingests one decision outcome: the reliability verdict,

@@ -1,0 +1,168 @@
+package stream
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/tensor"
+)
+
+// contentClassifier derives its decision from the frame's first pixel — a
+// pure function of content, so cached replays must be identical — and counts
+// how many frames actually reach the "ensemble".
+type contentClassifier struct{ calls int }
+
+func decisionFor(x *tensor.T) core.Decision {
+	seed := int(x.Data[0])
+	return core.Decision{
+		Label:      seed % 5,
+		Reliable:   seed%2 == 0,
+		Confidence: 0.25 + float64(seed%4)/8,
+		Votes:      map[int]int{seed % 5: 2},
+		Activated:  2 + seed%3,
+	}
+}
+
+func (c *contentClassifier) Classify(x *tensor.T) core.Decision {
+	c.calls++
+	return decisionFor(x)
+}
+
+// contentBatch adds the BatchClassifier surface, recording batch sizes.
+type contentBatch struct {
+	contentClassifier
+	batches []int
+}
+
+func (c *contentBatch) ClassifyBatch(xs []*tensor.T) []core.Decision {
+	c.batches = append(c.batches, len(xs))
+	out := make([]core.Decision, len(xs))
+	for i := range xs {
+		out[i] = c.Classify(xs[i])
+	}
+	return out
+}
+
+func frameWith(seed int) *tensor.T {
+	f := tensor.New(1, 2, 2)
+	f.Data[0] = float64(seed)
+	return f
+}
+
+func testFrameCache() *core.PredictionCache {
+	return core.NewPredictionCache(
+		cache.Config{MaxBytes: 1 << 20, TTL: time.Hour, Shards: 2},
+		cache.Fingerprint{})
+}
+
+// streamOf builds the duplicate-heavy scene used by the dedup tests:
+// three distinct frames with repeats, as a fresh source.
+func dedupFrames() []*tensor.T {
+	seeds := []int{10, 20, 10, 10, 20, 30, 10}
+	fs := make([]*tensor.T, len(seeds))
+	for i, s := range seeds {
+		fs[i] = frameWith(s)
+	}
+	return fs
+}
+
+// TestStreamCacheDedups: repeated frames classify once; decisions, smoothing
+// and statistics are unchanged from the uncached run; hits are counted.
+func TestStreamCacheDedups(t *testing.T) {
+	fs := dedupFrames()
+
+	plainSys := &contentClassifier{}
+	plain, err := NewProcessor(plainSys, Config{Window: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []Frame
+	wantStats := plain.Process(&SliceSource{Frames: fs}, func(f Frame) { want = append(want, f) })
+
+	cachedSys := &contentClassifier{}
+	cached, err := NewProcessor(cachedSys, Config{Window: 3, Cache: testFrameCache()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Frame
+	gotStats := cached.Process(&SliceSource{Frames: fs}, func(f Frame) { got = append(got, f) })
+
+	if len(got) != len(want) {
+		t.Fatalf("frames = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		w, g := want[i], got[i]
+		if g.Index != w.Index || !reflect.DeepEqual(g.Decision, w.Decision) ||
+			g.SmoothedLabel != w.SmoothedLabel || g.SmoothedReliable != w.SmoothedReliable {
+			t.Errorf("frame %d: cached %+v != plain %+v", i, g, w)
+		}
+	}
+	if cachedSys.calls != 3 {
+		t.Errorf("cached run classified %d frames, want 3 distinct", cachedSys.calls)
+	}
+	if gotStats.CacheHits != 4 {
+		t.Errorf("CacheHits = %d, want 4", gotStats.CacheHits)
+	}
+	// Everything but the cache accounting and wall-clock matches.
+	gotStats.CacheHits, wantStats.CacheHits = 0, 0
+	gotStats.MaxLatency, wantStats.MaxLatency = 0, 0
+	if gotStats != wantStats {
+		t.Errorf("stats: cached %+v != plain %+v", gotStats, wantStats)
+	}
+}
+
+// TestStreamCacheBatchedDedups: in throughput mode only the first occurrence
+// of each distinct frame reaches ClassifyBatch — intra-batch duplicates and
+// cross-batch repeats are both served from the cache — and the emitted
+// frames match the uncached batched run.
+func TestStreamCacheBatchedDedups(t *testing.T) {
+	seeds := []int{10, 10, 20, 10, 20, 20}
+	mk := func() []*tensor.T {
+		fs := make([]*tensor.T, len(seeds))
+		for i, s := range seeds {
+			fs[i] = frameWith(s)
+		}
+		return fs
+	}
+
+	plainSys := &contentBatch{}
+	plain, err := NewProcessor(plainSys, Config{Window: 3, Batch: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []Frame
+	plain.Process(&SliceSource{Frames: mk()}, func(f Frame) { want = append(want, f) })
+
+	cachedSys := &contentBatch{}
+	cached, err := NewProcessor(cachedSys, Config{Window: 3, Batch: 3, Cache: testFrameCache()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Frame
+	gotStats := cached.Process(&SliceSource{Frames: mk()}, func(f Frame) { got = append(got, f) })
+
+	if len(got) != len(want) {
+		t.Fatalf("frames = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		w, g := want[i], got[i]
+		if g.Index != w.Index || !reflect.DeepEqual(g.Decision, w.Decision) ||
+			g.SmoothedLabel != w.SmoothedLabel || g.SmoothedReliable != w.SmoothedReliable {
+			t.Errorf("frame %d: cached %+v != plain %+v", i, g, w)
+		}
+	}
+	// Batch 1 is [10 10 20]: one ClassifyBatch over the two distinct misses.
+	// Batch 2 is [10 20 20]: fully cached, no classifier call at all.
+	if cachedSys.calls != 2 {
+		t.Errorf("cached run classified %d frames, want 2 distinct", cachedSys.calls)
+	}
+	if !reflect.DeepEqual(cachedSys.batches, []int{2}) {
+		t.Errorf("batch sizes = %v, want [2]", cachedSys.batches)
+	}
+	if gotStats.CacheHits != 4 {
+		t.Errorf("CacheHits = %d, want 4", gotStats.CacheHits)
+	}
+}

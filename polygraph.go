@@ -22,7 +22,9 @@ package polygraph
 import (
 	"context"
 	"fmt"
+	"time"
 
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/model"
@@ -114,10 +116,42 @@ type Options struct {
 	// CacheDir overrides the trained-model cache directory; empty selects
 	// <repo>/testdata/zoo.
 	CacheDir string
+	// Cache, when non-nil, attaches a content-addressed prediction cache:
+	// Classify/ClassifyBatch return cached decisions for repeated images,
+	// concurrent identical inputs share one ensemble pass, and duplicates
+	// within a batch are computed once. Cached predictions are identical to
+	// uncached ones — the cache key covers the image content (quantized)
+	// and a fingerprint of every decision-relevant configuration field.
+	Cache *CacheOptions
 	// Quiet suppresses training progress output.
 	Quiet bool
 	// Progress, when non-nil and not Quiet, receives training notes.
 	Progress func(format string, args ...any)
+}
+
+// CacheOptions configures the prediction cache (Options.Cache).
+type CacheOptions struct {
+	// MaxBytes is the total byte budget; <= 0 selects 64 MiB.
+	MaxBytes int64
+	// TTL is the entry lifetime; 0 disables expiry.
+	TTL time.Duration
+	// Shards is the lock-shard count, rounded up to a power of two;
+	// <= 0 selects 16.
+	Shards int
+}
+
+// CacheStats is a point-in-time snapshot of the prediction-cache counters.
+type CacheStats struct {
+	// Hits and Misses count store probes.
+	Hits, Misses uint64
+	// Coalesced counts inputs served without their own ensemble pass by
+	// joining a concurrent identical computation or by intra-batch dedup.
+	Coalesced uint64
+	// Evictions and Expired count entries dropped for capacity and TTL.
+	Evictions, Expired uint64
+	// Entries and Bytes describe current occupancy.
+	Entries int
+	Bytes   int64
 }
 
 // System is a runnable PolygraphMR instance.
@@ -197,6 +231,17 @@ func Build(benchmark string, opts Options) (*System, error) {
 	ds, err := zoo.Dataset(b.DatasetName)
 	if err != nil {
 		return nil, err
+	}
+	if opts.Cache != nil {
+		// Attach last, once the configuration is final: the key fingerprint
+		// covers thresholds, staging and member set, and the salt carries
+		// the precision bits (they rewrite network weights, which the
+		// member names cannot express).
+		sys.EnableCache(cache.Config{
+			MaxBytes: opts.Cache.MaxBytes,
+			TTL:      opts.Cache.TTL,
+			Shards:   opts.Cache.Shards,
+		}, fmt.Sprintf("bits=%d", opts.PrecisionBits))
 	}
 	return &System{sys: sys, benchmark: b, inShape: ds.InShape}, nil
 }
@@ -289,6 +334,43 @@ func (s *System) ClassifyBatchContext(ctx context.Context, images []Image) ([]Pr
 		preds[i] = prediction(d)
 	}
 	return preds, nil
+}
+
+// CacheLookup probes the prediction cache without running any member
+// network: it returns the cached prediction for the image when present and
+// fresh, and (zero, false) on a miss, on an invalid image, or when no cache
+// is attached. Servers use it to answer repeated images before spending
+// admission-queue slots or batcher capacity on them.
+func (s *System) CacheLookup(im Image) (Prediction, bool) {
+	if s.sys.Cache == nil {
+		return Prediction{}, false
+	}
+	if err := s.checkImage(im); err != nil {
+		return Prediction{}, false
+	}
+	d, ok := s.sys.Cache.Lookup(im.tensor())
+	if !ok {
+		return Prediction{}, false
+	}
+	return prediction(d), true
+}
+
+// CacheStats snapshots the prediction-cache counters; the zero value is
+// returned when no cache is attached.
+func (s *System) CacheStats() CacheStats {
+	if s.sys.Cache == nil {
+		return CacheStats{}
+	}
+	st := s.sys.Cache.Stats()
+	return CacheStats{
+		Hits:      st.Hits,
+		Misses:    st.Misses,
+		Coalesced: st.Coalesced,
+		Evictions: st.Evictions,
+		Expired:   st.Expired,
+		Entries:   st.Entries,
+		Bytes:     st.Bytes,
+	}
 }
 
 // Members returns the member names in activation-priority order, e.g.
