@@ -20,6 +20,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/report"
 )
@@ -39,6 +40,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	csvDir := fs.String("csv", "", "also write each result as CSV into this directory")
 	jsonPath := fs.String("json", "", "write all results as a JSON array to this file (\"-\" = stdout)")
 	workers := fs.Int("workers", 0, "worker-pool size for throughput experiments (0 = NumCPU)")
+	backend := fs.String("backend", "", "numeric backend for throughput experiments: f64, f32 or int8 (default f64)")
 	cacheMB := fs.Int("cache-mb", 64, "ext-caching: prediction-cache budget in MiB")
 	cacheTTL := fs.Duration("cache-ttl", 0, "ext-caching: cache entry TTL (0 = entries never expire)")
 	zipfS := fs.Float64("zipf", 1.1, "ext-caching: Zipf skew exponent of the duplicate workload (> 1)")
@@ -56,6 +58,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *zipfS <= 1 {
 		fmt.Fprintln(stderr, "pgmr-bench: -zipf must be > 1 (Zipf skew exponent)")
+		fs.Usage()
+		return 2
+	}
+	if _, err := core.ParseBackend(*backend); err != nil {
+		fmt.Fprintf(stderr, "pgmr-bench: %v\n", err)
 		fs.Usage()
 		return 2
 	}
@@ -90,6 +97,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	ctx := experiments.NewContext()
 	ctx.Workers = *workers
+	ctx.Backend = *backend
 	ctx.CacheMB = *cacheMB
 	ctx.CacheTTL = *cacheTTL
 	ctx.ZipfS = *zipfS

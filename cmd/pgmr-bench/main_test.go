@@ -25,6 +25,8 @@ func TestRunUsageErrors(t *testing.T) {
 		{"negative cache-ttl", []string{"-cache-ttl", "-1s", "ext-caching"}},
 		{"zipf at 1", []string{"-zipf", "1", "ext-caching"}},
 		{"zipf below 1", []string{"-zipf", "0.5", "ext-caching"}},
+		{"unknown backend", []string{"-backend", "f16", "ext-throughput"}},
+		{"uppercase backend", []string{"-backend", "INT8", "ext-throughput"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

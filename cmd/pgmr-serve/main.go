@@ -7,6 +7,7 @@
 //	pgmr-serve -benchmark convnet -addr :8080
 //	pgmr-serve -benchmark convnet -batch-window 2ms -max-batch 32 -queue 512
 //	pgmr-serve -benchmark convnet -cache-mb 64 -cache-ttl 10m
+//	pgmr-serve -benchmark convnet -backend int8 -late-backend f64
 //	pgmr-serve -benchmark convnet -loadtest -clients 16 -requests 500
 //
 // In serving mode the process runs until SIGINT/SIGTERM, then drains
@@ -28,6 +29,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/core"
 	"repro/internal/server"
 	"repro/internal/server/telemetry"
 )
@@ -37,6 +39,8 @@ func main() {
 	benchmark := flag.String("benchmark", "convnet", "benchmark name (see pgmr -h)")
 	members := flag.Int("members", 4, "number of member networks (2-8)")
 	bits := flag.Int("bits", 0, "RAMR precision bits (0 = full precision)")
+	backend := flag.String("backend", "", "numeric execution backend: f64, f32 or int8 (default f64)")
+	lateBackend := flag.String("late-backend", "", "backend for late-stage tie-breaker members (default: same as -backend)")
 	noStage := flag.Bool("no-stage", false, "disable RADE staged activation")
 	workers := flag.Int("workers", 0, "worker-pool size inside ClassifyBatch (0 = NumCPU)")
 	batchWindow := flag.Duration("batch-window", 5*time.Millisecond, "how long the batcher waits to coalesce images after the first")
@@ -64,10 +68,17 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if err := validateBackends(*backend, *lateBackend); err != nil {
+		fmt.Fprintf(os.Stderr, "pgmr-serve: %v\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	opts := polygraph.Options{
 		Members:       *members,
 		PrecisionBits: *bits,
+		Backend:       *backend,
+		LateBackend:   *lateBackend,
 		DisableStaged: *noStage,
 		Workers:       *workers,
 		Quiet:         *quiet,
@@ -173,6 +184,19 @@ func runLoadtest(srv *server.Server, metrics *telemetry.Metrics, benchmark strin
 	if res.Failed > 0 {
 		fatalf("loadtest: %d requests failed", res.Failed)
 	}
+}
+
+// validateBackends checks the -backend/-late-backend flag values up front so
+// misuse is a usage error (exit 2) rather than a build failure deep inside
+// polygraph.Build.
+func validateBackends(backend, late string) error {
+	if _, err := core.ParseBackend(backend); err != nil {
+		return fmt.Errorf("-backend: %w", err)
+	}
+	if _, err := core.ParseBackend(late); err != nil {
+		return fmt.Errorf("-late-backend: %w", err)
+	}
+	return nil
 }
 
 func fatalf(format string, args ...any) {

@@ -1,0 +1,22 @@
+package main
+
+import "testing"
+
+// TestValidateBackends pins the -backend/-late-backend usage contract: the
+// three real backends (and the empty default) pass, anything else is a usage
+// error whose message names the offending flag.
+func TestValidateBackends(t *testing.T) {
+	for _, ok := range []struct{ backend, late string }{
+		{"", ""}, {"f64", ""}, {"f32", "f64"}, {"int8", "f64"}, {"int8", "int8"},
+	} {
+		if err := validateBackends(ok.backend, ok.late); err != nil {
+			t.Errorf("validateBackends(%q, %q) = %v, want nil", ok.backend, ok.late, err)
+		}
+	}
+	if err := validateBackends("f16", ""); err == nil {
+		t.Error("validateBackends accepted -backend f16")
+	}
+	if err := validateBackends("", "INT8"); err == nil {
+		t.Error("validateBackends accepted -late-backend INT8")
+	}
+}

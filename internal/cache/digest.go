@@ -28,8 +28,9 @@ func (f Fingerprint) String() string { return hex.EncodeToString(f[:]) }
 
 // digestSchema versions the key byte layout itself: bump it whenever the
 // fingerprint or image serialization changes, so caches populated by older
-// layouts read as cold rather than wrong.
-const digestSchema = "pgmr-cache-v1"
+// layouts read as cold rather than wrong. v2 added the per-member backend
+// schedule (reduced-precision execution changes decisions).
+const digestSchema = "pgmr-cache-v2"
 
 // SystemConfig enumerates the decision-relevant configuration covered by a
 // fingerprint.
@@ -45,6 +46,11 @@ type SystemConfig struct {
 	// (e.g. "ORG", "FlipX", "Preproc#3"). Order matters: it is the RADE
 	// activation order.
 	Members []string
+	// Backends are the per-member numeric execution backends ("f64", "f32",
+	// "int8"), index-aligned with Members. Reduced-precision kernels produce
+	// slightly different softmax rows, so the backend schedule is
+	// decision-relevant. nil/empty means every member runs float64.
+	Backends []string
 	// Salt carries decision-relevant configuration the member names cannot
 	// see — e.g. RAMR precision bits, which rewrite the network weights
 	// after the system is assembled.
@@ -78,6 +84,10 @@ func SystemFingerprint(cfg SystemConfig) Fingerprint {
 	writeU64(uint64(len(cfg.Members)))
 	for _, m := range cfg.Members {
 		writeStr(m)
+	}
+	writeU64(uint64(len(cfg.Backends)))
+	for _, b := range cfg.Backends {
+		writeStr(b)
 	}
 	writeStr(cfg.Salt)
 	return Fingerprint(h.Sum(nil))

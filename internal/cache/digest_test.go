@@ -8,12 +8,13 @@ import (
 
 func refConfig() SystemConfig {
 	return SystemConfig{
-		Conf:    0.6,
-		Freq:    2,
-		Staged:  true,
-		Batch:   1,
-		Members: []string{"ORG", "FlipX", "Preproc#3"},
-		Salt:    "bits=16",
+		Conf:     0.6,
+		Freq:     2,
+		Staged:   true,
+		Batch:    1,
+		Members:  []string{"ORG", "FlipX", "Preproc#3"},
+		Backends: []string{"f64", "int8", "f64"},
+		Salt:     "bits=16",
 	}
 }
 
@@ -28,8 +29,8 @@ func refImage() ([]int, []float64) {
 // prediction written by one process must be readable by the next. Update
 // them ONLY together with a digestSchema bump.
 const (
-	goldenFingerprint = "c57d4891f83e293af3064932ca00d71b4e5d40176a845176f635806ae0752b4e"
-	goldenKey         = "3125333e8bf8c73651666c449871cff0acab4264a68638faf732b7bc28fad47c"
+	goldenFingerprint = "ab3a3817d8a4973eccc10ff7c67b93589d6a74a89a5f2ad115281db9e19e06a3"
+	goldenKey         = "477e0858fde58db778a9394567e0e956cb148f97ce88607d5dd5659d8b3378da"
 )
 
 func TestDigestStableAcrossProcesses(t *testing.T) {
@@ -69,6 +70,9 @@ func TestDigestSensitivity(t *testing.T) {
 		"member added":   func(c *SystemConfig) { c.Members = append(c.Members, "FlipY") },
 		"variant swap":   func(c *SystemConfig) { c.Members = []string{"ORG", "FlipY", "Preproc#3"} },
 		"member order":   func(c *SystemConfig) { c.Members = []string{"FlipX", "ORG", "Preproc#3"} },
+		"backend change": func(c *SystemConfig) { c.Backends = []string{"f64", "f32", "f64"} },
+		"backend order":  func(c *SystemConfig) { c.Backends = []string{"int8", "f64", "f64"} },
+		"backends unset": func(c *SystemConfig) { c.Backends = nil },
 		"salt":           func(c *SystemConfig) { c.Salt = "bits=8" },
 	}
 	for name, mutate := range mutations {

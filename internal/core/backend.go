@@ -1,0 +1,110 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Reduced-precision execution backends (DESIGN.md §9). Each member can run
+// its forward passes at a different numeric precision: the float64
+// reference path, the compiled float32 path, or the int8 quantized path.
+// This is the executable form of the paper's RAMR reduced-precision
+// multiplicity — instead of simulating precision loss by rewriting weights,
+// the engine actually runs cheaper kernels and banks the time.
+//
+// Backends are configuration in two steps: set Member.Backend (or let
+// polygraph.Options do it), then call PrepareBackends once to compile the
+// reduced-precision nets. Until PrepareBackends runs, every member executes
+// float64 regardless of its Backend field, so a half-configured system is
+// never silently wrong — it is just full precision.
+
+// Backend selects the numeric execution path of one member.
+type Backend int
+
+const (
+	// BackendF64 is the float64 reference path — bit-identical to the
+	// engine's behaviour before backends existed.
+	BackendF64 Backend = iota
+	// BackendF32 runs the compiled float32 net (nn.Compile32).
+	BackendF32
+	// BackendInt8 runs the int8 quantized net (nn.CompileInt8); requires a
+	// calibration sample at PrepareBackends time.
+	BackendInt8
+)
+
+// ParseBackend parses a backend name as used by the -backend CLI flags.
+// The empty string means the default, BackendF64.
+func ParseBackend(s string) (Backend, error) {
+	switch s {
+	case "", "f64":
+		return BackendF64, nil
+	case "f32":
+		return BackendF32, nil
+	case "int8":
+		return BackendInt8, nil
+	}
+	return BackendF64, fmt.Errorf("core: unknown backend %q (want f64, f32 or int8)", s)
+}
+
+func (b Backend) String() string {
+	switch b {
+	case BackendF64:
+		return "f64"
+	case BackendF32:
+		return "f32"
+	case BackendInt8:
+		return "int8"
+	}
+	return fmt.Sprintf("Backend(%d)", int(b))
+}
+
+// PrepareBackends compiles the reduced-precision net of every member whose
+// Backend requests one. calib is a sample of raw system inputs (it may be
+// nil when no member uses int8); each int8 member calibrates on its OWN
+// preprocessed view of the sample, so activation ranges reflect what that
+// member's network actually sees. Members already prepared for their
+// current backend are recompiled — PrepareBackends is idempotent and may be
+// called again after retraining or backend reassignment. Call it before
+// EnableCache so the fingerprint covers the final backend schedule.
+func (s *System) PrepareBackends(calib []*tensor.T) error {
+	for i := range s.Members {
+		m := &s.Members[i]
+		switch m.Backend {
+		case BackendF64:
+			m.net32 = nil
+		case BackendF32:
+			net, err := m.Net.Compile32()
+			if err != nil {
+				return fmt.Errorf("core: member %s: %w", m.Name, err)
+			}
+			m.net32 = net
+		case BackendInt8:
+			if len(calib) == 0 {
+				return fmt.Errorf("core: member %s uses the int8 backend; PrepareBackends needs a calibration sample", m.Name)
+			}
+			pre := make([]*tensor.T, len(calib))
+			for j, x := range calib {
+				pre[j] = m.Pre.Apply(x)
+			}
+			net, err := m.Net.CompileInt8(pre)
+			if err != nil {
+				return fmt.Errorf("core: member %s: %w", m.Name, err)
+			}
+			m.net32 = net
+		default:
+			return fmt.Errorf("core: member %s: unknown backend %d", m.Name, int(m.Backend))
+		}
+	}
+	return nil
+}
+
+// Backends returns the per-member backend schedule in priority order —
+// the names the fingerprint and the serving metrics report.
+func (s *System) Backends() []string {
+	out := make([]string, len(s.Members))
+	for i, m := range s.Members {
+		out[i] = m.Backend.String()
+	}
+	return out
+}

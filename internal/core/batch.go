@@ -167,25 +167,46 @@ func (s *System) runMemberRange(ctx context.Context, start, end int, xs []*tenso
 	return rows, nil
 }
 
+// batchScratch is one worker's scratch-arena pair. Both arenas are created
+// lazily so a pure-f64 system never allocates float32 scratch and a pure
+// reduced-precision system never allocates float64 scratch.
+type batchScratch struct {
+	a   *tensor.Arena
+	a32 *tensor.Arena32
+}
+
 // batchArenaInfer returns a batched member execution strategy: preprocess
-// each image, run the member's network over the whole set with
-// nn.InferBatchArena, and copy out the probability rows. Arenas are drawn
-// from the pool so concurrent member calls never share scratch memory.
+// each image, run the member's network over the whole set — InferBatchArena
+// for float64 members, the compiled Net32 for reduced-precision ones — and
+// return the probability rows. Scratch is drawn from the pool so concurrent
+// member calls never share arenas.
 func (s *System) batchArenaInfer(pool *sync.Pool) batchInferFn {
 	return func(m int, xs []*tensor.T) [][]float64 {
-		a := pool.Get().(*tensor.Arena)
+		sc := pool.Get().(*batchScratch)
 		mem := s.Members[m]
 		pre := make([]*tensor.T, len(xs))
 		for i, x := range xs {
 			pre[i] = mem.Pre.Apply(x)
 		}
-		probs := mem.Net.InferBatchArena(pre, a)
-		rows := make([][]float64, len(xs))
-		for i, p := range probs {
-			rows[i] = append([]float64(nil), p.Data...)
+		var rows [][]float64
+		if mem.net32 != nil {
+			if sc.a32 == nil {
+				sc.a32 = tensor.NewArena32()
+			}
+			rows = mem.net32.InferBatch(pre, sc.a32)
+			sc.a32.Reset()
+		} else {
+			if sc.a == nil {
+				sc.a = tensor.NewArena()
+			}
+			probs := mem.Net.InferBatchArena(pre, sc.a)
+			rows = make([][]float64, len(xs))
+			for i, p := range probs {
+				rows[i] = append([]float64(nil), p.Data...)
+			}
+			sc.a.Reset()
 		}
-		a.Reset()
-		pool.Put(a)
+		pool.Put(sc)
 		return rows
 	}
 }

@@ -99,11 +99,12 @@ func (p *PredictionCache) Stats() CacheStats {
 }
 
 // ConfigFingerprint digests every configuration field that can change a
-// Decision — thresholds, staging shape, and the member set (variant keys)
-// in priority order — plus a caller salt for transformations the member
-// names cannot see (e.g. RAMR precision bits, which rewrite network weights
-// after assembly). Workers/Parallel are deliberately excluded: they change
-// wall-clock time, never decisions.
+// Decision — thresholds, staging shape, the member set (variant keys) in
+// priority order, and the per-member backend schedule (reduced-precision
+// kernels shift softmax rows) — plus a caller salt for transformations the
+// member names cannot see (e.g. RAMR precision bits, which rewrite network
+// weights after assembly). Workers/Parallel are deliberately excluded: they
+// change wall-clock time, never decisions.
 func (s *System) ConfigFingerprint(salt string) cache.Fingerprint {
 	names := make([]string, len(s.Members))
 	for i, m := range s.Members {
@@ -114,12 +115,13 @@ func (s *System) ConfigFingerprint(salt string) cache.Fingerprint {
 		batch = 1 // the engines normalize Batch<1 to 1; key identically
 	}
 	return cache.SystemFingerprint(cache.SystemConfig{
-		Conf:    s.Th.Conf,
-		Freq:    s.Th.Freq,
-		Staged:  s.Staged,
-		Batch:   batch,
-		Members: names,
-		Salt:    salt,
+		Conf:     s.Th.Conf,
+		Freq:     s.Th.Freq,
+		Staged:   s.Staged,
+		Batch:    batch,
+		Members:  names,
+		Backends: s.Backends(),
+		Salt:     salt,
 	})
 }
 

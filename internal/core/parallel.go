@@ -157,11 +157,21 @@ func (s *System) classifyParallel(parent context.Context, x *tensor.T, infer inf
 
 // arenaInfer returns a member execution strategy whose forward passes draw
 // every intermediate tensor from the given arena. The arena is reset after
-// each member, so the strategy makes almost no heap allocations. Not safe
-// for concurrent use — each worker owns its arena.
+// each member, so the strategy makes almost no heap allocations. Members on
+// a reduced-precision backend draw from a lazily created float32 arena
+// instead. Not safe for concurrent use — each worker owns its arenas.
 func (s *System) arenaInfer(a *tensor.Arena) inferFn {
+	var a32 *tensor.Arena32
 	return func(i int, x *tensor.T) []float64 {
 		m := s.Members[i]
+		if m.net32 != nil {
+			if a32 == nil {
+				a32 = tensor.NewArena32()
+			}
+			row := m.net32.InferBatch([]*tensor.T{m.Pre.Apply(x)}, a32)[0]
+			a32.Reset()
+			return row
+		}
 		probs := m.Net.InferArena(m.Pre.Apply(x), a)
 		row := append([]float64(nil), probs.Data...)
 		a.Reset()
@@ -215,6 +225,6 @@ func (s *System) classifyBatchUncached(ctx context.Context, xs []*tensor.T) ([]D
 		}
 		return out, nil
 	}
-	pool := &sync.Pool{New: func() any { return tensor.NewArena() }}
+	pool := &sync.Pool{New: func() any { return &batchScratch{} }}
 	return s.classifyBatchNetworks(ctx, xs, s.batchArenaInfer(pool))
 }

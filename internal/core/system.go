@@ -17,10 +17,21 @@ type Member struct {
 	Name string
 	Pre  preprocess.Preprocessor
 	Net  *nn.Network
+	// Backend selects the numeric execution path (f64, f32, int8). It takes
+	// effect once System.PrepareBackends compiles the reduced-precision net;
+	// until then the member runs the float64 reference path (see backend.go).
+	Backend Backend
+
+	// net32 is the compiled reduced-precision net (f32 or int8 per Backend),
+	// set by PrepareBackends. nil means execute Net in float64.
+	net32 *nn.Net32
 }
 
 // Infer runs the member on a raw input image.
 func (m Member) Infer(x *tensor.T) []float64 {
+	if m.net32 != nil {
+		return m.net32.InferBatch([]*tensor.T{m.Pre.Apply(x)}, nil)[0]
+	}
 	return append([]float64(nil), m.Net.Infer(m.Pre.Apply(x)).Data...)
 }
 

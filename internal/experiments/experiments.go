@@ -27,6 +27,11 @@ type Context struct {
 	// (ext-throughput); 0 selects runtime.NumCPU().
 	Workers int
 
+	// Backend selects the numeric execution backend for throughput
+	// experiments ("f64", "f32" or "int8"; empty = f64). Reduced backends
+	// run the compiled kernels of internal/nn (DESIGN.md §9).
+	Backend string
+
 	// CacheMB and CacheTTL parameterize the prediction cache the ext-caching
 	// experiment attaches (budget in MiB; TTL 0 = entries never expire), and
 	// ZipfS is the skew exponent (> 1) of its duplicate-heavy workload.

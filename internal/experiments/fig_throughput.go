@@ -44,6 +44,22 @@ func ExtThroughput(ctx *Context) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	backend, err := core.ParseBackend(ctx.Backend)
+	if err != nil {
+		return nil, fmt.Errorf("ext-throughput: %w", err)
+	}
+	if backend != core.BackendF64 {
+		for i := range sys.Members {
+			sys.Members[i].Backend = backend
+		}
+		calib := make([]*tensor.T, 0, 16)
+		for i := 0; i < len(ds.Val) && i < 16; i++ {
+			calib = append(calib, ds.Val[i].X)
+		}
+		if err := sys.PrepareBackends(calib); err != nil {
+			return nil, fmt.Errorf("ext-throughput: %w", err)
+		}
+	}
 	n := len(ds.Test)
 	if n > 256 {
 		n = 256
@@ -81,6 +97,12 @@ func ExtThroughput(ctx *Context) (*Result, error) {
 	parD, parT := run(parOne)
 	batD, batT := run(batched)
 
+	// On the f64 backend all three strategies are bit-identical, so any
+	// divergence is a bug. Reduced backends share the same compiled nets
+	// across strategies, but the f32 FMA GEMM's tile boundaries depend on
+	// the batch geometry, so a near-tie frame may legitimately flip; there
+	// we count divergences and tolerate a ≤1% fraction (reported below).
+	diverged := 0
 	for i := range seqD {
 		if seqD[i].Label != parD[i].Label || seqD[i].Reliable != parD[i].Reliable ||
 			seqD[i].Activated != parD[i].Activated {
@@ -88,8 +110,14 @@ func ExtThroughput(ctx *Context) (*Result, error) {
 		}
 		if seqD[i].Label != batD[i].Label || seqD[i].Reliable != batD[i].Reliable ||
 			seqD[i].Activated != batD[i].Activated {
-			return nil, fmt.Errorf("ext-throughput: batch decision diverges on frame %d", i)
+			if backend == core.BackendF64 {
+				return nil, fmt.Errorf("ext-throughput: batch decision diverges on frame %d", i)
+			}
+			diverged++
 		}
+	}
+	if diverged > n/100 {
+		return nil, fmt.Errorf("ext-throughput: %s batch decisions diverge on %d/%d frames", backend, diverged, n)
 	}
 
 	res := &Result{
@@ -109,7 +137,12 @@ func ExtThroughput(ctx *Context) (*Result, error) {
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
-	res.AddNote("4-member %s system, staged activation, %d worker(s) on %d CPU(s); decisions verified identical across strategies",
-		b.Name, workers, runtime.NumCPU())
+	res.AddNote("4-member %s system, staged activation, %s backend, %d worker(s) on %d CPU(s)",
+		b.Name, backend, workers, runtime.NumCPU())
+	if backend == core.BackendF64 {
+		res.AddNote("decisions verified identical across strategies")
+	} else {
+		res.AddNote("decisions verified across strategies: %d/%d batch frames diverged (near-tie %s rounding)", diverged, n, backend)
+	}
 	return res, nil
 }

@@ -1,0 +1,214 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/calibrate"
+	"repro/internal/tensor"
+)
+
+// Int8 quantized execution nodes (DESIGN.md §9). CompileInt8 compiles the
+// network like Compile32, then runs a calibration batch through the f32
+// nodes recording the activation range entering every top-level Conv2D and
+// Dense layer, and swaps those nodes for quantized versions:
+//
+//	quantize input (uint8, calibrated affine scale/zp)
+//	  → byte im2col / transpose
+//	  → uint8 GEMM with int32 accumulators (tensor.GemmU8Into)
+//	  → fused dequantize + bias (tensor.DequantRow)
+//
+// Weights use per-output-channel symmetric scales quantized from the
+// ORIGINAL float64 parameters, so weight precision is exactly the 8-bit
+// budget and not 8 bits of an f32 round-trip. Layers inside composite
+// blocks (ResidualBlock, DenseUnit) stay float32: their activations feed
+// shortcut adds and concats where requantization error compounds, and the
+// zoo's composite convs are a small share of total MACs.
+
+// qconv32 is the quantized convolution node. The dequant corrections are
+// folded per output channel at compile time: corr[oc] = zp·Σqw (the
+// zero-point term) and deq[oc] = s_x·s_w[oc] (the combined scale); the
+// column-sum term is produced by the GEMM per output position.
+type qconv32 struct {
+	inC, outC, kh, kw, stride, pad int
+
+	qw   tensor.QuantWeights
+	deq  []float32
+	corr []int32
+	bias []float32
+
+	invScale float32
+	zp       uint8
+}
+
+func newQConv32(c *Conv2D, scale float32, zp uint8) *qconv32 {
+	q := &qconv32{
+		inC: c.InC, outC: c.OutC, kh: c.KH, kw: c.KW, stride: c.Stride, pad: c.Pad,
+		qw:       tensor.QuantizeWeightsSym(c.weight.Value.Data, c.OutC, c.InC*c.KH*c.KW),
+		deq:      make([]float32, c.OutC),
+		corr:     make([]int32, c.OutC),
+		bias:     make([]float32, c.OutC),
+		invScale: 1 / scale,
+		zp:       zp,
+	}
+	for oc := 0; oc < c.OutC; oc++ {
+		q.deq[oc] = float32(float64(scale) * q.qw.Scale[oc])
+		q.corr[oc] = int32(zp) * q.qw.RowSum[oc]
+		q.bias[oc] = float32(c.bias.Value.Data[oc])
+	}
+	return q
+}
+
+func (q *qconv32) forward(src *tensor.T32, inShape []int, bsz int, a *tensor.Arena32) (*tensor.T32, []int) {
+	g := tensor.ConvGeom{
+		InC: q.inC, InH: inShape[1], InW: inShape[2],
+		KH: q.kh, KW: q.kw, Stride: q.stride, Pad: q.pad,
+	}
+	oh, ow := g.OutH(), g.OutW()
+	ohw := oh * ow
+	bohw := bsz * ohw
+	ckk := q.inC * q.kh * q.kw
+
+	qsrc := a.Bytes(len(src.Data))
+	tensor.QuantizeU8(qsrc, src.Data, q.invScale, q.zp)
+	qcols := a.Bytes(ckk * bohw)
+	tensor.Im2ColBatchU8(qcols, qsrc, bsz, g, q.zp)
+
+	acc := a.Int32s(q.outC * bohw)
+	colsum := a.Int32s(bohw)
+	tensor.GemmU8Into(acc, colsum, q.qw.Bits, qcols, q.outC, ckk, bohw)
+
+	dst := a.NewRaw(bsz, q.outC*ohw)
+	for oc := 0; oc < q.outC; oc++ {
+		crow := acc[oc*bohw : (oc+1)*bohw]
+		for b := 0; b < bsz; b++ {
+			drow := dst.Data[b*q.outC*ohw+oc*ohw : b*q.outC*ohw+(oc+1)*ohw]
+			tensor.DequantRow(drow, crow[b*ohw:(b+1)*ohw], colsum[b*ohw:(b+1)*ohw], q.corr[oc], q.deq[oc], q.bias[oc])
+		}
+	}
+	return dst, []int{q.outC, oh, ow}
+}
+
+// qdense32 is the quantized fully connected node. Activations are
+// quantized transposed into the [In, B] layout the uint8 GEMM wants as its
+// right operand, and the [Out, B] dequantized product is scattered back to
+// the engine's [B, Out] row layout.
+type qdense32 struct {
+	in, out int
+
+	qw   tensor.QuantWeights
+	deq  []float32
+	corr []int32
+	bias []float32
+
+	invScale float32
+	zp       uint8
+}
+
+func newQDense32(d *Dense, scale float32, zp uint8) *qdense32 {
+	q := &qdense32{
+		in: d.In, out: d.Out,
+		qw:       tensor.QuantizeWeightsSym(d.weight.Value.Data, d.Out, d.In),
+		deq:      make([]float32, d.Out),
+		corr:     make([]int32, d.Out),
+		bias:     make([]float32, d.Out),
+		invScale: 1 / scale,
+		zp:       zp,
+	}
+	for o := 0; o < d.Out; o++ {
+		q.deq[o] = float32(float64(scale) * q.qw.Scale[o])
+		q.corr[o] = int32(zp) * q.qw.RowSum[o]
+		q.bias[o] = float32(d.bias.Value.Data[o])
+	}
+	return q
+}
+
+func (q *qdense32) forward(src *tensor.T32, inShape []int, bsz int, a *tensor.Arena32) (*tensor.T32, []int) {
+	if prodShape(inShape) != q.in {
+		panic(fmt.Sprintf("nn: qdense32: batched input of %d elements, want %d", prodShape(inShape), q.in))
+	}
+	qb := a.Bytes(q.in * bsz)
+	tensor.QuantizeTransposeU8(qb, src.Data[:bsz*q.in], bsz, q.in, q.invScale, q.zp)
+
+	acc := a.Int32s(q.out * bsz)
+	colsum := a.Int32s(bsz)
+	tensor.GemmU8Into(acc, colsum, q.qw.Bits, qb, q.out, q.in, bsz)
+
+	rows := a.NewRaw(q.out, bsz)
+	for o := 0; o < q.out; o++ {
+		tensor.DequantRow(rows.Data[o*bsz:(o+1)*bsz], acc[o*bsz:(o+1)*bsz], colsum, q.corr[o], q.deq[o], q.bias[o])
+	}
+	dst := a.NewRaw(bsz, q.out)
+	for b := 0; b < bsz; b++ {
+		drow := dst.Data[b*q.out : (b+1)*q.out]
+		for o := 0; o < q.out; o++ {
+			drow[o] = rows.Data[o*bsz+b]
+		}
+	}
+	return dst, []int{q.out}
+}
+
+// CompileInt8 compiles the network into an int8-quantized inference net.
+// calib is a non-empty sample of network inputs (already preprocessed the
+// way inference inputs will be); each top-level Conv2D and Dense layer's
+// input-activation range over the sample fixes its quantization scale and
+// zero point. Layers whose dot-product length exceeds tensor.MaxQuantK
+// stay float32 (the int8 GEMM's accumulator would overflow); everything in
+// the model zoo is far under the cap.
+func (n *Network) CompileInt8(calib []*tensor.T) (*Net32, error) {
+	net, err := n.Compile32()
+	if err != nil {
+		return nil, err
+	}
+	if len(calib) == 0 {
+		return nil, fmt.Errorf("nn: CompileInt8: empty calibration sample")
+	}
+
+	// Mark the quantizable node indices (top-level Conv2D/Dense under the
+	// accumulator cap), then run the calibration batch through the f32
+	// nodes, observing the input activation range at each marked node.
+	quantizable := make([]bool, len(n.Layers))
+	for i, l := range n.Layers {
+		switch t := l.(type) {
+		case *Conv2D:
+			quantizable[i] = t.InC*t.KH*t.KW <= tensor.MaxQuantK
+		case *Dense:
+			quantizable[i] = t.In <= tensor.MaxQuantK
+		}
+	}
+	ranges := make([]calibrate.Range, len(net.nodes))
+	a := tensor.NewArena32()
+	bsz := len(calib)
+	shape := append([]int(nil), calib[0].Shape...)
+	elems := prodShape(shape)
+	cur := a.NewRaw(bsz, elems)
+	for b, x := range calib {
+		if !x.SameShape(calib[0]) {
+			return nil, fmt.Errorf("nn: CompileInt8: mixed calibration shapes %v vs %v", x.Shape, calib[0].Shape)
+		}
+		row := cur.Data[b*elems : (b+1)*elems]
+		for i, v := range x.Data {
+			row[i] = float32(v)
+		}
+	}
+	for i, nd := range net.nodes {
+		if quantizable[i] {
+			ranges[i].ObserveSlice32(cur.Data)
+		}
+		cur, shape = nd.forward(cur, shape, bsz, a)
+	}
+
+	for i, l := range n.Layers {
+		if !quantizable[i] {
+			continue
+		}
+		scale, zp := ranges[i].AffineU8()
+		switch t := l.(type) {
+		case *Conv2D:
+			net.nodes[i] = newQConv32(t, scale, zp)
+		case *Dense:
+			net.nodes[i] = newQDense32(t, scale, zp)
+		}
+	}
+	net.Quantized = true
+	return net, nil
+}

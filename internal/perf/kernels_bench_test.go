@@ -27,13 +27,17 @@ var collected []BenchEntry
 func TestMain(m *testing.M) {
 	code := m.Run()
 	if code == 0 && len(collected) > 0 {
-		// Cache benchmarks get their own report so the kernel numbers and
-		// the caching numbers version independently in CI artifacts.
-		var kernels, caches []BenchEntry
+		// Cache and quant-backend benchmarks get their own reports so the
+		// kernel, caching and reduced-precision numbers version
+		// independently in CI artifacts.
+		var kernels, caches, quant []BenchEntry
 		for _, e := range collected {
-			if strings.HasPrefix(e.Name, "BenchmarkCache") {
+			switch {
+			case strings.HasPrefix(e.Name, "BenchmarkCache"):
 				caches = append(caches, e)
-			} else {
+			case strings.HasPrefix(e.Name, "BenchmarkQuant"):
+				quant = append(quant, e)
+			default:
 				kernels = append(kernels, e)
 			}
 		}
@@ -53,6 +57,7 @@ func TestMain(m *testing.M) {
 		}
 		write(kernels, "PGMR_BENCH_JSON", "BENCH_kernels.json")
 		write(caches, "PGMR_BENCH_CACHE_JSON", "BENCH_cache.json")
+		write(quant, "PGMR_BENCH_QUANT_JSON", "BENCH_quant.json")
 	}
 	os.Exit(code)
 }

@@ -1,0 +1,115 @@
+package perf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/preprocess"
+	"repro/internal/tensor"
+)
+
+// Measured reduced-precision backend benchmarks (DESIGN.md §9). Running them
+// with -bench collects the per-backend ClassifyBatch wall-clock on the
+// SynthCIFAR convnet at B=32 and TestMain writes the BENCH_quant.json report.
+// Each entry carries speedup_vs_f64 (against an f64 system measured in the
+// same process) and agreement_vs_f64 (label agreement over the input pool),
+// so the report records both sides of the RAMR trade at once.
+
+// quantSystem builds the 4-member SynthCIFAR convnet system used by the
+// backend benchmarks, compiled for the given backend.
+func quantSystem(b *testing.B, backend core.Backend) (*core.System, []*tensor.T) {
+	b.Helper()
+	net, xs := convnetFixture(32)
+	pres := []string{"ORG", "FlipX", "FlipY", "Gamma(2)"}
+	members := make([]core.Member, len(pres))
+	for i, p := range pres {
+		members[i] = core.Member{Name: p, Pre: preprocess.MustByName(p), Net: net, Backend: backend}
+	}
+	sys, err := core.NewSystem(members, core.Thresholds{Conf: 0.2, Freq: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys.Staged = true
+	sys.Workers = 1
+	if err := sys.PrepareBackends(xs[:8]); err != nil {
+		b.Fatal(err)
+	}
+	return sys, xs
+}
+
+// BenchmarkQuantClassifyBatch measures ClassifyBatch at B=32 on the convnet
+// system per numeric backend. The f64 baseline is measured in the same
+// process (best of three passes after warmup), so speedup_vs_f64 compares
+// like with like; for f64 itself the metric pins the measurement noise.
+func BenchmarkQuantClassifyBatch(b *testing.B) {
+	ref, xs := quantSystem(b, core.BackendF64)
+	want := ref.ClassifyBatch(xs)
+	baseline := math.MaxFloat64
+	for rep := 0; rep < 4; rep++ {
+		start := time.Now()
+		ref.ClassifyBatch(xs)
+		if e := float64(time.Since(start).Nanoseconds()); rep > 0 && e < baseline {
+			baseline = e
+		}
+	}
+
+	for _, backend := range []core.Backend{core.BackendF64, core.BackendF32, core.BackendInt8} {
+		b.Run(backend.String(), func(b *testing.B) {
+			sys, _ := quantSystem(b, backend)
+			got := sys.ClassifyBatch(xs)
+			agree := 0
+			for i := range got {
+				if got[i].Label == want[i].Label {
+					agree++
+				}
+			}
+			e := timeOp(b, func() { sys.ClassifyBatch(xs) })
+			imgPerSec := float64(len(xs)) * 1e9 / e.NsPerOp
+			speedup := baseline / e.NsPerOp
+			agreement := float64(agree) / float64(len(got))
+			e.Metrics = map[string]float64{
+				"img_per_sec":      imgPerSec,
+				"speedup_vs_f64":   speedup,
+				"agreement_vs_f64": agreement,
+			}
+			b.ReportMetric(imgPerSec, "img/s")
+			b.ReportMetric(speedup, "x_f64")
+			b.ReportMetric(agreement, "agree")
+		})
+	}
+}
+
+// BenchmarkQuantGemmU8 measures the raw uint8 GEMM against the float64 GEMM
+// on the lowered B=32 convnet conv shapes, isolating the kernel-level gain
+// from the end-to-end pipeline cost (quantize + im2col + dequant epilogues)
+// reported by BenchmarkQuantClassifyBatch.
+func BenchmarkQuantGemmU8(b *testing.B) {
+	shapes := []struct {
+		name    string
+		m, k, n int
+	}{
+		{"conv1_m8_k27_n32768", 8, 27, 32 * 1024},
+		{"conv2_m12_k72_n8192", 12, 72, 32 * 256},
+	}
+	rng := rand.New(rand.NewSource(7))
+	for _, s := range shapes {
+		b.Run(s.name, func(b *testing.B) {
+			w := make([]float64, s.m*s.k)
+			for i := range w {
+				w[i] = rng.NormFloat64()
+			}
+			qw := tensor.QuantizeWeightsSym(w, s.m, s.k)
+			qb := make([]uint8, s.k*s.n)
+			rng.Read(qb)
+			acc := make([]int32, s.m*s.n)
+			colsum := make([]int32, s.n)
+			e := timeOp(b, func() { tensor.GemmU8Into(acc, colsum, qw.Bits, qb, s.m, s.k, s.n) })
+			gops := 2 * float64(s.m) * float64(s.k) * float64(s.n) / e.NsPerOp
+			e.Metrics = map[string]float64{"gops": gops}
+			b.ReportMetric(gops, "gops")
+		})
+	}
+}

@@ -1,9 +1,18 @@
-// Package precision simulates the narrow floating-point representations of
+// Package precision models the narrow floating-point representations of
 // PolygraphMR's resource-aware MR (RAMR, paper §III-D). The paper modified
 // Caffe's kernels to truncate values on loads and stores to a unified
 // reduced precision; here the same numerical effect is obtained by rounding
 // every weight once and every inter-layer activation tensor during
 // inference to a configurable (sign, exponent, mantissa) format.
+//
+// This package is the accuracy model of RAMR: it answers "what do reduced
+// bits do to decisions" for any (exp, mantissa) split, at full-precision
+// speed. The executable counterpart lives in internal/nn (DESIGN.md §9):
+// Network.Compile32 runs members on real float32 kernels and
+// Network.CompileInt8 on 8-bit integer GEMMs, selected per member through
+// core.Member.Backend — those backends actually save time, while Quantize
+// below remains the reference rounding semantics that calibration and the
+// precision sweeps are defined against.
 package precision
 
 import (

@@ -1,0 +1,193 @@
+package tensor
+
+import "fmt"
+
+// This file holds the float32 storage types of the reduced-precision
+// inference backend (DESIGN.md §9). T32 deliberately carries only the
+// surface the inference kernels need — the training path, serialization
+// and the decision engine stay float64; float32 (and int8, see int8.go)
+// exist purely as execution formats that networks are compiled into once
+// (nn.Network.Compile32 / CompileInt8) and run through the same generic
+// kernels as the reference path.
+
+// T32 is a dense row-major float32 tensor: the storage type of the f32
+// inference backend. The zero value is an empty tensor.
+type T32 struct {
+	// Shape holds the extent of each dimension, outermost first.
+	Shape []int
+	// Data is the contiguous row-major backing buffer; its length always
+	// equals the product of Shape.
+	Data []float32
+}
+
+// New32 returns a zero-filled float32 tensor with the given shape. It
+// panics if any dimension is negative.
+func New32(shape ...int) *T32 {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension %d in shape %v", d, shape))
+		}
+		n *= d
+	}
+	return &T32{Shape: append([]int(nil), shape...), Data: make([]float32, n)}
+}
+
+// FromSlice32 wraps data in a float32 tensor with the given shape. The
+// slice is used directly (not copied). It panics on a length mismatch.
+func FromSlice32(data []float32, shape ...int) *T32 {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if len(data) != n {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %v (want %d)", len(data), shape, n))
+	}
+	return &T32{Shape: append([]int(nil), shape...), Data: data}
+}
+
+// To32 returns a new float32 tensor holding t's values rounded to float32
+// (round-to-nearest-even, the Go conversion semantics). This is the
+// weight-conversion step of backend compilation.
+func To32(t *T) *T32 {
+	c := &T32{Shape: append([]int(nil), t.Shape...), Data: make([]float32, len(t.Data))}
+	for i, v := range t.Data {
+		c.Data[i] = float32(v)
+	}
+	return c
+}
+
+// Len returns the total number of elements.
+func (t *T32) Len() int { return len(t.Data) }
+
+// Rank returns the number of dimensions.
+func (t *T32) Rank() int { return len(t.Shape) }
+
+// Reshape returns a tensor sharing t's data with a new shape. It panics if
+// the element counts differ.
+func (t *T32) Reshape(shape ...int) *T32 {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(t.Data) {
+		panic(fmt.Sprintf("tensor: cannot reshape %v (%d elems) to %v (%d elems)", t.Shape, len(t.Data), shape, n))
+	}
+	return &T32{Shape: append([]int(nil), shape...), Data: t.Data}
+}
+
+// SameShape reports whether t and o have identical shapes.
+func (t *T32) SameShape(o *T32) bool {
+	if len(t.Shape) != len(o.Shape) {
+		return false
+	}
+	for i, d := range t.Shape {
+		if d != o.Shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders a short description, e.g. "tensor32[3 32 32]".
+func (t *T32) String() string { return fmt.Sprintf("tensor32%v", t.Shape) }
+
+// rawPool is a size-bucketed recycler for raw scratch slices (the byte and
+// int32 buffers of the int8 kernels). Same contract as Arena: handed-out
+// slices stay valid until reset, contents are NOT cleared on reuse.
+type rawPool[E any] struct {
+	free map[int][][]E
+	used [][]E
+}
+
+func (p *rawPool[E]) get(n int) []E {
+	if p.free == nil {
+		p.free = make(map[int][][]E)
+	}
+	bucket := p.free[n]
+	var s []E
+	if len(bucket) == 0 {
+		s = make([]E, n)
+	} else {
+		s = bucket[len(bucket)-1]
+		bucket[len(bucket)-1] = nil
+		p.free[n] = bucket[:len(bucket)-1]
+	}
+	p.used = append(p.used, s)
+	return s
+}
+
+func (p *rawPool[E]) reset() {
+	for i, s := range p.used {
+		p.free[len(s)] = append(p.free[len(s)], s)
+		p.used[i] = nil
+	}
+	p.used = p.used[:0]
+}
+
+// Arena32 is the scratch allocator of the reduced-precision backends: a
+// size-bucketed recycler for float32 tensors plus raw byte and int32
+// buffers (quantized activations and integer accumulators of the int8
+// kernels). Like Arena it is NOT safe for concurrent use — each worker
+// goroutine owns its own instance — and everything handed out stays valid
+// only until the next Reset.
+type Arena32 struct {
+	free  map[int][]*T32
+	used  []*T32
+	bytes rawPool[uint8]
+	ints  rawPool[int32]
+}
+
+// NewArena32 returns an empty arena.
+func NewArena32() *Arena32 {
+	return &Arena32{free: make(map[int][]*T32)}
+}
+
+// NewRaw returns a float32 tensor with the given shape WITHOUT clearing a
+// recycled buffer — callers must overwrite every element before reading
+// (every kernel in the backend forward passes qualifies; see
+// Arena.NewRaw for the rationale).
+func (a *Arena32) NewRaw(shape ...int) *T32 {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic("tensor: negative dimension in arena shape")
+		}
+		n *= d
+	}
+	bucket := a.free[n]
+	if len(bucket) == 0 {
+		t := New32(shape...)
+		a.used = append(a.used, t)
+		return t
+	}
+	t := bucket[len(bucket)-1]
+	bucket[len(bucket)-1] = nil
+	a.free[n] = bucket[:len(bucket)-1]
+	t.Shape = append(t.Shape[:0], shape...)
+	a.used = append(a.used, t)
+	return t
+}
+
+// Bytes returns an uninitialized byte buffer of length n, recycled across
+// Resets (quantized activations, lowered uint8 column matrices).
+func (a *Arena32) Bytes(n int) []uint8 { return a.bytes.get(n) }
+
+// Int32s returns an uninitialized int32 buffer of length n, recycled
+// across Resets (integer GEMM accumulators and column sums).
+func (a *Arena32) Int32s(n int) []int32 { return a.ints.get(n) }
+
+// Reset recycles everything handed out since the previous Reset. The
+// caller must not use those tensors or buffers afterwards.
+func (a *Arena32) Reset() {
+	for i, t := range a.used {
+		a.free[len(t.Data)] = append(a.free[len(t.Data)], t)
+		a.used[i] = nil
+	}
+	a.used = a.used[:0]
+	a.bytes.reset()
+	a.ints.reset()
+}
+
+// Live returns the number of tensors handed out since the last Reset.
+func (a *Arena32) Live() int { return len(a.used) }

@@ -1,0 +1,86 @@
+package tensor
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// FuzzQuantRoundTrip throws arbitrary weight matrices — including NaN, ±Inf
+// and huge-magnitude elements reachable through raw float64 bit patterns in
+// the payload — at the symmetric per-row weight quantizer and checks the
+// int8 backend's numeric contract: quantize→dequantize never produces a
+// NaN/Inf value (the scale is forced finite even for degenerate rows), and
+// on rows whose elements are all finite the per-element round-trip error is
+// bounded by Scale[i]/2 (the quantizer's half-step; the clamp never bites
+// because the scale is derived from the row max).
+func FuzzQuantRoundTrip(f *testing.F) {
+	f.Add(uint8(4), uint8(9), []byte("polygraph quant"))
+	f.Add(uint8(1), uint8(1), []byte{})
+	hostile := make([]byte, 0, 5*8)
+	for _, bits := range []uint64{
+		math.Float64bits(math.NaN()),
+		math.Float64bits(math.Inf(1)),
+		math.Float64bits(math.Inf(-1)),
+		math.Float64bits(1e300),
+		math.Float64bits(-5e-324), // subnormal
+	} {
+		hostile = binary.LittleEndian.AppendUint64(hostile, bits)
+	}
+	f.Add(uint8(3), uint8(5), hostile)
+
+	f.Fuzz(func(t *testing.T, mr, kr uint8, raw []byte) {
+		m := int(mr)%8 + 1
+		k := int(kr)%40 + 1
+		w := make([]float64, m*k)
+		for i := range w {
+			if (i+1)*8 <= len(raw) {
+				w[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[i*8:]))
+			} else if i < len(raw) {
+				// Spread single bytes across [-4, 4) so short payloads still
+				// exercise both signs and the clamp-free range.
+				w[i] = (float64(raw[i]) - 128) / 32
+			}
+		}
+
+		q := QuantizeWeightsSym(w, m, k)
+		if len(q.Bits) != m*k || len(q.Scale) != m || len(q.RowSum) != m {
+			t.Fatalf("quantized sizes %d/%d/%d, want %d/%d/%d",
+				len(q.Bits), len(q.Scale), len(q.RowSum), m*k, m, m)
+		}
+		for i := 0; i < m; i++ {
+			scale := q.Scale[i]
+			if math.IsNaN(scale) || math.IsInf(scale, 0) || scale <= 0 {
+				t.Fatalf("row %d: scale %v is not a positive finite value", i, scale)
+			}
+			row := w[i*k : (i+1)*k]
+			finite := true
+			var sum int32
+			for _, v := range row {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					finite = false
+				}
+			}
+			for j, v := range row {
+				qv := int32(q.Bits[i*k+j]) - 128
+				sum += qv
+				deq := float64(qv) * scale
+				if math.IsNaN(deq) || math.IsInf(deq, 0) {
+					t.Fatalf("row %d col %d: dequantized %v from weight %v", i, j, deq, v)
+				}
+				if finite {
+					if qv < -127 || qv > 127 {
+						t.Fatalf("row %d col %d: quantized level %d out of [-127,127]", i, j, qv)
+					}
+					if err := math.Abs(v - deq); err > scale/2*(1+1e-12) {
+						t.Fatalf("row %d col %d: |%v - %v| = %v exceeds scale/2 = %v",
+							i, j, v, deq, err, scale/2)
+					}
+				}
+			}
+			if finite && sum != q.RowSum[i] {
+				t.Fatalf("row %d: RowSum %d, recomputed %d", i, q.RowSum[i], sum)
+			}
+		}
+	})
+}

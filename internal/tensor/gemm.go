@@ -26,6 +26,13 @@ import (
 // startup, independent column panels are sharded across a bounded worker
 // pool.
 //
+// The kernels are generic over the element type (Float: float32 or
+// float64) so the reduced-precision f32 backend (GemmInto32) shares one
+// implementation with the reference f64 path. Each instantiation is fully
+// specialized by the compiler — float32 and float64 have distinct
+// gcshapes — so the float64 code is the same arithmetic, in the same
+// order, as the pre-generic kernels.
+//
 // C is fully overwritten: the first K-block's kernels start their
 // accumulators at zero and store, rather than pre-zeroing C and
 // read-modify-writing it, so callers may hand in uninitialized (arena
@@ -69,6 +76,13 @@ const (
 	gemmJB = 32
 )
 
+// Float constrains the element type of the shared inference kernels: the
+// reference float64 path and the reduced-precision float32 backend run the
+// same generic code, specialized per width by the compiler.
+type Float interface {
+	~float32 | ~float64
+}
+
 // GemmInto computes C = A×B into an existing m×n tensor, overwriting every
 // element (C's prior contents are ignored, so arena NewRaw buffers are
 // fine). It panics on any shape mismatch. Results are bit-identical to
@@ -82,10 +96,33 @@ func GemmInto(c, a, b *T) {
 	if b.Shape[0] != k || c.Shape[0] != m || c.Shape[1] != n {
 		panic(fmt.Sprintf("tensor: GemmInto shape mismatch: C%v = A%v × B%v", c.Shape, a.Shape, b.Shape))
 	}
+	gemmMain(c.Data, a.Data, b.Data, m, k, n)
+}
+
+// GemmInto32 is GemmInto for float32 tensors: same blocking, same
+// parallelization thresholds, same accumulation order — the float32
+// instantiation of the shared generic kernels.
+func GemmInto32(c, a, b *T32) {
+	if a.Rank() != 2 || b.Rank() != 2 || c.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: GemmInto32 requires rank-2 operands, got C%v = A%v × B%v", c.Shape, a.Shape, b.Shape))
+	}
+	m, k := a.Shape[0], a.Shape[1]
+	n := b.Shape[1]
+	if b.Shape[0] != k || c.Shape[0] != m || c.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: GemmInto32 shape mismatch: C%v = A%v × B%v", c.Shape, a.Shape, b.Shape))
+	}
+	gemmMain(c.Data, a.Data, b.Data, m, k, n)
+}
+
+// gemmMain is the shape-checked entry point shared by GemmInto and
+// GemmInto32: small/serial/parallel dispatch over raw slices.
+func gemmMain[F Float](cd, ad, bd []F, m, k, n int) {
 	macs := m * n * k
 	if macs <= gemmSmallMACs {
-		c.Zero()
-		matMulRowsDense(c.Data, a.Data, b.Data, 0, m, k, n)
+		for i := range cd[:m*n] {
+			cd[i] = 0
+		}
+		matMulRowsDense(cd, ad, bd, 0, m, k, n)
 		return
 	}
 	workers := runtime.GOMAXPROCS(0)
@@ -94,7 +131,7 @@ func GemmInto(c, a, b *T) {
 		workers = panels
 	}
 	if macs < gemmParallelMACs || workers <= 1 {
-		gemmPanel(c.Data, a.Data, b.Data, m, k, n, 0, n, gemmScratch(k))
+		gemmPanel(cd, ad, bd, m, k, n, 0, n, gemmScratch[F](k))
 		return
 	}
 	var next atomic.Int64
@@ -103,7 +140,7 @@ func GemmInto(c, a, b *T) {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			pack := gemmScratch(k)
+			pack := gemmScratch[F](k)
 			for {
 				p := int(next.Add(1)) - 1
 				if p >= panels {
@@ -111,7 +148,7 @@ func GemmInto(c, a, b *T) {
 				}
 				j0 := p * gemmNC
 				j1 := min(j0+gemmNC, n)
-				gemmPanel(c.Data, a.Data, b.Data, m, k, n, j0, j1, pack)
+				gemmPanel(cd, ad, bd, m, k, n, j0, j1, pack)
 			}
 		}()
 	}
@@ -120,17 +157,17 @@ func GemmInto(c, a, b *T) {
 
 // gemmScratch returns the pack buffer for a K dimension of k, or nil when
 // every K-block takes the pack-free direct path.
-func gemmScratch(k int) []float64 {
+func gemmScratch[F Float](k int) []F {
 	if k <= gemmDirectK {
 		return nil
 	}
-	return make([]float64, 2*gemmKC)
+	return make([]F, 2*gemmKC)
 }
 
 // gemmPanel computes the column panel C[:, j0:j1) = A×B[:, j0:j1),
 // overwriting it. pack is scratch of at least 2*gemmKC floats (may be nil
 // when k ≤ gemmDirectK).
-func gemmPanel(cd, ad, bd []float64, m, k, n, j0, j1 int, pack []float64) {
+func gemmPanel[F Float](cd, ad, bd []F, m, k, n, j0, j1 int, pack []F) {
 	for p0 := 0; p0 < k; p0 += gemmKC {
 		kc := min(p0+gemmKC, k) - p0
 		first := p0 == 0
@@ -145,7 +182,7 @@ func gemmPanel(cd, ad, bd []float64, m, k, n, j0, j1 int, pack []float64) {
 // gemmBlockDirect applies one short K-block to the panel, reading B rows
 // in place. The column range is swept in gemmJB-wide sub-panels so the kc
 // live B-row fragments stay cache-resident across all row groups.
-func gemmBlockDirect(cd, ad, bd []float64, m, k, n, j0, j1, p0, kc int, first bool) {
+func gemmBlockDirect[F Float](cd, ad, bd []F, m, k, n, j0, j1, p0, kc int, first bool) {
 	for jj := j0; jj < j1; jj += gemmJB {
 		je := min(jj+gemmJB, j1)
 		i := 0
@@ -164,7 +201,7 @@ func gemmBlockDirect(cd, ad, bd []float64, m, k, n, j0, j1, p0, kc int, first bo
 
 // gemmQuadDirect computes (or, when first is false, accumulates into) the
 // 4-row output strip C[i:i+4, j0:j1) over one K-block, reading B in place.
-func gemmQuadDirect(cd, ad, bd []float64, k, n, i, j0, j1, p0, kc int, first bool) {
+func gemmQuadDirect[F Float](cd, ad, bd []F, k, n, i, j0, j1, p0, kc int, first bool) {
 	a0 := ad[i*k+p0:][:kc]
 	a1 := ad[(i+1)*k+p0:][:kc]
 	a2 := ad[(i+2)*k+p0:][:kc]
@@ -175,7 +212,7 @@ func gemmQuadDirect(cd, ad, bd []float64, k, n, i, j0, j1, p0, kc int, first boo
 	r3 := cd[(i+3)*n:]
 	j := j0
 	for ; j+2 <= j1; j += 2 {
-		var c00, c01, c10, c11, c20, c21, c30, c31 float64
+		var c00, c01, c10, c11, c20, c21, c30, c31 F
 		if !first {
 			c00, c01 = r0[j], r0[j+1]
 			c10, c11 = r1[j], r1[j+1]
@@ -202,7 +239,7 @@ func gemmQuadDirect(cd, ad, bd []float64, k, n, i, j0, j1, p0, kc int, first boo
 		r3[j], r3[j+1] = c30, c31
 	}
 	if j < j1 { // odd trailing column
-		var c0, c1, c2, c3 float64
+		var c0, c1, c2, c3 F
 		if !first {
 			c0, c1, c2, c3 = r0[j], r1[j], r2[j], r3[j]
 		}
@@ -224,7 +261,7 @@ func gemmQuadDirect(cd, ad, bd []float64, k, n, i, j0, j1, p0, kc int, first boo
 // registers and each output column costs three B loads shared by four
 // rows. Only valid when the whole K dimension is the single block, so the
 // strip is written, not accumulated.
-func gemmQuadK3(cd, ad, bd []float64, n, i, j0, j1 int) {
+func gemmQuadK3[F Float](cd, ad, bd []F, n, i, j0, j1 int) {
 	a00, a01, a02 := ad[i*3], ad[i*3+1], ad[i*3+2]
 	a10, a11, a12 := ad[(i+1)*3], ad[(i+1)*3+1], ad[(i+1)*3+2]
 	a20, a21, a22 := ad[(i+2)*3], ad[(i+2)*3+1], ad[(i+2)*3+2]
@@ -246,11 +283,11 @@ func gemmQuadK3(cd, ad, bd []float64, n, i, j0, j1 int) {
 }
 
 // gemmRowDirect handles the m%4 remainder rows of the direct path.
-func gemmRowDirect(cd, ad, bd []float64, k, n, i, j0, j1, p0, kc int, first bool) {
+func gemmRowDirect[F Float](cd, ad, bd []F, k, n, i, j0, j1, p0, kc int, first bool) {
 	arow := ad[i*k+p0:][:kc]
 	row := cd[i*n:]
 	for j := j0; j < j1; j++ {
-		var acc float64
+		var acc F
 		if !first {
 			acc = row[j]
 		}
@@ -266,7 +303,7 @@ func gemmRowDirect(cd, ad, bd []float64, k, n, i, j0, j1, p0, kc int, first bool
 // gemmBlockPacked applies one long K-block to the panel, packing each B
 // column pair into contiguous scratch first: the packed block is re-read
 // by every 4-row group from L1 instead of striding n-element rows.
-func gemmBlockPacked(cd, ad, bd []float64, m, k, n, j0, j1, p0, kc int, first bool, pack []float64) {
+func gemmBlockPacked[F Float](cd, ad, bd []F, m, k, n, j0, j1, p0, kc int, first bool, pack []F) {
 	p1 := p0 + kc
 	j := j0
 	for ; j+2 <= j1; j += 2 {
@@ -281,7 +318,7 @@ func gemmBlockPacked(cd, ad, bd []float64, m, k, n, j0, j1, p0, kc int, first bo
 		}
 		for ; i < m; i++ {
 			arow := ad[i*k+p0 : i*k+p1]
-			var c0, c1 float64
+			var c0, c1 F
 			if !first {
 				c0, c1 = cd[i*n+j], cd[i*n+j+1]
 			}
@@ -295,7 +332,7 @@ func gemmBlockPacked(cd, ad, bd []float64, m, k, n, j0, j1, p0, kc int, first bo
 	if j < j1 { // odd trailing column
 		for i := 0; i < m; i++ {
 			arow := ad[i*k+p0 : i*k+p1]
-			var acc float64
+			var acc F
 			if !first {
 				acc = cd[i*n+j]
 			}
@@ -313,7 +350,7 @@ func gemmBlockPacked(cd, ad, bd []float64, m, k, n, j0, j1, p0, kc int, first bo
 // K-block and resume from the values already in C afterwards, so the
 // per-element accumulation chain is exactly the ascending-k order of the
 // i-k-j kernel.
-func gemm4x2(cd, ad, bp []float64, k, n, i, j int, p0, kc int, first bool) {
+func gemm4x2[F Float](cd, ad, bp []F, k, n, i, j int, p0, kc int, first bool) {
 	a0 := ad[i*k+p0 : i*k+p0+kc]
 	a1 := ad[(i+1)*k+p0:][:kc]
 	a2 := ad[(i+2)*k+p0:][:kc]
@@ -323,7 +360,7 @@ func gemm4x2(cd, ad, bp []float64, k, n, i, j int, p0, kc int, first bool) {
 	c1 := cd[(i+1)*n+j:]
 	c2 := cd[(i+2)*n+j:]
 	c3 := cd[(i+3)*n+j:]
-	var c00, c01, c10, c11, c20, c21, c30, c31 float64
+	var c00, c01, c10, c11, c20, c21, c30, c31 F
 	if !first {
 		c00, c01 = c0[0], c0[1]
 		c10, c11 = c1[0], c1[1]

@@ -61,7 +61,8 @@ func Im2Col(dst, src *T, g ConvGeom) {
 // im2colRow fills one [OutH*OutW] row of a column matrix: the input patch
 // element at kernel offset (kh, kw) of channel chanOff for every output
 // position, with zeros where the patch hangs over the padding border.
-func im2colRow(drow, sd []float64, chanOff, kh, kw, oh, ow int, g ConvGeom) {
+// Generic over the float width: the f64 and f32 lowerings share it.
+func im2colRow[F Float](drow, sd []F, chanOff, kh, kw, oh, ow int, g ConvGeom) {
 	di := 0
 	for oy := 0; oy < oh; oy++ {
 		iy := oy*g.Stride + kh - g.Pad
@@ -74,6 +75,24 @@ func im2colRow(drow, sd []float64, chanOff, kh, kw, oh, ow int, g ConvGeom) {
 		}
 		srow := sd[chanOff+iy*g.InW : chanOff+(iy+1)*g.InW]
 		ix := kw - g.Pad
+		if g.Stride == 1 {
+			// A stride-1 row is a contiguous gather: zero prefix where the
+			// window hangs over the left border, one copy for the in-bounds
+			// span, zero suffix on the right. Identical values to the
+			// element loop, at memmove speed.
+			pre := min(max(-ix, 0), ow)
+			span := min(ix+ow, g.InW) - max(ix, 0)
+			span = max(span, 0)
+			for x := 0; x < pre; x++ {
+				drow[di+x] = 0
+			}
+			copy(drow[di+pre:di+pre+span], srow[ix+pre:ix+pre+span])
+			for x := di + pre + span; x < di+ow; x++ {
+				drow[x] = 0
+			}
+			di += ow
+			continue
+		}
 		for ox := 0; ox < ow; ox++ {
 			if ix >= 0 && ix < g.InW {
 				drow[di] = srow[ix]
@@ -109,6 +128,41 @@ func Im2ColBatch(dst *T, srcs []*T, g ConvGeom) {
 	dd := dst.Data
 	for b, src := range srcs {
 		sd := src.Data
+		row := 0
+		for c := 0; c < g.InC; c++ {
+			chanOff := c * g.InH * g.InW
+			for kh := 0; kh < g.KH; kh++ {
+				for kw := 0; kw < g.KW; kw++ {
+					base := row*bsz*ohw + b*ohw
+					im2colRow(dd[base:base+ohw], sd, chanOff, kh, kw, oh, ow, g)
+					row++
+				}
+			}
+		}
+	}
+}
+
+// Im2ColBatch32 is the float32 batched lowering for the f32 inference
+// backend. Unlike Im2ColBatch it takes the batch as one packed image-major
+// tensor ([bsz, InC*InH*InW] row-major) — the layout the backend forward
+// pass already carries — rather than a slice of per-image tensors. Row r
+// of dst is laid out exactly like Im2ColBatch's: image b owns the
+// contiguous column block [b*OutH*OutW, (b+1)*OutH*OutW). dst is fully
+// overwritten.
+func Im2ColBatch32(dst, src *T32, bsz int, g ConvGeom) {
+	oh, ow := g.OutH(), g.OutW()
+	ohw := oh * ow
+	rows := g.InC * g.KH * g.KW
+	chw := g.InC * g.InH * g.InW
+	if dst.Shape[0] != rows || dst.Shape[1] != bsz*ohw {
+		panic(fmt.Sprintf("tensor: Im2ColBatch32 dst shape %v, want [%d %d]", dst.Shape, rows, bsz*ohw))
+	}
+	if len(src.Data) != bsz*chw {
+		panic(fmt.Sprintf("tensor: Im2ColBatch32 src len %d, want %d", len(src.Data), bsz*chw))
+	}
+	dd := dst.Data
+	for b := 0; b < bsz; b++ {
+		sd := src.Data[b*chw : (b+1)*chw]
 		row := 0
 		for c := 0; c < g.InC; c++ {
 			chanOff := c * g.InH * g.InW

@@ -43,8 +43,10 @@ func MatMulInto(c, a, b *T) {
 }
 
 // matMulRowsDense computes rows [i0,i1) of C = A×B with the i-k-j loop order
-// and no zero test: every A element issues an axpy.
-func matMulRowsDense(cd, ad, bd []float64, i0, i1, k, n int) {
+// and no zero test: every A element issues an axpy. Generic over the float
+// width so GemmInto32's small-matrix path shares it (the float64
+// instantiation is the arithmetic MatMulInto always had).
+func matMulRowsDense[F Float](cd, ad, bd []F, i0, i1, k, n int) {
 	for i := i0; i < i1; i++ {
 		arow := ad[i*k : (i+1)*k]
 		crow := cd[i*n : (i+1)*n]
@@ -129,7 +131,21 @@ func MatMulTransBInto(c, a, b *T) {
 	if b.Shape[1] != k || c.Shape[0] != m || c.Shape[1] != n {
 		panic(fmt.Sprintf("tensor: MatMulTransBInto shape mismatch: C%v = A%v × B%v ᵀ", c.Shape, a.Shape, b.Shape))
 	}
-	ad, bd, cd := a.Data, b.Data, c.Data
+	matMulTransB(c.Data, a.Data, b.Data, m, k, n)
+}
+
+// MatMulTransBInto32 is MatMulTransBInto for float32 tensors — the batched
+// Dense kernel of the f32 backend.
+func MatMulTransBInto32(c, a, b *T32) {
+	m, k := a.Shape[0], a.Shape[1]
+	n := b.Shape[0]
+	if b.Shape[1] != k || c.Shape[0] != m || c.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulTransBInto32 shape mismatch: C%v = A%v × B%v ᵀ", c.Shape, a.Shape, b.Shape))
+	}
+	matMulTransB(c.Data, a.Data, b.Data, m, k, n)
+}
+
+func matMulTransB[F Float](cd, ad, bd []F, m, k, n int) {
 	for i := 0; i < m; i++ {
 		arow := ad[i*k : (i+1)*k]
 		for j := 0; j < n; j++ {
@@ -141,7 +157,7 @@ func MatMulTransBInto(c, a, b *T) {
 
 // axpyUnrolled computes dst += alpha*src with 4-way unrolling. len(dst) must
 // equal len(src); callers in this package guarantee it.
-func axpyUnrolled(dst []float64, alpha float64, src []float64) {
+func axpyUnrolled[F Float](dst []F, alpha F, src []F) {
 	n := len(dst)
 	i := 0
 	for ; i+4 <= n; i += 4 {
@@ -157,9 +173,9 @@ func axpyUnrolled(dst []float64, alpha float64, src []float64) {
 
 // dotUnrolled returns the dot product of equal-length slices with 4-way
 // unrolling into independent accumulators.
-func dotUnrolled(a, b []float64) float64 {
+func dotUnrolled[F Float](a, b []F) F {
 	n := len(a)
-	var s0, s1, s2, s3 float64
+	var s0, s1, s2, s3 F
 	i := 0
 	for ; i+4 <= n; i += 4 {
 		s0 += a[i] * b[i]

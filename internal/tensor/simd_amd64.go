@@ -1,0 +1,93 @@
+//go:build amd64
+
+package tensor
+
+// AVX2/FMA microkernels for the reduced-precision backends (DESIGN.md §9).
+// The pure-Go kernels in gemm.go and int8.go are the reference and the
+// fallback: the assembly routines below are drop-in accelerations of their
+// innermost blocks, dispatched at runtime behind a CPUID check (AVX2 + FMA
+// + OS YMM state support). The integer kernel computes bit-for-bit the same
+// int32 results as the scalar SWAR path — vpmaddwd over zero-extended
+// bytes is exact — so every GemmU8Into test validates both implementations.
+// The float32 kernel reassociates accumulation (16-lane FMA blocks), which
+// is why it backs GemmInto32Fast rather than the bit-exact GemmInto32.
+//
+// Scalar float multiply throughput on a CPU is width-independent, so
+// without SIMD a float32 or int8 backend can only win on memory traffic —
+// measured at ~1.1× over the float64 Winograd path on the zoo models,
+// nowhere near worth a precision drop. The vector units are where reduced
+// precision actually pays: 8 float32 FMAs or 16 int16 MACs per
+// instruction versus 1 float64 multiply.
+
+//go:noescape
+func cpuidAsm(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+//go:noescape
+func xgetbv0() (eax, edx uint32)
+
+// fmaGemm4x16 computes the 4×16 float32 block C[0:4][0:16] (row stride ldc
+// elements, overwritten) = A[0:4][0:k] (row stride lda) × B[0:k][0:16]
+// (row stride ldb) with two-YMM FMA accumulators per row. k must be ≥ 1.
+//
+//go:noescape
+func fmaGemm4x16(a *float32, lda int, b *float32, ldb int, c *float32, ldc int, k int)
+
+// u8GemmRow32 computes one GEMM row block c[0:32] (int32, overwritten) =
+// Σ_p a[p]·b[p·ldb : p·ldb+32] over uint8 operands. The products are formed
+// with vpmaddwd on zero-extended bytes and accumulated in int32 lanes —
+// exactly the scalar arithmetic of gemmU8Quad, including its overflow
+// bound (k ≤ MaxQuantK). k must be ≥ 1; odd k is handled with a zero row.
+//
+//go:noescape
+func u8GemmRow32(a *uint8, b *uint8, ldb int, c *int32, k int)
+
+// u8Gemm2x32 is the two-row variant of u8GemmRow32: rows i and i+1 of A
+// (row stride lda bytes) against the same 32-column B block, written to two
+// C rows (stride ldc elements). Sharing one zero-extend + interleave of B
+// between the rows halves the shuffle-port pressure that bounds the
+// single-row kernel. Same exact-arithmetic contract.
+//
+//go:noescape
+func u8Gemm2x32(a *uint8, lda int, b *uint8, ldb int, c *int32, ldc int, k int)
+
+// quantizeU8AVX quantizes n float32 values (n a multiple of 32) to uint8:
+// dst[i] = clamp(trunc(src[i]·invScale + z + 0.5), 0, 255), bit-identical
+// to QuantizeU8's scalar loop including its out-of-range and NaN behavior.
+//
+//go:noescape
+func quantizeU8AVX(dst *uint8, src *float32, n int, invScale float32, z float32)
+
+// dequantRowAVX computes dst[i] = float32(c[i] − 128·cs[i] − corr)·scale +
+// bias for i in [0, n); n must be a multiple of 8. Multiply and add are
+// separate (no FMA) so the result is bit-identical to the scalar loop.
+//
+//go:noescape
+func dequantRowAVX(dst *float32, c *int32, cs *int32, n int, corr int32, scale float32, bias float32)
+
+// addBiasRowAVX computes dst[i] = src[i] + bias for i in [0, n); n must be
+// a multiple of 8.
+//
+//go:noescape
+func addBiasRowAVX(dst *float32, src *float32, n int, bias float32)
+
+// simdAvailable reports hardware+OS support for the AVX2/FMA kernels.
+var simdAvailable = detectAVX2FMA()
+
+func detectAVX2FMA() bool {
+	maxLeaf, _, _, _ := cpuidAsm(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuidAsm(1, 0)
+	const osxsave, fma = 1 << 27, 1 << 12
+	if ecx1&osxsave == 0 || ecx1&fma == 0 {
+		return false
+	}
+	if lo, _ := xgetbv0(); lo&0x6 != 0x6 { // OS saves XMM+YMM state
+		return false
+	}
+	_, ebx7, _, _ := cpuidAsm(7, 0)
+	return ebx7&(1<<5) != 0 // AVX2
+}
+
+func useSIMD() bool { return simdAvailable && !simdOff.Load() }

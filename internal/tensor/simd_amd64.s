@@ -1,0 +1,448 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// CPUID/XGETBV feature probes for detectAVX2FMA.
+
+// func cpuidAsm(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidAsm(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// func fmaGemm4x16(a *float32, lda int, b *float32, ldb int, c *float32, ldc int, k int)
+//
+// C[r][j] = Σ_p A[r][p]·B[p][j] for r in [0,4), j in [0,16). Eight YMM
+// accumulators (two per row); per k step: two B loads shared by four
+// broadcast-FMA pairs.
+TEXT ·fmaGemm4x16(SB), NOSPLIT, $0-56
+	MOVQ a+0(FP), SI
+	MOVQ lda+8(FP), DX
+	MOVQ b+16(FP), DI
+	MOVQ ldb+24(FP), R8
+	MOVQ c+32(FP), R9
+	MOVQ ldc+40(FP), R10
+	MOVQ k+48(FP), CX
+
+	SHLQ $2, DX  // strides in bytes
+	SHLQ $2, R8
+	SHLQ $2, R10
+
+	MOVQ SI, R11           // A row 0
+	LEAQ (SI)(DX*1), R12   // A row 1
+	LEAQ (R12)(DX*1), R13  // A row 2
+	LEAQ (R13)(DX*1), BX   // A row 3
+
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+	VXORPS Y4, Y4, Y4
+	VXORPS Y5, Y5, Y5
+	VXORPS Y6, Y6, Y6
+	VXORPS Y7, Y7, Y7
+
+fma_loop:
+	VMOVUPS (DI), Y8
+	VMOVUPS 32(DI), Y9
+	VBROADCASTSS (R11), Y10
+	VFMADD231PS  Y8, Y10, Y0
+	VFMADD231PS  Y9, Y10, Y1
+	VBROADCASTSS (R12), Y10
+	VFMADD231PS  Y8, Y10, Y2
+	VFMADD231PS  Y9, Y10, Y3
+	VBROADCASTSS (R13), Y10
+	VFMADD231PS  Y8, Y10, Y4
+	VFMADD231PS  Y9, Y10, Y5
+	VBROADCASTSS (BX), Y10
+	VFMADD231PS  Y8, Y10, Y6
+	VFMADD231PS  Y9, Y10, Y7
+	ADDQ $4, R11
+	ADDQ $4, R12
+	ADDQ $4, R13
+	ADDQ $4, BX
+	ADDQ R8, DI
+	DECQ CX
+	JNZ  fma_loop
+
+	VMOVUPS Y0, (R9)
+	VMOVUPS Y1, 32(R9)
+	ADDQ    R10, R9
+	VMOVUPS Y2, (R9)
+	VMOVUPS Y3, 32(R9)
+	ADDQ    R10, R9
+	VMOVUPS Y4, (R9)
+	VMOVUPS Y5, 32(R9)
+	ADDQ    R10, R9
+	VMOVUPS Y6, (R9)
+	VMOVUPS Y7, 32(R9)
+	VZEROUPPER
+	RET
+
+// func u8GemmRow32(a *uint8, b *uint8, ldb int, c *int32, k int)
+//
+// c[0:32] = Σ_p a[p]·b[p·ldb + j], exact int32 (identical to the scalar
+// SWAR path). Two B rows are zero-extended to words, interleaved so each
+// word pair is (B[p][j], B[p+1][j]), and vpmaddwd against the broadcast
+// pair (a[p], a[p+1]) advances two k steps per 32 columns. The interleave
+// permutes columns within each accumulator; two vperm2i128 per accumulator
+// pair restore order at the end. Odd k runs a final step against a zero
+// row.
+TEXT ·u8GemmRow32(SB), NOSPLIT, $0-40
+	MOVQ a+0(FP), SI
+	MOVQ b+8(FP), DI
+	MOVQ ldb+16(FP), R8
+	MOVQ c+24(FP), R9
+	MOVQ k+32(FP), CX
+
+	VPXOR Y0, Y0, Y0
+	VPXOR Y1, Y1, Y1
+	VPXOR Y2, Y2, Y2
+	VPXOR Y3, Y3, Y3
+
+	CMPQ CX, $2
+	JL   u8_tail
+
+u8_loop:
+	VPMOVZXBW (DI), Y8           // row p, cols 0-15 as words
+	VPMOVZXBW 16(DI), Y9         // row p, cols 16-31
+	VPMOVZXBW (DI)(R8*1), Y10    // row p+1, cols 0-15
+	VPMOVZXBW 16(DI)(R8*1), Y11  // row p+1, cols 16-31
+
+	MOVBLZX (SI), AX     // pair (a[p], a[p+1]) packed in one dword
+	MOVBLZX 1(SI), BX
+	SHLL    $16, BX
+	ORL     BX, AX
+	VMOVD   AX, X12      // VEX move: a legacy MOVQ here stalls on dirty YMM uppers
+	VPBROADCASTD X12, Y12
+
+	VPUNPCKLWD Y10, Y8, Y13
+	VPUNPCKHWD Y10, Y8, Y8
+	VPUNPCKLWD Y11, Y9, Y14
+	VPUNPCKHWD Y11, Y9, Y9
+
+	VPMADDWD Y12, Y13, Y13
+	VPADDD   Y13, Y0, Y0
+	VPMADDWD Y12, Y8, Y8
+	VPADDD   Y8, Y1, Y1
+	VPMADDWD Y12, Y14, Y14
+	VPADDD   Y14, Y2, Y2
+	VPMADDWD Y12, Y9, Y9
+	VPADDD   Y9, Y3, Y3
+
+	ADDQ $2, SI
+	LEAQ (DI)(R8*2), DI
+	SUBQ $2, CX
+	CMPQ CX, $2
+	JGE  u8_loop
+
+u8_tail:
+	TESTQ CX, CX
+	JZ    u8_done
+
+	VPMOVZXBW (DI), Y8
+	VPMOVZXBW 16(DI), Y9
+	VPXOR     Y10, Y10, Y10
+	VPXOR     Y11, Y11, Y11
+
+	MOVBLZX (SI), AX  // pair (a[k-1], 0)
+	VMOVD   AX, X12
+	VPBROADCASTD X12, Y12
+
+	VPUNPCKLWD Y10, Y8, Y13
+	VPUNPCKHWD Y10, Y8, Y8
+	VPUNPCKLWD Y11, Y9, Y14
+	VPUNPCKHWD Y11, Y9, Y9
+
+	VPMADDWD Y12, Y13, Y13
+	VPADDD   Y13, Y0, Y0
+	VPMADDWD Y12, Y8, Y8
+	VPADDD   Y8, Y1, Y1
+	VPMADDWD Y12, Y14, Y14
+	VPADDD   Y14, Y2, Y2
+	VPMADDWD Y12, Y9, Y9
+	VPADDD   Y9, Y3, Y3
+
+u8_done:
+	// Undo the interleave permutation: Y0=[c0-3|c8-11], Y1=[c4-7|c12-15],
+	// Y2=[c16-19|c24-27], Y3=[c20-23|c28-31].
+	VPERM2I128 $0x20, Y1, Y0, Y8
+	VPERM2I128 $0x31, Y1, Y0, Y9
+	VPERM2I128 $0x20, Y3, Y2, Y10
+	VPERM2I128 $0x31, Y3, Y2, Y11
+	VMOVDQU Y8, (R9)
+	VMOVDQU Y9, 32(R9)
+	VMOVDQU Y10, 64(R9)
+	VMOVDQU Y11, 96(R9)
+	VZEROUPPER
+	RET
+
+// func u8Gemm2x32(a *uint8, lda int, b *uint8, ldb int, c *int32, ldc int, k int)
+//
+// Two-row variant of u8GemmRow32: C[r][0:32] = Σ_p A[r][p]·B[p][j] for rows
+// r and r+1 sharing one zero-extend + interleave of the B block, which
+// halves the port-5 shuffle pressure that bounds the single-row kernel.
+// Bit-identical int32 results to the scalar path.
+TEXT ·u8Gemm2x32(SB), NOSPLIT, $0-56
+	MOVQ a+0(FP), SI
+	MOVQ lda+8(FP), R11
+	MOVQ b+16(FP), DI
+	MOVQ ldb+24(FP), R8
+	MOVQ c+32(FP), R9
+	MOVQ ldc+40(FP), R10
+	MOVQ k+48(FP), CX
+
+	ADDQ SI, R11       // A row 1
+	SHLQ $2, R10
+	ADDQ R9, R10       // C row 1
+
+	VPXOR Y0, Y0, Y0
+	VPXOR Y1, Y1, Y1
+	VPXOR Y2, Y2, Y2
+	VPXOR Y3, Y3, Y3
+	VPXOR Y4, Y4, Y4
+	VPXOR Y5, Y5, Y5
+	VPXOR Y6, Y6, Y6
+	VPXOR Y7, Y7, Y7
+
+	CMPQ CX, $2
+	JL   u2_tail
+
+u2_loop:
+	VPMOVZXBW (DI), Y8           // B row p, cols 0-15 as words
+	VPMOVZXBW 16(DI), Y9         // B row p, cols 16-31
+	VPMOVZXBW (DI)(R8*1), Y10    // B row p+1, cols 0-15
+	VPMOVZXBW 16(DI)(R8*1), Y11  // B row p+1, cols 16-31
+
+	MOVBLZX (SI), AX     // row 0 pair (a[p], a[p+1])
+	MOVBLZX 1(SI), BX
+	SHLL    $16, BX
+	ORL     BX, AX
+	VMOVD   AX, X14
+	VPBROADCASTD X14, Y14
+	MOVBLZX (R11), AX    // row 1 pair
+	MOVBLZX 1(R11), BX
+	SHLL    $16, BX
+	ORL     BX, AX
+	VMOVD   AX, X15
+	VPBROADCASTD X15, Y15
+
+	VPUNPCKLWD Y10, Y8, Y12
+	VPUNPCKHWD Y10, Y8, Y8
+	VPUNPCKLWD Y11, Y9, Y13
+	VPUNPCKHWD Y11, Y9, Y9
+
+	VPMADDWD Y14, Y12, Y10  // row 0 into Y0-Y3 (Y10/Y11 free as temps)
+	VPADDD   Y10, Y0, Y0
+	VPMADDWD Y14, Y8, Y10
+	VPADDD   Y10, Y1, Y1
+	VPMADDWD Y14, Y13, Y10
+	VPADDD   Y10, Y2, Y2
+	VPMADDWD Y14, Y9, Y10
+	VPADDD   Y10, Y3, Y3
+
+	VPMADDWD Y15, Y12, Y12  // row 1 into Y4-Y7, consuming the interleaves
+	VPADDD   Y12, Y4, Y4
+	VPMADDWD Y15, Y8, Y8
+	VPADDD   Y8, Y5, Y5
+	VPMADDWD Y15, Y13, Y13
+	VPADDD   Y13, Y6, Y6
+	VPMADDWD Y15, Y9, Y9
+	VPADDD   Y9, Y7, Y7
+
+	ADDQ $2, SI
+	ADDQ $2, R11
+	LEAQ (DI)(R8*2), DI
+	SUBQ $2, CX
+	CMPQ CX, $2
+	JGE  u2_loop
+
+u2_tail:
+	TESTQ CX, CX
+	JZ    u2_done
+
+	VPMOVZXBW (DI), Y8
+	VPMOVZXBW 16(DI), Y9
+	VPXOR     Y10, Y10, Y10
+	VPXOR     Y11, Y11, Y11
+
+	MOVBLZX (SI), AX   // pair (a[k-1], 0)
+	VMOVD   AX, X14
+	VPBROADCASTD X14, Y14
+	MOVBLZX (R11), AX
+	VMOVD   AX, X15
+	VPBROADCASTD X15, Y15
+
+	VPUNPCKLWD Y10, Y8, Y12
+	VPUNPCKHWD Y10, Y8, Y8
+	VPUNPCKLWD Y11, Y9, Y13
+	VPUNPCKHWD Y11, Y9, Y9
+
+	VPMADDWD Y14, Y12, Y10
+	VPADDD   Y10, Y0, Y0
+	VPMADDWD Y14, Y8, Y10
+	VPADDD   Y10, Y1, Y1
+	VPMADDWD Y14, Y13, Y10
+	VPADDD   Y10, Y2, Y2
+	VPMADDWD Y14, Y9, Y10
+	VPADDD   Y10, Y3, Y3
+
+	VPMADDWD Y15, Y12, Y12
+	VPADDD   Y12, Y4, Y4
+	VPMADDWD Y15, Y8, Y8
+	VPADDD   Y8, Y5, Y5
+	VPMADDWD Y15, Y13, Y13
+	VPADDD   Y13, Y6, Y6
+	VPMADDWD Y15, Y9, Y9
+	VPADDD   Y9, Y7, Y7
+
+u2_done:
+	VPERM2I128 $0x20, Y1, Y0, Y8
+	VPERM2I128 $0x31, Y1, Y0, Y9
+	VPERM2I128 $0x20, Y3, Y2, Y10
+	VPERM2I128 $0x31, Y3, Y2, Y11
+	VMOVDQU Y8, (R9)
+	VMOVDQU Y9, 32(R9)
+	VMOVDQU Y10, 64(R9)
+	VMOVDQU Y11, 96(R9)
+	VPERM2I128 $0x20, Y5, Y4, Y8
+	VPERM2I128 $0x31, Y5, Y4, Y9
+	VPERM2I128 $0x20, Y7, Y6, Y10
+	VPERM2I128 $0x31, Y7, Y6, Y11
+	VMOVDQU Y8, (R10)
+	VMOVDQU Y9, 32(R10)
+	VMOVDQU Y10, 64(R10)
+	VMOVDQU Y11, 96(R10)
+	VZEROUPPER
+	RET
+
+// quantPerm<> reorders the dword groups left interleaved by the
+// VPACKSSDW/VPACKUSWB lane structure back to linear element order.
+DATA quantPerm<>+0(SB)/4, $0
+DATA quantPerm<>+4(SB)/4, $4
+DATA quantPerm<>+8(SB)/4, $1
+DATA quantPerm<>+12(SB)/4, $5
+DATA quantPerm<>+16(SB)/4, $2
+DATA quantPerm<>+20(SB)/4, $6
+DATA quantPerm<>+24(SB)/4, $3
+DATA quantPerm<>+28(SB)/4, $7
+GLOBL quantPerm<>(SB), RODATA, $32
+
+// func quantizeU8AVX(dst *uint8, src *float32, n int, invScale float32, z float32)
+//
+// dst[i] = clamp(trunc(src[i]·invScale + z + 0.5), 0, 255), n a multiple of
+// 32. Mul and the two adds run in the scalar code's association order and
+// VCVTTPS2DQ truncates exactly like Go's int32() on amd64 (out-of-range →
+// INT_MIN), so the bytes are bit-identical to the scalar loop — the
+// signed-saturate word pack then unsigned-saturate byte pack reproduce the
+// [0, 255] clamp, including the huge-input and NaN cases.
+TEXT ·quantizeU8AVX(SB), NOSPLIT, $0-32
+	MOVQ dst+0(FP), R9
+	MOVQ src+8(FP), SI
+	MOVQ n+16(FP), CX
+	VBROADCASTSS invScale+24(FP), Y5
+	VBROADCASTSS z+28(FP), Y6
+	MOVL         $0x3F000000, AX  // 0.5f
+	VMOVD        AX, X7
+	VPBROADCASTD X7, Y7
+	VMOVDQU      quantPerm<>(SB), Y13
+
+q8_loop:
+	VMOVUPS    (SI), Y0
+	VMOVUPS    32(SI), Y1
+	VMOVUPS    64(SI), Y2
+	VMOVUPS    96(SI), Y3
+	VMULPS     Y5, Y0, Y0
+	VMULPS     Y5, Y1, Y1
+	VMULPS     Y5, Y2, Y2
+	VMULPS     Y5, Y3, Y3
+	VADDPS     Y6, Y0, Y0
+	VADDPS     Y6, Y1, Y1
+	VADDPS     Y6, Y2, Y2
+	VADDPS     Y6, Y3, Y3
+	VADDPS     Y7, Y0, Y0
+	VADDPS     Y7, Y1, Y1
+	VADDPS     Y7, Y2, Y2
+	VADDPS     Y7, Y3, Y3
+	VCVTTPS2DQ Y0, Y0
+	VCVTTPS2DQ Y1, Y1
+	VCVTTPS2DQ Y2, Y2
+	VCVTTPS2DQ Y3, Y3
+	VPACKSSDW  Y1, Y0, Y0
+	VPACKSSDW  Y3, Y2, Y2
+	VPACKUSWB  Y2, Y0, Y0
+	VPERMD     Y0, Y13, Y0
+	VMOVDQU    Y0, (R9)
+	ADDQ       $128, SI
+	ADDQ       $32, R9
+	SUBQ       $32, CX
+	JNZ        q8_loop
+	VZEROUPPER
+	RET
+
+// func dequantRowAVX(dst *float32, c *int32, cs *int32, n int, corr int32, scale float32, bias float32)
+//
+// dst[i] = float32(c[i] − 128·cs[i] − corr)·scale + bias, n a multiple of
+// 8. Separate VMULPS/VADDPS (no FMA) keep it bit-identical to the scalar
+// loop.
+TEXT ·dequantRowAVX(SB), NOSPLIT, $0-44
+	MOVQ dst+0(FP), R9
+	MOVQ c+8(FP), SI
+	MOVQ cs+16(FP), DX
+	MOVQ n+24(FP), CX
+	MOVL  corr+32(FP), AX
+	VMOVD AX, X4
+	VPBROADCASTD X4, Y4
+	VBROADCASTSS scale+36(FP), Y5
+	VBROADCASTSS bias+40(FP), Y6
+
+dq_loop:
+	VMOVDQU   (SI), Y0
+	VMOVDQU   (DX), Y1
+	VPSLLD    $7, Y1, Y1
+	VPSUBD    Y1, Y0, Y0
+	VPSUBD    Y4, Y0, Y0
+	VCVTDQ2PS Y0, Y0
+	VMULPS    Y5, Y0, Y0
+	VADDPS    Y6, Y0, Y0
+	VMOVUPS   Y0, (R9)
+	ADDQ      $32, SI
+	ADDQ      $32, DX
+	ADDQ      $32, R9
+	SUBQ      $8, CX
+	JNZ       dq_loop
+	VZEROUPPER
+	RET
+
+// func addBiasRowAVX(dst *float32, src *float32, n int, bias float32)
+//
+// dst[i] = src[i] + bias, n a multiple of 8.
+TEXT ·addBiasRowAVX(SB), NOSPLIT, $0-28
+	MOVQ dst+0(FP), R9
+	MOVQ src+8(FP), SI
+	MOVQ n+16(FP), CX
+	VBROADCASTSS bias+24(FP), Y4
+
+ab_loop:
+	VMOVUPS (SI), Y0
+	VADDPS  Y4, Y0, Y0
+	VMOVUPS Y0, (R9)
+	ADDQ    $32, SI
+	ADDQ    $32, R9
+	SUBQ    $8, CX
+	JNZ     ab_loop
+	VZEROUPPER
+	RET

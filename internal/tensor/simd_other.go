@@ -1,0 +1,35 @@
+//go:build !amd64
+
+package tensor
+
+// Non-amd64 targets run the pure-Go kernels unconditionally. The stubs
+// below are never reached (useSIMD is constant false), they exist only to
+// satisfy the shared call sites.
+
+const simdAvailable = false
+
+func useSIMD() bool { return false }
+
+func fmaGemm4x16(a *float32, lda int, b *float32, ldb int, c *float32, ldc int, k int) {
+	panic("tensor: SIMD kernel called on non-amd64 target")
+}
+
+func u8GemmRow32(a *uint8, b *uint8, ldb int, c *int32, k int) {
+	panic("tensor: SIMD kernel called on non-amd64 target")
+}
+
+func u8Gemm2x32(a *uint8, lda int, b *uint8, ldb int, c *int32, ldc int, k int) {
+	panic("tensor: SIMD kernel called on non-amd64 target")
+}
+
+func quantizeU8AVX(dst *uint8, src *float32, n int, invScale float32, z float32) {
+	panic("tensor: SIMD kernel called on non-amd64 target")
+}
+
+func dequantRowAVX(dst *float32, c *int32, cs *int32, n int, corr int32, scale float32, bias float32) {
+	panic("tensor: SIMD kernel called on non-amd64 target")
+}
+
+func addBiasRowAVX(dst *float32, src *float32, n int, bias float32) {
+	panic("tensor: SIMD kernel called on non-amd64 target")
+}

@@ -57,26 +57,60 @@ func WinogradConv3x3(dst, src *T, bsz, outC int, weight *T, bias []float64, g Co
 	u := a.NewRaw(36, outC*inC)
 	v := a.NewRaw(36, inC*tt)
 	mm := a.NewRaw(36, outC*tt)
+	winoConv(dst.Data, src.Data, bsz, outC, weight.Data, bias, g, u.Data, v.Data, mm.Data)
+}
 
-	winoFilter(u.Data, weight.Data, outC, inC)
-	winoInput(v.Data, src.Data, bsz, inC, h, w, th, tw, tt)
+// WinogradConv3x3F32 is WinogradConv3x3 for the float32 backend: identical
+// transforms and GEMM blocking, instantiated at float32, with scratch from
+// an Arena32.
+func WinogradConv3x3F32(dst, src *T32, bsz, outC int, weight *T32, bias []float32, g ConvGeom, a *Arena32) {
+	if !WinogradEligible(g) {
+		panic(fmt.Sprintf("tensor: WinogradConv3x3F32 on ineligible geometry %+v", g))
+	}
+	inC, h, w := g.InC, g.InH, g.InW
+	hw := h * w
+	if len(src.Data) != bsz*inC*hw || len(dst.Data) != bsz*outC*hw {
+		panic(fmt.Sprintf("tensor: WinogradConv3x3F32 buffer sizes src=%d dst=%d for B=%d geom %+v", len(src.Data), len(dst.Data), bsz, g))
+	}
+	if weight.Rank() != 2 || weight.Shape[0] != outC || weight.Shape[1] != inC*9 || len(bias) != outC {
+		panic(fmt.Sprintf("tensor: WinogradConv3x3F32 weight %v / bias %d mismatch OutC=%d InC=%d", weight.Shape, len(bias), outC, inC))
+	}
+	th, tw := h/4, w/4
+	tt := bsz * th * tw
+
+	u := a.NewRaw(36, outC*inC)
+	v := a.NewRaw(36, inC*tt)
+	mm := a.NewRaw(36, outC*tt)
+	winoConv(dst.Data, src.Data, bsz, outC, weight.Data, bias, g, u.Data, v.Data, mm.Data)
+}
+
+// winoConv is the width-generic Winograd pipeline shared by the f64 and
+// f32 entry points: filter and input transforms, the 36 transform-domain
+// GEMMs (through the same gemmMain dispatch GemmInto uses, preserving the
+// f64 path's blocking and parallelization bit for bit), and the fused
+// output transform + bias add.
+func winoConv[F Float](dst, src []F, bsz, outC int, wd []F, bias []F, g ConvGeom, u, v, mm []F) {
+	inC, h, w := g.InC, g.InH, g.InW
+	th, tw := h/4, w/4
+	tiles := th * tw
+	tt := bsz * tiles
+
+	winoFilter(u, wd, outC, inC)
+	winoInput(v, src, bsz, inC, h, w, th, tw, tt)
 
 	// 36 transform-domain GEMMs: M[f] = U[f] (OutC×InC) × V[f] (InC×tt).
 	for f := 0; f < 36; f++ {
-		uf := T{Shape: []int{outC, inC}, Data: u.Data[f*outC*inC : (f+1)*outC*inC]}
-		vf := T{Shape: []int{inC, tt}, Data: v.Data[f*inC*tt : (f+1)*inC*tt]}
-		mf := T{Shape: []int{outC, tt}, Data: mm.Data[f*outC*tt : (f+1)*outC*tt]}
-		GemmInto(&mf, &uf, &vf)
+		gemmMain(mm[f*outC*tt:(f+1)*outC*tt], u[f*outC*inC:(f+1)*outC*inC], v[f*inC*tt:(f+1)*inC*tt], outC, inC, tt)
 	}
 
-	winoOutput(dst.Data, mm.Data, bias, bsz, outC, h, w, th, tw, tt)
+	winoOutput(dst, mm, bias, bsz, outC, h, w, th, tw, tt)
 }
 
 // winoFilter fills u (36 planes of OutC×InC) with U = G g Gᵀ for every
 // (out-channel, in-channel) 3×3 filter g.
-func winoFilter(u, wd []float64, outC, inC int) {
+func winoFilter[F Float](u, wd []F, outC, inC int) {
 	plane := outC * inC
-	var t [18]float64 // G·g, 6×3 row-major
+	var t [18]F // G·g, 6×3 row-major
 	for oc := 0; oc < outC; oc++ {
 		for ic := 0; ic < inC; ic++ {
 			g9 := wd[(oc*inC+ic)*9 : (oc*inC+ic)*9+9]
@@ -120,11 +154,11 @@ func winoFilter(u, wd []float64, outC, inC int) {
 // the stack. Interior tiles run the column pass straight off the source
 // rows, skipping the gather copy; the row pass fuses with the scatter
 // into the 36 frequency planes.
-func winoInput(v, src []float64, bsz, inC, h, w, th, tw, tt int) {
+func winoInput[F Float](v, src []F, bsz, inC, h, w, th, tw, tt int) {
 	hw := h * w
 	tiles := th * tw
 	step := inC * tt
-	var d [36]float64
+	var d [36]F
 	for b := 0; b < bsz; b++ {
 		img := src[b*inC*hw : (b+1)*inC*hw]
 		for ic := 0; ic < inC; ic++ {
@@ -158,7 +192,7 @@ func winoInput(v, src []float64, bsz, inC, h, w, th, tw, tt int) {
 					} else {
 						// Border tile: zero-padded gather, then the same
 						// column transform in place.
-						d = [36]float64{}
+						d = [36]F{}
 						for r := 0; r < 6; r++ {
 							y := y0 + r
 							if y < 0 || y >= h {
@@ -205,7 +239,7 @@ func winoInput(v, src []float64, bsz, inC, h, w, th, tw, tt int) {
 }
 
 // winoOut1D applies the F(4×4,3×3) output transform Aᵀ to one 6-vector.
-func winoOut1D(t0, t1, t2, t3, t4, t5 float64) (y0, y1, y2, y3 float64) {
+func winoOut1D[F Float](t0, t1, t2, t3, t4, t5 F) (y0, y1, y2, y3 F) {
 	s := t1 + t2
 	d := t1 - t2
 	e := t3 + t4
@@ -219,11 +253,11 @@ func winoOut1D(t0, t1, t2, t3, t4, t5 float64) (y0, y1, y2, y3 float64) {
 
 // winoOutput inverse-transforms the 36 product planes (each OutC×tt) into
 // the image-major batched output, adding the channel bias.
-func winoOutput(dst, m, bias []float64, bsz, outC, h, w, th, tw, tt int) {
+func winoOutput[F Float](dst, m, bias []F, bsz, outC, h, w, th, tw, tt int) {
 	hw := h * w
 	tiles := th * tw
 	plane := outC * tt
-	var y [24]float64 // Aᵀ·M, 4×6 row-major
+	var y [24]F // Aᵀ·M, 4×6 row-major
 	for b := 0; b < bsz; b++ {
 		out := dst[b*outC*hw : (b+1)*outC*hw]
 		for oc := 0; oc < outC; oc++ {

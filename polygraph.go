@@ -98,6 +98,20 @@ type Options struct {
 	// PrecisionBits, when in [10, 31], applies RAMR reduced-precision
 	// simulation to every member. 0 or 32 means full precision.
 	PrecisionBits int
+	// Backend selects the numeric execution path of the member networks:
+	// "f64" (the default, also selected by ""), "f32" (compiled float32
+	// kernels), or "int8" (quantized kernels calibrated on the validation
+	// split). Unlike PrecisionBits, which only simulates precision loss,
+	// reduced backends run genuinely cheaper kernels — this is the executable
+	// RAMR (DESIGN.md §9).
+	Backend string
+	// LateBackend, when set, overrides Backend for the late tie-breaker
+	// members — those beyond the initial RADE stage (activation index ≥
+	// max(Thr_Freq, 2)), which only run when the early members disagree.
+	// Typical use: Backend "int8" with LateBackend "f64", so the common
+	// fast path runs quantized and the rare escalation stages re-check at
+	// full precision.
+	LateBackend string
 	// Parallel enables concurrent member evaluation inside Classify: member
 	// forward passes fan out across a bounded worker pool, with staged
 	// activation preserved through speculative stages that are cancelled
@@ -232,11 +246,45 @@ func Build(benchmark string, opts Options) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
+	if opts.Backend != "" || opts.LateBackend != "" {
+		early, err := core.ParseBackend(opts.Backend)
+		if err != nil {
+			return nil, fmt.Errorf("polygraph: %w", err)
+		}
+		late := early
+		if opts.LateBackend != "" {
+			if late, err = core.ParseBackend(opts.LateBackend); err != nil {
+				return nil, fmt.Errorf("polygraph: %w", err)
+			}
+		}
+		// The initial RADE stage always activates max(Thr_Freq, 2) members;
+		// everything beyond that index only runs on escalation.
+		initial := sys.Th.Freq
+		if initial < 2 {
+			initial = 2
+		}
+		for i := range sys.Members {
+			if i < initial {
+				sys.Members[i].Backend = early
+			} else {
+				sys.Members[i].Backend = late
+			}
+		}
+		// Calibrate on a deterministic slice of the validation split — the
+		// same data the thresholds were profiled on, never the test split.
+		calib := make([]*tensor.T, 0, 16)
+		for i := 0; i < len(ds.Val) && i < 16; i++ {
+			calib = append(calib, ds.Val[i].X)
+		}
+		if err := sys.PrepareBackends(calib); err != nil {
+			return nil, fmt.Errorf("polygraph: preparing backends: %w", err)
+		}
+	}
 	if opts.Cache != nil {
 		// Attach last, once the configuration is final: the key fingerprint
-		// covers thresholds, staging and member set, and the salt carries
-		// the precision bits (they rewrite network weights, which the
-		// member names cannot express).
+		// covers thresholds, staging, member set and the per-member backend
+		// schedule, and the salt carries the precision bits (they rewrite
+		// network weights, which the member names cannot express).
 		sys.EnableCache(cache.Config{
 			MaxBytes: opts.Cache.MaxBytes,
 			TTL:      opts.Cache.TTL,
