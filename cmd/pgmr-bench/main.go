@@ -41,6 +41,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	jsonPath := fs.String("json", "", "write all results as a JSON array to this file (\"-\" = stdout)")
 	workers := fs.Int("workers", 0, "worker-pool size for throughput experiments (0 = NumCPU)")
 	backend := fs.String("backend", "", "numeric backend for throughput experiments: f64, f32 or int8 (default f64)")
+	verified := fs.Bool("verified", false, "enable ABFT checksum verification in throughput experiments")
 	cacheMB := fs.Int("cache-mb", 64, "ext-caching: prediction-cache budget in MiB")
 	cacheTTL := fs.Duration("cache-ttl", 0, "ext-caching: cache entry TTL (0 = entries never expire)")
 	zipfS := fs.Float64("zipf", 1.1, "ext-caching: Zipf skew exponent of the duplicate workload (> 1)")
@@ -98,6 +99,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	ctx := experiments.NewContext()
 	ctx.Workers = *workers
 	ctx.Backend = *backend
+	ctx.Verified = *verified
 	ctx.CacheMB = *cacheMB
 	ctx.CacheTTL = *cacheTTL
 	ctx.ZipfS = *zipfS

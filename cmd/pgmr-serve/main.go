@@ -50,6 +50,7 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long graceful shutdown waits for in-flight requests")
 	cacheMB := flag.Int("cache-mb", 0, "prediction-cache budget in MiB (0 = caching off)")
 	cacheTTL := flag.Duration("cache-ttl", 0, "prediction-cache entry TTL (0 = entries never expire)")
+	verified := flag.Bool("verified", false, "enable ABFT checksum verification of member inference kernels")
 	quiet := flag.Bool("quiet", false, "suppress training progress output")
 
 	loadtest := flag.Bool("loadtest", false, "run an in-process load test instead of serving")
@@ -81,6 +82,7 @@ func main() {
 		LateBackend:   *lateBackend,
 		DisableStaged: *noStage,
 		Workers:       *workers,
+		Verified:      *verified,
 		Quiet:         *quiet,
 		Progress:      func(f string, a ...any) { fmt.Fprintf(os.Stderr, "# "+f+"\n", a...) },
 	}

@@ -183,7 +183,8 @@ type batchScratch struct {
 func (s *System) batchArenaInfer(pool *sync.Pool) batchInferFn {
 	return func(m int, xs []*tensor.T) [][]float64 {
 		sc := pool.Get().(*batchScratch)
-		mem := s.Members[m]
+		mem := &s.Members[m]
+		st := s.verifySink(mem)
 		pre := make([]*tensor.T, len(xs))
 		for i, x := range xs {
 			pre[i] = mem.Pre.Apply(x)
@@ -193,18 +194,28 @@ func (s *System) batchArenaInfer(pool *sync.Pool) batchInferFn {
 			if sc.a32 == nil {
 				sc.a32 = tensor.NewArena32()
 			}
+			sc.a32.SetAbft(st)
 			rows = mem.net32.InferBatch(pre, sc.a32)
 			sc.a32.Reset()
 		} else {
 			if sc.a == nil {
 				sc.a = tensor.NewArena()
 			}
+			sc.a.SetAbft(st)
 			probs := mem.Net.InferBatchArena(pre, sc.a)
 			rows = make([][]float64, len(xs))
 			for i, p := range probs {
 				rows[i] = append([]float64(nil), p.Data...)
 			}
 			sc.a.Reset()
+		}
+		if s.finishVerify(st) {
+			// One fused call covers the whole pending batch for this member:
+			// an uncorrectable fault cannot be attributed to a single image,
+			// so every row of the call abstains.
+			for _, row := range rows {
+				suspectRow(row)
+			}
 		}
 		pool.Put(sc)
 		return rows

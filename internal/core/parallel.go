@@ -163,18 +163,25 @@ func (s *System) classifyParallel(parent context.Context, x *tensor.T, infer inf
 func (s *System) arenaInfer(a *tensor.Arena) inferFn {
 	var a32 *tensor.Arena32
 	return func(i int, x *tensor.T) []float64 {
-		m := s.Members[i]
+		m := &s.Members[i]
+		st := s.verifySink(m)
+		var row []float64
 		if m.net32 != nil {
 			if a32 == nil {
 				a32 = tensor.NewArena32()
 			}
-			row := m.net32.InferBatch([]*tensor.T{m.Pre.Apply(x)}, a32)[0]
+			a32.SetAbft(st)
+			row = m.net32.InferBatch([]*tensor.T{m.Pre.Apply(x)}, a32)[0]
 			a32.Reset()
-			return row
+		} else {
+			a.SetAbft(st)
+			probs := m.Net.InferArena(m.Pre.Apply(x), a)
+			row = append([]float64(nil), probs.Data...)
+			a.Reset()
 		}
-		probs := m.Net.InferArena(m.Pre.Apply(x), a)
-		row := append([]float64(nil), probs.Data...)
-		a.Reset()
+		if s.finishVerify(st) {
+			suspectRow(row)
+		}
 		return row
 	}
 }

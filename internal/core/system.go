@@ -21,6 +21,11 @@ type Member struct {
 	// effect once System.PrepareBackends compiles the reduced-precision net;
 	// until then the member runs the float64 reference path (see backend.go).
 	Backend Backend
+	// Verified requests ABFT checksum verification of this member's
+	// inference kernels (see verify.go). It takes effect once
+	// System.PrepareVerified installs the outcome sink; until then the
+	// member runs unverified.
+	Verified bool
 
 	// net32 is the compiled reduced-precision net (f32 or int8 per Backend),
 	// set by PrepareBackends. nil means execute Net in float64.
@@ -72,6 +77,10 @@ type System struct {
 	// (see cached.go). Attach with EnableCache after the configuration is
 	// final — the cache key is fingerprinted against it.
 	Cache *PredictionCache
+
+	// abft aggregates ABFT verification outcomes across every verified
+	// member inference; non-nil once PrepareVerified(true) ran (verify.go).
+	abft *tensor.AbftStats
 }
 
 // NewSystem assembles a system from members and thresholds.
@@ -95,8 +104,28 @@ func NewSystem(members []Member, th Thresholds) (*System, error) {
 type inferFn func(member int, x *tensor.T) []float64
 
 // memberInfer is the plain (heap-allocating) member execution strategy.
+// Verified members run through a throwaway arena so the kernels can carry
+// the checksum sink; the f64 arena path is bit-identical to Infer.
 func (s *System) memberInfer(i int, x *tensor.T) []float64 {
-	return s.Members[i].Infer(x)
+	m := &s.Members[i]
+	st := s.verifySink(m)
+	if st == nil {
+		return m.Infer(x)
+	}
+	var row []float64
+	if m.net32 != nil {
+		a32 := tensor.NewArena32()
+		a32.SetAbft(st)
+		row = m.net32.InferBatch([]*tensor.T{m.Pre.Apply(x)}, a32)[0]
+	} else {
+		a := tensor.NewArena()
+		a.SetAbft(st)
+		row = append([]float64(nil), m.Net.InferArena(m.Pre.Apply(x), a).Data...)
+	}
+	if s.finishVerify(st) {
+		suspectRow(row)
+	}
+	return row
 }
 
 // Classify runs the system on one input image and returns the decision.

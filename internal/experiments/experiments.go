@@ -32,6 +32,11 @@ type Context struct {
 	// run the compiled kernels of internal/nn (DESIGN.md §9).
 	Backend string
 
+	// Verified turns on ABFT checksum verification (DESIGN.md §10) for the
+	// systems throughput-style experiments build, so overhead is measured
+	// with kernel epilogues checking row/column sums.
+	Verified bool
+
 	// CacheMB and CacheTTL parameterize the prediction cache the ext-caching
 	// experiment attaches (budget in MiB; TTL 0 = entries never expire), and
 	// ZipfS is the skew exponent (> 1) of its duplicate-heavy workload.

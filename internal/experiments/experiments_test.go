@@ -8,7 +8,7 @@ import (
 )
 
 func TestIDsComplete(t *testing.T) {
-	want := []string{"ext-budget", "ext-caching", "ext-faults", "ext-ood", "ext-oracle",
+	want := []string{"ext-abft", "ext-budget", "ext-caching", "ext-faults", "ext-ood", "ext-oracle",
 		"ext-serving", "ext-softvote", "ext-throughput", "fig1", "fig10", "fig11", "fig12",
 		"fig13", "fig14", "fig2", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9",
 		"tab2", "tab3"}
@@ -101,6 +101,25 @@ func TestMotivationExperimentsEndToEnd(t *testing.T) {
 		if res.ID != id {
 			t.Errorf("result id %s, want %s", res.ID, id)
 		}
+	}
+}
+
+// TestExtAbftEndToEnd smokes the ABFT closed-loop experiment (the CI smoke
+// for verified mode): the runner itself fails if a verified clean decision
+// diverges from the unverified one or an injected fault changes a campaign
+// decision without being flagged, so the test only has to assert it ran and
+// covered every backend.
+func TestExtAbftEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("zoo-backed experiment in -short mode")
+	}
+	ctx := NewContext()
+	res, err := Run(ctx, "ext-abft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("expected one row per backend, got %d", len(res.Rows))
 	}
 }
 

@@ -60,6 +60,9 @@ func ExtThroughput(ctx *Context) (*Result, error) {
 			return nil, fmt.Errorf("ext-throughput: %w", err)
 		}
 	}
+	if ctx.Verified {
+		sys.PrepareVerified(true)
+	}
 	n := len(ds.Test)
 	if n > 256 {
 		n = 256
@@ -139,6 +142,9 @@ func ExtThroughput(ctx *Context) (*Result, error) {
 	}
 	res.AddNote("4-member %s system, staged activation, %s backend, %d worker(s) on %d CPU(s)",
 		b.Name, backend, workers, runtime.NumCPU())
+	if ctx.Verified {
+		res.AddNote("ABFT checksum verification enabled (-verified); ext-abft isolates the verification overhead")
+	}
 	if backend == core.BackendF64 {
 		res.AddNote("decisions verified identical across strategies")
 	} else {

@@ -215,6 +215,9 @@ func (c *conv32) forward(src *tensor.T32, inShape []int, bsz int, a *tensor.Aren
 	if !tensor.SIMDEnabled() && tensor.WinogradEligible(g) {
 		dst := a.NewRaw(bsz, c.outC*ohw)
 		tensor.WinogradConv3x3F32(dst, src, bsz, c.outC, c.weight, c.bias, g, a)
+		if s := a.Abft(); s != nil {
+			s.Record(tensor.VerifyWinogradConv32(dst, src, bsz, c.outC, c.weight, c.bias, g))
+		}
 		return dst, []int{c.outC, oh, ow}
 	}
 
@@ -222,6 +225,9 @@ func (c *conv32) forward(src *tensor.T32, inShape []int, bsz int, a *tensor.Aren
 	tensor.Im2ColBatch32(cols, src, bsz, g)
 	cm := a.NewRaw(c.outC, bsz*ohw)
 	tensor.GemmInto32Fast(cm, c.weight, cols)
+	if s := a.Abft(); s != nil {
+		s.Record(tensor.VerifyGemm32(cm, c.weight, cols))
+	}
 
 	dst := a.NewRaw(bsz, c.outC*ohw)
 	for oc := 0; oc < c.outC; oc++ {
@@ -257,6 +263,9 @@ func (d *dense32) forward(src *tensor.T32, inShape []int, bsz int, a *tensor.Are
 	x := src.Reshape(bsz, d.in)
 	dst := a.NewRaw(bsz, d.out)
 	tensor.MatMulTransBInto32(dst, x, d.weight)
+	if s := a.Abft(); s != nil {
+		s.Record(tensor.VerifyMatMulTransB32(dst, x, d.weight))
+	}
 	for b := 0; b < bsz; b++ {
 		row := dst.Data[b*d.out : (b+1)*d.out]
 		for o, bv := range d.bias {

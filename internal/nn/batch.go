@@ -151,6 +151,9 @@ func (c *Conv2D) forwardBatchArena(src *tensor.T, inShape []int, bsz int, st *ba
 	if tensor.WinogradEligible(g) {
 		dst := st.a.NewRaw(bsz, c.OutC*ohw)
 		tensor.WinogradConv3x3(dst, src, bsz, c.OutC, c.weight.Value, c.bias.Value.Data, g, st.a)
+		if s := st.a.Abft(); s != nil {
+			s.Record(tensor.VerifyWinogradConv(dst, src, bsz, c.OutC, c.weight.Value, c.bias.Value.Data, g))
+		}
 		return dst, []int{c.OutC, oh, ow}
 	}
 
@@ -159,6 +162,9 @@ func (c *Conv2D) forwardBatchArena(src *tensor.T, inShape []int, bsz int, st *ba
 
 	cm := st.a.NewRaw(c.OutC, bsz*ohw)
 	tensor.GemmInto(cm, c.weight.Value, cols)
+	if s := st.a.Abft(); s != nil {
+		s.Record(tensor.VerifyGemm(cm, c.weight.Value, cols))
+	}
 
 	dst := st.a.NewRaw(bsz, c.OutC*ohw)
 	for oc := 0; oc < c.OutC; oc++ {
@@ -185,6 +191,9 @@ func (d *Dense) forwardBatchArena(src *tensor.T, inShape []int, bsz int, st *bat
 	x := src.Reshape(bsz, d.In)
 	dst := st.a.NewRaw(bsz, d.Out)
 	tensor.MatMulTransBInto(dst, x, d.weight.Value)
+	if s := st.a.Abft(); s != nil {
+		s.Record(tensor.VerifyMatMulTransB(dst, x, d.weight.Value))
+	}
 	bias := d.bias.Value.Data
 	for b := 0; b < bsz; b++ {
 		row := dst.Data[b*d.Out : (b+1)*d.Out]

@@ -76,6 +76,9 @@ func (q *qconv32) forward(src *tensor.T32, inShape []int, bsz int, a *tensor.Are
 	acc := a.Int32s(q.outC * bohw)
 	colsum := a.Int32s(bohw)
 	tensor.GemmU8Into(acc, colsum, q.qw.Bits, qcols, q.outC, ckk, bohw)
+	if s := a.Abft(); s != nil {
+		s.Record(tensor.VerifyGemmU8(acc, colsum, q.qw.Bits, qcols, q.outC, ckk, bohw))
+	}
 
 	dst := a.NewRaw(bsz, q.outC*ohw)
 	for oc := 0; oc < q.outC; oc++ {
@@ -132,6 +135,9 @@ func (q *qdense32) forward(src *tensor.T32, inShape []int, bsz int, a *tensor.Ar
 	acc := a.Int32s(q.out * bsz)
 	colsum := a.Int32s(bsz)
 	tensor.GemmU8Into(acc, colsum, q.qw.Bits, qb, q.out, q.in, bsz)
+	if s := a.Abft(); s != nil {
+		s.Record(tensor.VerifyGemmU8(acc, colsum, q.qw.Bits, qb, q.out, q.in, bsz))
+	}
 
 	rows := a.NewRaw(q.out, bsz)
 	for o := 0; o < q.out; o++ {

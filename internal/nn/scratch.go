@@ -87,6 +87,9 @@ func (c *Conv2D) forwardArena(x *tensor.T, a *tensor.Arena) *tensor.T {
 
 	out := a.New(c.OutC, oh*ow)
 	tensor.MatMulInto(out, c.weight.Value, cols)
+	if s := a.Abft(); s != nil {
+		s.Record(tensor.VerifyGemm(out, c.weight.Value, cols))
+	}
 	for oc := 0; oc < c.OutC; oc++ {
 		b := c.bias.Value.Data[oc]
 		row := out.Data[oc*oh*ow : (oc+1)*oh*ow]
@@ -108,6 +111,9 @@ func (d *Dense) forwardArena(x *tensor.T, a *tensor.Arena) *tensor.T {
 			s += row[i] * v
 		}
 		out.Data[o] = s
+	}
+	if s := a.Abft(); s != nil {
+		s.Record(tensor.VerifyMatVec(out.Data, wd, x.Data, d.bias.Value.Data, d.Out, d.In))
 	}
 	return out
 }

@@ -30,13 +30,15 @@ func TestMain(m *testing.M) {
 		// Cache and quant-backend benchmarks get their own reports so the
 		// kernel, caching and reduced-precision numbers version
 		// independently in CI artifacts.
-		var kernels, caches, quant []BenchEntry
+		var kernels, caches, quant, abft []BenchEntry
 		for _, e := range collected {
 			switch {
 			case strings.HasPrefix(e.Name, "BenchmarkCache"):
 				caches = append(caches, e)
 			case strings.HasPrefix(e.Name, "BenchmarkQuant"):
 				quant = append(quant, e)
+			case strings.HasPrefix(e.Name, "BenchmarkAbft"):
+				abft = append(abft, e)
 			default:
 				kernels = append(kernels, e)
 			}
@@ -58,6 +60,7 @@ func TestMain(m *testing.M) {
 		write(kernels, "PGMR_BENCH_JSON", "BENCH_kernels.json")
 		write(caches, "PGMR_BENCH_CACHE_JSON", "BENCH_cache.json")
 		write(quant, "PGMR_BENCH_QUANT_JSON", "BENCH_quant.json")
+		write(abft, "PGMR_BENCH_ABFT_JSON", "BENCH_abft.json")
 	}
 	os.Exit(code)
 }

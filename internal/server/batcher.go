@@ -125,6 +125,10 @@ func (s *Server) dispatch(batch []*item) {
 		s.metrics.ObserveDecision(preds[i].Reliable, preds[i].Agreement, preds[i].Activated)
 		it.done <- itemResult{pred: preds[i]}
 	}
+	if rep, ok := s.cfg.Backend.(AbftReporter); ok && rep.Verified() {
+		c := rep.AbftCounts()
+		s.metrics.ObserveAbft(c.Checks, c.Detected, c.Corrected, c.Uncorrectable)
+	}
 }
 
 // batchContext derives the context for one backend call: when every item

@@ -52,6 +52,16 @@ type CacheProber interface {
 	CacheStats() polygraph.CacheStats
 }
 
+// AbftReporter is the optional backend surface for ABFT verification
+// telemetry — satisfied by *polygraph.System when Options.Verified is set.
+// When the configured Backend implements it and reports verification
+// enabled, the batcher mirrors the cumulative verification counters into
+// the pgmr_abft_* gauges after every dispatch.
+type AbftReporter interface {
+	Verified() bool
+	AbftCounts() polygraph.AbftCounts
+}
+
 // cacheHeader reports the probe outcome per response: "hit" (every image
 // answered from the cache), "miss" (none), or "coalesced" (a mix — the
 // cached part rode along with the computed remainder). Absent when the

@@ -48,6 +48,15 @@ type Metrics struct {
 	CacheEntries   *Gauge   // predictions currently cached
 	CacheBytes     *Gauge   // bytes currently charged against the cache budget
 
+	// ABFT verification (DESIGN.md §10). Cumulative counters mirrored from
+	// the system's verification sink after every batch dispatch, like the
+	// cache gauges: detected faults caught in kernel epilogues, split by
+	// whether re-execution corrected them.
+	AbftChecks        *Gauge // checksum comparisons performed
+	AbftDetected      *Gauge // checksum mismatches detected
+	AbftCorrected     *Gauge // detected faults cleared by re-execution
+	AbftUncorrectable *Gauge // detected faults that persisted (votes abstained)
+
 	mu        sync.Mutex
 	responses map[int]*Counter // responses by HTTP status code
 }
@@ -90,9 +99,23 @@ func NewMetrics(maxMembers int) *Metrics {
 		CacheEntries:   r.Gauge("pgmr_cache_entries", "Predictions currently resident in the cache."),
 		CacheBytes:     r.Gauge("pgmr_cache_bytes", "Bytes currently charged against the prediction-cache budget."),
 
+		AbftChecks:        r.Gauge("pgmr_abft_checks", "ABFT checksum comparisons performed (cumulative, mirrored from the system)."),
+		AbftDetected:      r.Gauge("pgmr_abft_detected", "ABFT checksum mismatches detected in kernel epilogues (cumulative)."),
+		AbftCorrected:     r.Gauge("pgmr_abft_corrected", "Detected faults cleared by bounded re-execution (cumulative)."),
+		AbftUncorrectable: r.Gauge("pgmr_abft_uncorrectable", "Detected faults that persisted across re-execution; the member's votes abstained (cumulative)."),
+
 		responses: map[int]*Counter{},
 	}
 	return m
+}
+
+// ObserveAbft refreshes the ABFT verification gauges from the system's
+// cumulative counters.
+func (m *Metrics) ObserveAbft(checks, detected, corrected, uncorrectable uint64) {
+	m.AbftChecks.Set(int64(checks))
+	m.AbftDetected.Set(int64(detected))
+	m.AbftCorrected.Set(int64(corrected))
+	m.AbftUncorrectable.Set(int64(uncorrectable))
 }
 
 // ObserveCacheProbe records one pre-admission cache probe over a request's

@@ -1,0 +1,1174 @@
+package tensor
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// Algorithm-based fault tolerance (ABFT) for the inference kernels, after
+// FT-CNN (Zhao et al., arXiv 2003.12203; DESIGN.md §10). Every hot matrix
+// product C = A×B satisfies a checksum invariant that is cheap to predict
+// from the operands and cheap to measure on the output:
+//
+//	column checksums:  Σ_i C[i][j] = Σ_p (Σ_i A[i][p])·B[p][j]
+//	row checksums:     Σ_j C[i][j] = Σ_p A[i][p]·(Σ_j B[p][j])
+//
+// Predicting one side costs O(mk + kn) multiply-adds and measuring the
+// other costs O(mn) — a (1/m + 1/n + 1/k) fraction of the O(mkn) GEMM — so
+// a transient compute fault (a bit flip in an accumulator, a wrong store)
+// is caught in the kernel epilogue at a few percent overhead. A mismatch
+// localizes the fault to one output column (or row), which is re-executed
+// with the scalar reference kernel and re-checked, bounded by
+// abftMaxRetries; a persistent mismatch (e.g. a corrupted operand buffer,
+// which re-execution faithfully reproduces) is reported uncorrectable so
+// the caller can flag the result as suspect.
+//
+// Verification is a pure epilogue: the verified wrappers run the exact
+// same kernel as the unverified path and never touch clean output values,
+// so a fault-free verified run is bit-identical to an unverified one
+// (locked by the abft property tests).
+//
+// Float paths compare against a relative tolerance derived from the
+// accumulation-chain length and the column/row magnitude: checksums are
+// accumulated in float64 and a column passes when
+//
+//	|predicted − actual| ≤ abftTol·((k+m)·ε·bound + (m+1)·(k+1)·η)
+//
+// where bound is the Σ|A[i][p]|·|B[p][j]| magnitude envelope of the
+// column, ε the unit roundoff of the data type (2⁻⁵³ for f64, 2⁻²⁴ for
+// f32 — the f64 checksum error is folded into the constant), and η the
+// smallest denormal, which floors the tolerance when products underflow
+// below gradual-underflow resolution. Columns whose predicted sum or bound
+// is NaN/±Inf are unverifiable — the invariant itself saturates — and are
+// skipped rather than reported, so hostile inputs can never produce a
+// false mismatch (locked by FuzzChecksumVerify); a NaN/±Inf actual sum is
+// detected as a fault when the bound proves the clean product cannot
+// overflow. The int8
+// kernel needs no tolerance at all: its int32 accumulators are exact, so
+// the checksum (carried in int64 to avoid overflow) must match bit for
+// bit.
+
+const (
+	// abftTol is the safety multiplier on the float error bound. The
+	// derivation above is worst-case linear in the chain length while real
+	// rounding error grows ~√length, so the margin against false positives
+	// is large; keeping the multiplier small preserves sensitivity to
+	// mid-mantissa bit flips.
+	abftTol = 8.0
+	// abftTolWino is the multiplier for the Winograd convolution check:
+	// the F(4×4,3×3) transforms reassociate sums and scale intermediates,
+	// so the output disagrees with the direct convolution the bound models
+	// by a larger (empirically ~100× ε) factor.
+	abftTolWino = 32.0
+	// abftMaxRetries bounds re-execution of a mismatched column/row before
+	// it is declared uncorrectable.
+	abftMaxRetries = 2
+
+	abftEps32 = 0x1p-24
+	abftEps64 = 0x1p-53
+	abftEta32 = 0x1p-149
+	abftEta64 = 0x1p-1074
+	abftLim32 = math.MaxFloat32
+	abftLim64 = math.MaxFloat64
+)
+
+// VerifyOutcome reports what one verified kernel invocation found. Checks
+// counts checksum comparisons (columns, rows or whole products depending
+// on the kernel); Detected counts mismatches; every detected mismatch ends
+// up either Corrected (re-execution restored the invariant) or
+// Uncorrectable (the mismatch persisted — the operands themselves are
+// corrupt, or the fault recurs).
+type VerifyOutcome struct {
+	Checks        int
+	Detected      int
+	Corrected     int
+	Uncorrectable int
+}
+
+// OK reports whether the output can be trusted: every detected fault was
+// corrected.
+func (o VerifyOutcome) OK() bool { return o.Uncorrectable == 0 }
+
+// merge accumulates p into o.
+func (o *VerifyOutcome) merge(p VerifyOutcome) {
+	o.Checks += p.Checks
+	o.Detected += p.Detected
+	o.Corrected += p.Corrected
+	o.Uncorrectable += p.Uncorrectable
+}
+
+// AbftStats is a race-free sink for VerifyOutcomes, shared by every worker
+// goroutine running verified inference for one member (or one system). The
+// zero value is ready to use.
+type AbftStats struct {
+	checks        atomic.Uint64
+	detected      atomic.Uint64
+	corrected     atomic.Uint64
+	uncorrectable atomic.Uint64
+}
+
+// Record adds one kernel outcome. A nil receiver is a no-op so call sites
+// can thread an optional sink without branching.
+func (s *AbftStats) Record(o VerifyOutcome) {
+	if s == nil {
+		return
+	}
+	if o.Checks != 0 {
+		s.checks.Add(uint64(o.Checks))
+	}
+	if o.Detected != 0 {
+		s.detected.Add(uint64(o.Detected))
+		s.corrected.Add(uint64(o.Corrected))
+		s.uncorrectable.Add(uint64(o.Uncorrectable))
+	}
+}
+
+// Add folds a snapshot from another sink into s — per-call sinks aggregate
+// into a system-wide telemetry sink this way. A nil receiver is a no-op.
+func (s *AbftStats) Add(c AbftCounts) {
+	if s == nil {
+		return
+	}
+	s.checks.Add(c.Checks)
+	s.detected.Add(c.Detected)
+	s.corrected.Add(c.Corrected)
+	s.uncorrectable.Add(c.Uncorrectable)
+}
+
+// AbftCounts is a point-in-time snapshot of an AbftStats.
+type AbftCounts struct {
+	Checks        uint64
+	Detected      uint64
+	Corrected     uint64
+	Uncorrectable uint64
+}
+
+// Counts snapshots the counters. A nil receiver reads as zero.
+func (s *AbftStats) Counts() AbftCounts {
+	if s == nil {
+		return AbftCounts{}
+	}
+	return AbftCounts{
+		Checks:        s.checks.Load(),
+		Detected:      s.detected.Load(),
+		Corrected:     s.corrected.Load(),
+		Uncorrectable: s.uncorrectable.Load(),
+	}
+}
+
+// abftRetryHook, when set, runs before every repair attempt with the
+// 0-based attempt index. It is a fault-injection seam: internal/faults
+// campaigns (and the uncorrectable-path tests) use it to model faults that
+// persist across re-execution — corrupted operand memory, a recurring
+// fault — which a stable-memory retry could otherwise never exhibit.
+// Production code never sets it.
+var abftRetryHook atomic.Pointer[func(attempt int)]
+
+// SetAbftRetryHook installs (or, with nil, removes) the repair-attempt
+// fault-injection hook. For tests and injection campaigns only.
+func SetAbftRetryHook(h func(attempt int)) {
+	if h == nil {
+		abftRetryHook.Store(nil)
+		return
+	}
+	abftRetryHook.Store(&h)
+}
+
+func callAbftRetryHook(attempt int) {
+	if p := abftRetryHook.Load(); p != nil {
+		(*p)(attempt)
+	}
+}
+
+// AbftInjector corrupts live kernel output buffers. The verify epilogues
+// hand every buffer they are about to measure to the installed injector
+// first, so a fault-injection campaign (internal/faults) can flip bits in
+// the data the checksums actually cover — modelling a transient fault that
+// struck during the kernel, after the operands were read but before the
+// epilogue ran. The repair path does NOT re-invoke the injector: a flip is
+// transient, and re-execution computes from clean operands (persistent
+// faults are modelled separately via SetAbftRetryHook).
+type AbftInjector interface {
+	// CorruptF64 may flip bits in a float64 output buffer.
+	CorruptF64(buf []float64)
+	// CorruptF32 may flip bits in a float32 output buffer.
+	CorruptF32(buf []float32)
+	// CorruptI32 may flip bits in the int8 kernel's int32 accumulators or
+	// column sums.
+	CorruptI32(acc, colsum []int32)
+}
+
+// abftInjectHook is the installed output-buffer injector, nil outside
+// fault-injection campaigns. It is only consulted from Verify* epilogues,
+// so unverified inference never pays even the atomic load.
+var abftInjectHook atomic.Pointer[AbftInjector]
+
+// SetAbftInjector installs (or, with nil, removes) the live-buffer
+// fault-injection hook. For tests and injection campaigns only.
+func SetAbftInjector(h AbftInjector) {
+	if h == nil {
+		abftInjectHook.Store(nil)
+		return
+	}
+	abftInjectHook.Store(&h)
+}
+
+func injectF64(buf []float64) {
+	if p := abftInjectHook.Load(); p != nil {
+		(*p).CorruptF64(buf)
+	}
+}
+
+func injectF32(buf []float32) {
+	if p := abftInjectHook.Load(); p != nil {
+		(*p).CorruptF32(buf)
+	}
+}
+
+func injectI32(acc, colsum []int32) {
+	if p := abftInjectHook.Load(); p != nil {
+		(*p).CorruptI32(acc, colsum)
+	}
+}
+
+// abftMismatch reports whether predicted and actual disagree beyond tol.
+// A non-finite prediction or tolerance (a saturated bound) makes the check
+// unverifiable — the operands contain NaN/Inf or the product legitimately
+// overflows, and no checksum statement can be made — so the column is
+// skipped rather than flagged. A non-finite ACTUAL sum, however, is a
+// detected fault whenever the magnitude envelope bnd proves clean
+// arithmetic stays far inside the finite range lim of the data type: every
+// clean intermediate is bounded by bnd, so nothing short of a fault can
+// have produced the NaN/Inf.
+func abftMismatch(pred, act, tol, bnd, lim float64) bool {
+	if math.IsNaN(pred) || math.IsInf(pred, 0) ||
+		math.IsNaN(tol) || math.IsInf(tol, 0) {
+		return false
+	}
+	if math.IsNaN(act) || math.IsInf(act, 0) {
+		return bnd < lim/2
+	}
+	d := pred - act
+	if d < 0 {
+		d = -d
+	}
+	return d > tol
+}
+
+// abftColTol returns the float tolerance for one column/row with magnitude
+// envelope bnd, chain length k and summation length m.
+func abftColTol(bnd float64, k, m int, eps, eta, mult float64) float64 {
+	return mult * (float64(k+m)*eps*bnd + float64(m+1)*float64(k+1)*eta)
+}
+
+// recomputeGemmCol re-executes column j of C = A×B with the scalar
+// reference chain (ascending k from +0 — the accumulation order GemmInto,
+// GemmInto32 and MatMulInto's dense kernel all produce).
+func recomputeGemmCol[F Float](cd, ad, bd []F, m, k, n, j int) {
+	for i := 0; i < m; i++ {
+		var acc F
+		arow := ad[i*k : (i+1)*k]
+		for p, av := range arow {
+			acc += av * bd[p*n+j]
+		}
+		cd[i*n+j] = acc
+	}
+}
+
+// abftProxyPass reports whether a finite disagreement d is inside the
+// tolerance implied by the magnitude proxy actAbs = Σ|C| of the checked
+// column/row. The triangle inequality puts actAbs at or below the true
+// Σ|A|·|B| envelope, so the implied tolerance never exceeds the real one: a
+// pass here is a pass of the full check, while a miss only escalates to the
+// exact (strided, more expensive) envelope — never straight to a
+// detection. This two-tier scheme keeps the hot O(kn) prediction pass down
+// to one multiply-add per B element; clean columns almost never escalate
+// because real rounding error sits orders of magnitude under the proxy
+// tolerance. A non-finite proxy tolerance (actAbs inflated to ±Inf/NaN,
+// possibly by the very fault being hunted) must escalate too, so the
+// envelope rule of abftMismatch can judge it.
+func abftProxyPass(d, actAbs float64, k, m int, eps, eta float64) bool {
+	scale, floor := abftProxyTerms(k, m, eps, eta)
+	t := scale*actAbs + floor
+	return d <= t && t <= math.MaxFloat64
+}
+
+// abftProxyTerms precomputes the loop-invariant pieces of abftColTol so the
+// per-column fast tier costs one multiply-add: tol = scale·bnd + floor. A
+// non-finite bnd (or an overflowing product) yields a non-finite tol, which
+// the `t <= MaxFloat64` guard at the use site routes to the slow tier.
+func abftProxyTerms(k, m int, eps, eta float64) (scale, floor float64) {
+	return abftTol * float64(k+m) * eps, abftTol * float64(m+1) * float64(k+1) * eta
+}
+
+// sumAbsAccum folds one row into the running column sums and magnitude
+// sums with 4-way unrolling. NaN propagates into both accumulators (the
+// negation test is false for NaN), which routes the column to the slow
+// verification tier.
+func sumAbsAccum[F Float](sum, sumAbs []F, row []F) {
+	n := len(row)
+	if n == 0 {
+		return
+	}
+	_ = sum[n-1]
+	_ = sumAbs[n-1]
+	j := 0
+	for ; j+4 <= n; j += 4 {
+		v0, v1, v2, v3 := row[j], row[j+1], row[j+2], row[j+3]
+		sum[j] += v0
+		sum[j+1] += v1
+		sum[j+2] += v2
+		sum[j+3] += v3
+		if v0 < 0 {
+			v0 = -v0
+		}
+		if v1 < 0 {
+			v1 = -v1
+		}
+		if v2 < 0 {
+			v2 = -v2
+		}
+		if v3 < 0 {
+			v3 = -v3
+		}
+		sumAbs[j] += v0
+		sumAbs[j+1] += v1
+		sumAbs[j+2] += v2
+		sumAbs[j+3] += v3
+	}
+	for ; j < n; j++ {
+		v := row[j]
+		sum[j] += v
+		if v < 0 {
+			v = -v
+		}
+		sumAbs[j] += v
+	}
+}
+
+// abftScratch pools the checksum arrays of the verify epilogues: the hot
+// ones are O(n) for wide conv GEMMs, and allocating (and runtime-zeroing)
+// them per verified kernel call costs as much as the checksum passes
+// themselves. Buffers come back uninitialized — every user seeds them with
+// a first-iteration write pass instead of clearing.
+type abftScratch struct {
+	f32  []float32
+	f64  []float64
+	f64b []float64
+	i32  []int32
+	i64  []int64
+}
+
+var abftPool = sync.Pool{New: func() any { return new(abftScratch) }}
+
+// growScratch returns s[:n] with undefined contents, reallocating only when
+// the pooled capacity is short.
+func growScratch[T any](s *[]T, n int) []T {
+	if cap(*s) < n {
+		*s = make([]T, n)
+	}
+	return (*s)[:n]
+}
+
+// abftFloatBuf hands out the pooled buffer matching the instantiated float
+// type. Callers that also need an independent float64 buffer (the envelope
+// sums) take sc.f64b, which no instantiation returns here.
+func abftFloatBuf[F Float](sc *abftScratch, n int) []F {
+	var z F
+	if _, ok := any(z).(float32); ok {
+		return any(growScratch(&sc.f32, n)).([]F)
+	}
+	return any(growScratch(&sc.f64, n)).([]F)
+}
+
+// abftIntBuf is abftFloatBuf for the integer checksum widths.
+func abftIntBuf[I int32 | int64](sc *abftScratch, n int) []I {
+	var z I
+	if _, ok := any(z).(int32); ok {
+		return any(growScratch(&sc.i32, n)).([]I)
+	}
+	return any(growScratch(&sc.i64, n)).([]I)
+}
+
+// axpyAuto adds alpha·src into dst, routing the concrete float types to
+// the AVX2 row kernels when available; the tail (and every other type)
+// runs the unrolled scalar loop.
+func axpyAuto[F Float](dst []F, alpha F, src []F) {
+	if useSIMD() {
+		switch d := any(dst).(type) {
+		case []float32:
+			if nb := len(dst) &^ 7; nb > 0 {
+				axpyRowF32AVX(&d[0], &any(src).([]float32)[0], nb, float32(alpha))
+				dst, src = dst[nb:], src[nb:]
+			}
+		case []float64:
+			if nb := len(dst) &^ 3; nb > 0 {
+				axpyRowF64AVX(&d[0], &any(src).([]float64)[0], nb, float64(alpha))
+				dst, src = dst[nb:], src[nb:]
+			}
+		}
+	}
+	axpyUnrolled(dst, alpha, src)
+}
+
+// sumAbsAuto is the dispatching variant of sumAbsAccum.
+func sumAbsAuto[F Float](sum, sumAbs []F, row []F) {
+	if useSIMD() {
+		switch s := any(sum).(type) {
+		case []float32:
+			if nb := len(row) &^ 7; nb > 0 {
+				sumAbsRowF32AVX(&s[0], &any(sumAbs).([]float32)[0], &any(row).([]float32)[0], nb)
+				sum, sumAbs, row = sum[nb:], sumAbs[nb:], row[nb:]
+			}
+		case []float64:
+			if nb := len(row) &^ 3; nb > 0 {
+				sumAbsRowF64AVX(&s[0], &any(sumAbs).([]float64)[0], &any(row).([]float64)[0], nb)
+				sum, sumAbs, row = sum[nb:], sumAbs[nb:], row[nb:]
+			}
+		}
+	}
+	sumAbsAccum(sum, sumAbs, row)
+}
+
+// scaleSetAuto seeds dst = alpha·src, AVX2-dispatched for float32. Seeding
+// with the first row instead of zeroing lets the pooled scratch skip a
+// clear pass.
+func scaleSetAuto[F Float](dst []F, alpha F, src []F) {
+	j := 0
+	if d, ok := any(dst).([]float32); ok && useSIMD() {
+		if nb := len(dst) &^ 7; nb > 0 {
+			scaleSetRowF32AVX(&d[0], &any(src).([]float32)[0], nb, float32(alpha))
+			j = nb
+		}
+	}
+	for ; j < len(dst); j++ {
+		dst[j] = alpha * src[j]
+	}
+}
+
+// setAbsAuto seeds sum = row and sumAbs = |row|, AVX2-dispatched for
+// float32. NaN propagates into both outputs either way (the scalar negate
+// test is false for NaN, the vector path only clears the sign bit).
+func setAbsAuto[F Float](sum, sumAbs, row []F) {
+	j := 0
+	if s, ok := any(sum).([]float32); ok && useSIMD() {
+		if nb := len(row) &^ 7; nb > 0 {
+			setAbsRowF32AVX(&s[0], &any(sumAbs).([]float32)[0], &any(row).([]float32)[0], nb)
+			j = nb
+		}
+	}
+	for ; j < len(row); j++ {
+		v := row[j]
+		sum[j] = v
+		if v < 0 {
+			v = -v
+		}
+		sumAbs[j] = v
+	}
+}
+
+// f32Down returns the largest float32 not exceeding the non-negative
+// finite x — a round-toward-zero conversion, used to build conservative
+// single-precision proxy constants.
+func f32Down(x float64) float32 {
+	f := float32(x)
+	if float64(f) > x {
+		f = math.Float32frombits(math.Float32bits(f) - 1)
+	}
+	return f
+}
+
+// predRowU8 computes pred[j] += s·b[j] and csRef[j] += b[j] — one row of
+// the int32 checksum prediction pass, AVX2-dispatched.
+func predRowU8(pred, csRef []int32, b []uint8, s int32) {
+	n := len(b)
+	j := 0
+	if useSIMD() {
+		if nb := n &^ 7; nb > 0 {
+			predRowU8AVX(&pred[0], &csRef[0], &b[0], nb, s)
+			j = nb
+		}
+	}
+	for ; j < n; j++ {
+		v := int32(b[j])
+		pred[j] += s * v
+		csRef[j] += v
+	}
+}
+
+// sumRowI32 computes acc[i] += row[i] — one row of the int32 checksum
+// measurement pass, AVX2-dispatched.
+func sumRowI32(acc, row []int32) {
+	n := len(row)
+	i := 0
+	if useSIMD() {
+		if nb := n &^ 7; nb > 0 {
+			sumRowI32AVX(&acc[0], &row[0], nb)
+			i = nb
+		}
+	}
+	for ; i < n; i++ {
+		acc[i] += row[i]
+	}
+}
+
+// verifyGemmCols checks (and where needed repairs) every column of the
+// already-computed product cd = ad×bd against column checksums. The
+// checksum accumulators run in the native element type F: the tolerance
+// already charges abftTol·(k+m)·eps for the kernel's own accumulation
+// error, and the checksum passes add at most k·eps·bnd (prediction) plus
+// m·eps·bnd (measurement) on top — comfortably inside that budget, and
+// far cheaper than float64-widening every float32 element.
+func verifyGemmCols[F Float](cd, ad, bd []F, m, k, n int, eps, eta, lim float64) VerifyOutcome {
+	o := VerifyOutcome{Checks: n}
+	if m == 0 || k == 0 || n == 0 {
+		return o
+	}
+	sc := abftPool.Get().(*abftScratch)
+	defer abftPool.Put(sc)
+	buf := abftFloatBuf[F](sc, 3*n+k)
+	pred, act, actAbs := buf[:n], buf[n:2*n], buf[2*n:3*n]
+	aSum := buf[3*n : 3*n+k]
+	aAbs := growScratch(&sc.f64b, k)
+	{
+		row := ad[:k]
+		for p, v := range row {
+			aSum[p] = v
+			aAbs[p] = math.Abs(float64(v))
+		}
+	}
+	for i := 1; i < m; i++ {
+		row := ad[i*k : (i+1)*k]
+		for p, v := range row {
+			aSum[p] += v
+			aAbs[p] += math.Abs(float64(v))
+		}
+	}
+	// Prediction pass, cache-blocked so each pred window stays L1-resident
+	// across the k B rows instead of streaming the full 4·n-byte buffer
+	// through L2 once per row.
+	const predBlk = 4096
+	for j0 := 0; j0 < n; j0 += predBlk {
+		hi := j0 + predBlk
+		if hi > n {
+			hi = n
+		}
+		scaleSetAuto(pred[j0:hi], aSum[0], bd[j0:hi])
+		for p := 1; p < k; p++ {
+			axpyAuto(pred[j0:hi], aSum[p], bd[p*n+j0:p*n+hi])
+		}
+	}
+	setAbsAuto(act, actAbs, cd[:n])
+	for i := 1; i < m; i++ {
+		sumAbsAuto(act, actAbs, cd[i*n:(i+1)*n])
+	}
+	scale, floor := abftProxyTerms(k, m, eps, eta)
+	// checkCol runs the exact float64 check for one column: proxy tier,
+	// then the strided magnitude envelope, then detection and repair.
+	checkCol := func(j int) {
+		d := float64(pred[j]) - float64(act[j])
+		if d < 0 {
+			d = -d
+		}
+		if t := scale*float64(actAbs[j]) + floor; d <= t && t <= math.MaxFloat64 {
+			return
+		}
+		// Suspicious (or non-finite) column: reconstruct the exact
+		// magnitude envelope down the strided B column and re-judge.
+		var bnd float64
+		for p := 0; p < k; p++ {
+			bnd += aAbs[p] * math.Abs(float64(bd[p*n+j]))
+		}
+		tol := abftColTol(bnd, k, m, eps, eta, abftTol)
+		if !abftMismatch(float64(pred[j]), float64(act[j]), tol, bnd, lim) {
+			return
+		}
+		o.Detected++
+		ok := false
+		for r := 0; r < abftMaxRetries; r++ {
+			callAbftRetryHook(r)
+			recomputeGemmCol(cd, ad, bd, m, k, n, j)
+			s := 0.0
+			for i := 0; i < m; i++ {
+				s += float64(cd[i*n+j])
+			}
+			if !abftMismatch(float64(pred[j]), s, tol, bnd, lim) {
+				ok = true
+				break
+			}
+		}
+		if ok {
+			o.Corrected++
+		} else {
+			o.Uncorrectable++
+		}
+	}
+	j := 0
+	if p32, ok := any(pred).([]float32); ok && useSIMD() {
+		// Vectorized fast tier: eight columns per scan step against
+		// single-precision proxy constants deflated by 4 ulp (and rounded
+		// toward zero), so the vector tolerance never exceeds the exact
+		// float64 one — a lane pass is always sound, a lane miss only
+		// sends those eight columns to checkCol for the exact verdict.
+		a32 := any(act).([]float32)
+		ab32 := any(actAbs).([]float32)
+		s32 := f32Down(scale * (1 - 4*abftEps32))
+		fl32 := f32Down(floor * (1 - 4*abftEps32))
+		nb := n &^ 7
+		for j < nb {
+			idx := proxyScanF32AVX(&p32[0], &a32[0], &ab32[0], j, nb, s32, fl32)
+			if idx >= nb {
+				j = nb
+				break
+			}
+			for jj := idx; jj < idx+8; jj++ {
+				checkCol(jj)
+			}
+			j = idx + 8
+		}
+	}
+	for ; j < n; j++ {
+		checkCol(j)
+	}
+	return o
+}
+
+// verifyGemmRowsTransB checks every row of the already-computed product
+// cd = ad×bdᵀ (bd stored [n, k] row-major) against float64 row checksums.
+// Row granularity fits the transposed layout: the B column sums Σ_j bd[j][p]
+// stream bd row-major once.
+func verifyGemmRowsTransB[F Float](cd, ad, bd []F, m, k, n int, eps, eta, lim float64) VerifyOutcome {
+	o := VerifyOutcome{Checks: m}
+	if m == 0 || k == 0 || n == 0 {
+		return o
+	}
+	sc := abftPool.Get().(*abftScratch)
+	defer abftPool.Put(sc)
+	bSum := abftFloatBuf[F](sc, k)
+	copy(bSum, bd[:k])
+	for j := 1; j < n; j++ {
+		row := bd[j*k : (j+1)*k]
+		for p, v := range row {
+			bSum[p] += v
+		}
+	}
+	// The |B| column sums only feed the exact envelope of the slow tier, so
+	// they are built lazily: a fully clean call never pays the second pass.
+	var bAbs []float64
+	ensureBAbs := func() {
+		if bAbs != nil {
+			return
+		}
+		bAbs = growScratch(&sc.f64b, k)
+		for p := range bAbs {
+			bAbs[p] = 0
+		}
+		for j := 0; j < n; j++ {
+			row := bd[j*k : (j+1)*k]
+			for p, v := range row {
+				bAbs[p] += math.Abs(float64(v))
+			}
+		}
+	}
+	for i := 0; i < m; i++ {
+		arow := ad[i*k : (i+1)*k]
+		pred := float64(dotUnrolled(arow, bSum))
+		crow := cd[i*n : (i+1)*n]
+		var actF, actAbsF F
+		for _, v := range crow {
+			actF += v
+			if v < 0 {
+				v = -v
+			}
+			actAbsF += v
+		}
+		act, actAbs := float64(actF), float64(actAbsF)
+		d := pred - act
+		if d < 0 {
+			d = -d
+		}
+		if abftProxyPass(d, actAbs, k, n, eps, eta) {
+			continue
+		}
+		ensureBAbs()
+		var bnd float64
+		for p, v := range arow {
+			bnd += math.Abs(float64(v)) * bAbs[p]
+		}
+		tol := abftColTol(bnd, k, n, eps, eta, abftTol)
+		if !abftMismatch(pred, act, tol, bnd, lim) {
+			continue
+		}
+		o.Detected++
+		ok := false
+		for r := 0; r < abftMaxRetries; r++ {
+			callAbftRetryHook(r)
+			matMulTransB(crow, arow, bd, 1, k, n)
+			var s float64
+			for _, v := range crow {
+				s += float64(v)
+			}
+			if !abftMismatch(pred, s, tol, bnd, lim) {
+				ok = true
+				break
+			}
+		}
+		if ok {
+			o.Corrected++
+		} else {
+			o.Uncorrectable++
+		}
+	}
+	return o
+}
+
+// VerifyGemm checks and repairs an already-computed C = A×B (float64). It
+// panics on shape mismatches, like GemmInto.
+func VerifyGemm(c, a, b *T) VerifyOutcome {
+	m, k := a.Shape[0], a.Shape[1]
+	n := b.Shape[1]
+	if b.Shape[0] != k || c.Shape[0] != m || c.Shape[1] != n {
+		panic("tensor: VerifyGemm shape mismatch")
+	}
+	injectF64(c.Data)
+	return verifyGemmCols(c.Data, a.Data, b.Data, m, k, n, abftEps64, abftEta64, abftLim64)
+}
+
+// VerifyGemm32 is VerifyGemm for float32 tensors.
+func VerifyGemm32(c, a, b *T32) VerifyOutcome {
+	m, k := a.Shape[0], a.Shape[1]
+	n := b.Shape[1]
+	if b.Shape[0] != k || c.Shape[0] != m || c.Shape[1] != n {
+		panic("tensor: VerifyGemm32 shape mismatch")
+	}
+	injectF32(c.Data)
+	return verifyGemmCols(c.Data, a.Data, b.Data, m, k, n, abftEps32, abftEta32, abftLim32)
+}
+
+// GemmIntoVerified computes C = A×B like GemmInto, then verifies and
+// repairs it.
+func GemmIntoVerified(c, a, b *T) VerifyOutcome {
+	GemmInto(c, a, b)
+	return VerifyGemm(c, a, b)
+}
+
+// MatMulIntoVerified computes C = A×B like MatMulInto, then verifies and
+// repairs it.
+func MatMulIntoVerified(c, a, b *T) VerifyOutcome {
+	MatMulInto(c, a, b)
+	return VerifyGemm(c, a, b)
+}
+
+// GemmInto32FastVerified computes C = A×B like GemmInto32Fast (dispatching
+// to the FMA microkernel when enabled), then verifies and repairs it.
+func GemmInto32FastVerified(c, a, b *T32) VerifyOutcome {
+	GemmInto32Fast(c, a, b)
+	return VerifyGemm32(c, a, b)
+}
+
+// VerifyMatMulTransB checks and repairs an already-computed C = A×Bᵀ
+// (float64, b stored [n, k]).
+func VerifyMatMulTransB(c, a, b *T) VerifyOutcome {
+	m, k := a.Shape[0], a.Shape[1]
+	n := b.Shape[0]
+	if b.Shape[1] != k || c.Shape[0] != m || c.Shape[1] != n {
+		panic("tensor: VerifyMatMulTransB shape mismatch")
+	}
+	injectF64(c.Data)
+	return verifyGemmRowsTransB(c.Data, a.Data, b.Data, m, k, n, abftEps64, abftEta64, abftLim64)
+}
+
+// VerifyMatMulTransB32 is VerifyMatMulTransB for float32 tensors.
+func VerifyMatMulTransB32(c, a, b *T32) VerifyOutcome {
+	m, k := a.Shape[0], a.Shape[1]
+	n := b.Shape[0]
+	if b.Shape[1] != k || c.Shape[0] != m || c.Shape[1] != n {
+		panic("tensor: VerifyMatMulTransB32 shape mismatch")
+	}
+	injectF32(c.Data)
+	return verifyGemmRowsTransB(c.Data, a.Data, b.Data, m, k, n, abftEps32, abftEta32, abftLim32)
+}
+
+// MatMulTransBIntoVerified computes C = A×Bᵀ like MatMulTransBInto, then
+// verifies and repairs it.
+func MatMulTransBIntoVerified(c, a, b *T) VerifyOutcome {
+	MatMulTransBInto(c, a, b)
+	return VerifyMatMulTransB(c, a, b)
+}
+
+// MatMulTransBInto32Verified computes C = A×Bᵀ like MatMulTransBInto32,
+// then verifies and repairs it.
+func MatMulTransBInto32Verified(c, a, b *T32) VerifyOutcome {
+	MatMulTransBInto32(c, a, b)
+	return VerifyMatMulTransB32(c, a, b)
+}
+
+// VerifyMatVec checks and repairs y = W·x + bias (W is m×k row-major, bias
+// may be nil), the hand-rolled float64 Dense inference kernel: y[o] starts
+// at bias[o] and accumulates W[o][p]·x[p] in ascending p — re-execution
+// reproduces that exact chain. The whole product is one checksum.
+func VerifyMatVec(y, w, x, bias []float64, m, k int) VerifyOutcome {
+	injectF64(y[:m])
+	o := VerifyOutcome{Checks: 1}
+	if m == 0 || k == 0 {
+		return o
+	}
+	sc := abftPool.Get().(*abftScratch)
+	defer abftPool.Put(sc)
+	var pred float64
+	wSum := growScratch(&sc.f64, k)
+	copy(wSum, w[:k])
+	for i := 1; i < m; i++ {
+		row := w[i*k : (i+1)*k]
+		for p, v := range row {
+			wSum[p] += v
+		}
+	}
+	for p, v := range x[:k] {
+		pred += wSum[p] * v
+	}
+	for _, b := range bias {
+		pred += b
+	}
+	act, actAbs := 0.0, 0.0
+	for _, v := range y[:m] {
+		act += v
+		actAbs += math.Abs(v)
+	}
+	d := pred - act
+	if d < 0 {
+		d = -d
+	}
+	if abftProxyPass(d, actAbs, k, m, abftEps64, abftEta64) {
+		return o
+	}
+	// Slow tier: rebuild the exact |W|·|x| + |bias| envelope and re-judge.
+	var bnd float64
+	wAbs := growScratch(&sc.f64b, k)
+	for p := range wAbs {
+		wAbs[p] = 0
+	}
+	for i := 0; i < m; i++ {
+		row := w[i*k : (i+1)*k]
+		for p, v := range row {
+			wAbs[p] += math.Abs(v)
+		}
+	}
+	for p, v := range x[:k] {
+		bnd += wAbs[p] * math.Abs(v)
+	}
+	for _, b := range bias {
+		bnd += math.Abs(b)
+	}
+	tol := abftColTol(bnd, k, m, abftEps64, abftEta64, abftTol)
+	if !abftMismatch(pred, act, tol, bnd, abftLim64) {
+		return o
+	}
+	o.Detected++
+	for r := 0; r < abftMaxRetries; r++ {
+		callAbftRetryHook(r)
+		for i := 0; i < m; i++ {
+			var s float64
+			if bias != nil {
+				s = bias[i]
+			}
+			row := w[i*k : (i+1)*k]
+			for p, v := range row {
+				s += v * x[p]
+			}
+			y[i] = s
+		}
+		act = 0
+		for _, v := range y[:m] {
+			act += v
+		}
+		if !abftMismatch(pred, act, tol, bnd, abftLim64) {
+			o.Corrected++
+			return o
+		}
+	}
+	o.Uncorrectable++
+	return o
+}
+
+// VerifyGemmU8 checks and repairs an already-computed uint8 product
+// (c, colsum as produced by GemmU8Into). The int32 accumulators are exact,
+// so the int64-carried checksum must match exactly — any difference is a
+// fault. Both the accumulators and the column sums are covered.
+func VerifyGemmU8(c, colsum []int32, a, b []uint8, m, k, n int) VerifyOutcome {
+	injectI32(c[:m*n], colsum[:n])
+	// When every clean intermediate fits in int32 (m·k·255² bounds both the
+	// prediction and the accumulator sum), the checksum arithmetic runs in
+	// the same width the kernel accumulates in, roughly halving the
+	// epilogue. A corrupted accumulator can wrap the int32 measurement sum,
+	// but a single flipped bit changes the sum by ±2^bit ≠ 0 (mod 2³²), so
+	// wrapping never masks a detection.
+	if int64(m)*int64(k)*255*255 <= math.MaxInt32 {
+		return verifyGemmU8Cols[int32](c, colsum, a, b, m, k, n)
+	}
+	return verifyGemmU8Cols[int64](c, colsum, a, b, m, k, n)
+}
+
+func verifyGemmU8Cols[I int32 | int64](c, colsum []int32, a, b []uint8, m, k, n int) VerifyOutcome {
+	o := VerifyOutcome{Checks: n}
+	if m == 0 || k == 0 || n == 0 {
+		return o
+	}
+	sc := abftPool.Get().(*abftScratch)
+	defer abftPool.Put(sc)
+	buf := abftIntBuf[I](sc, 3*n+k)
+	pred, csRef, act := buf[:n], buf[n:2*n], buf[2*n:3*n]
+	aSum := buf[3*n : 3*n+k]
+	{
+		row := a[:k]
+		for p, v := range row {
+			aSum[p] = I(v)
+		}
+	}
+	for i := 1; i < m; i++ {
+		row := a[i*k : (i+1)*k]
+		for p, v := range row {
+			aSum[p] += I(v)
+		}
+	}
+	{
+		s := aSum[0]
+		row := b[:n]
+		for j, v := range row {
+			pred[j] = s * I(v)
+			csRef[j] = I(v)
+		}
+	}
+	if pred32, ok := any(pred).([]int32); ok {
+		csRef32 := any(csRef).([]int32)
+		for p := 1; p < k; p++ {
+			predRowU8(pred32, csRef32, b[p*n:(p+1)*n], int32(aSum[p]))
+		}
+	} else {
+		for p := 1; p < k; p++ {
+			s := aSum[p]
+			row := b[p*n : (p+1)*n]
+			for j, v := range row {
+				pred[j] += s * I(v)
+				csRef[j] += I(v)
+			}
+		}
+	}
+	if act32, ok := any(act).([]int32); ok {
+		copy(act32, c[:n])
+		for i := 1; i < m; i++ {
+			sumRowI32(act32, c[i*n:(i+1)*n])
+		}
+	} else {
+		for j, v := range c[:n] {
+			act[j] = I(v)
+		}
+		for i := 1; i < m; i++ {
+			row := c[i*n : (i+1)*n]
+			for j, v := range row {
+				act[j] += I(v)
+			}
+		}
+	}
+	for j := 0; j < n; j++ {
+		if act[j] == pred[j] && I(colsum[j]) == csRef[j] {
+			continue
+		}
+		o.Detected++
+		ok := false
+		for r := 0; r < abftMaxRetries; r++ {
+			callAbftRetryHook(r)
+			gemmU8Col(c, a, b, k, n, 0, m, j)
+			// k ≤ MaxQuantK keeps Σ_p b[p][j] ≤ k·255 far below 2³¹, so the
+			// reference value is the exact int32 the kernel computes.
+			colsum[j] = int32(csRef[j])
+			var s I
+			for i := 0; i < m; i++ {
+				s += I(c[i*n+j])
+			}
+			if s == pred[j] {
+				ok = true
+				break
+			}
+		}
+		if ok {
+			o.Corrected++
+		} else {
+			o.Uncorrectable++
+		}
+	}
+	return o
+}
+
+// GemmU8IntoVerified computes the uint8 product like GemmU8Into, then
+// verifies and repairs it.
+func GemmU8IntoVerified(c, colsum []int32, a, b []uint8, m, k, n int) VerifyOutcome {
+	GemmU8Into(c, colsum, a, b, m, k, n)
+	return VerifyGemmU8(c, colsum, a, b, m, k, n)
+}
+
+// directConvChannel re-executes one (image, output-channel) plane of a
+// 3×3/stride-1/pad-1 convolution directly from the image — the repair path
+// of the Winograd check, where no lowered column matrix exists.
+func directConvChannel[F Float](out, img, wrow []F, bias F, g ConvGeom) {
+	h, w := g.InH, g.InW
+	hw := h * w
+	for oy := 0; oy < h; oy++ {
+		for ox := 0; ox < w; ox++ {
+			acc := bias
+			for c := 0; c < g.InC; c++ {
+				for kh := 0; kh < 3; kh++ {
+					iy := oy + kh - 1
+					if iy < 0 || iy >= h {
+						continue
+					}
+					for kw := 0; kw < 3; kw++ {
+						ix := ox + kw - 1
+						if ix < 0 || ix >= w {
+							continue
+						}
+						acc += wrow[c*9+kh*3+kw] * img[c*hw+iy*w+ix]
+					}
+				}
+			}
+			out[oy*w+ox] = acc
+		}
+	}
+}
+
+// verifyWino checks (and repairs) the output of a Winograd 3×3 convolution
+// per (image, output channel) row. The implicit im2col row sums — what the
+// column matrix would sum to, had it been materialized — are reconstructed
+// directly from the image: for stride 1 / pad 1 each (c, kh, kw) row covers
+// a rectangle of channel c missing at most one border row and one border
+// column, so per-channel row/column/total sums give every rectangle in
+// O(1).
+func verifyWino[F Float](dd, sd []F, bsz, outC int, wd []F, bias []F, g ConvGeom, eps, eta, lim float64) VerifyOutcome {
+	inC, h, w := g.InC, g.InH, g.InW
+	hw := h * w
+	k := inC * 9
+	o := VerifyOutcome{Checks: bsz * outC}
+	rs := make([]float64, k)
+	ra := make([]float64, k)
+	rowS := make([]float64, h)
+	rowA := make([]float64, h)
+	colS := make([]float64, w)
+	colA := make([]float64, w)
+	for b := 0; b < bsz; b++ {
+		img := sd[b*inC*hw : (b+1)*inC*hw]
+		for c := 0; c < inC; c++ {
+			ch := img[c*hw : (c+1)*hw]
+			for x := 0; x < w; x++ {
+				colS[x], colA[x] = 0, 0
+			}
+			var tot, totA float64
+			for y := 0; y < h; y++ {
+				var s, ab float64
+				row := ch[y*w : (y+1)*w]
+				for x, v := range row {
+					fv := float64(v)
+					av := math.Abs(fv)
+					s += fv
+					ab += av
+					colS[x] += fv
+					colA[x] += av
+				}
+				rowS[y], rowA[y] = s, ab
+				tot += s
+				totA += ab
+			}
+			for kh := 0; kh < 3; kh++ {
+				er := -1
+				if kh == 0 {
+					er = h - 1
+				} else if kh == 2 {
+					er = 0
+				}
+				for kw := 0; kw < 3; kw++ {
+					ec := -1
+					if kw == 0 {
+						ec = w - 1
+					} else if kw == 2 {
+						ec = 0
+					}
+					s, ab := tot, totA
+					if er >= 0 {
+						s -= rowS[er]
+						ab -= rowA[er]
+					}
+					if ec >= 0 {
+						s -= colS[ec]
+						ab -= colA[ec]
+					}
+					if er >= 0 && ec >= 0 {
+						v := float64(ch[er*w+ec])
+						s += v
+						ab += math.Abs(v)
+					}
+					if ab < 0 {
+						ab = 0 // rounding of the exclusion arithmetic
+					}
+					rs[c*9+kh*3+kw] = s
+					ra[c*9+kh*3+kw] = ab
+				}
+			}
+		}
+		for oc := 0; oc < outC; oc++ {
+			wrow := wd[oc*k : (oc+1)*k]
+			var pred, bnd float64
+			for p, wv := range wrow {
+				fw := float64(wv)
+				pred += fw * rs[p]
+				bnd += math.Abs(fw) * ra[p]
+			}
+			fb := float64(bias[oc])
+			pred += float64(hw) * fb
+			bnd += float64(hw) * math.Abs(fb)
+			row := dd[b*outC*hw+oc*hw:][:hw]
+			var act float64
+			for _, v := range row {
+				act += float64(v)
+			}
+			tol := abftColTol(bnd, k, hw, eps, eta, abftTolWino)
+			if !abftMismatch(pred, act, tol, bnd, lim) {
+				continue
+			}
+			o.Detected++
+			ok := false
+			for r := 0; r < abftMaxRetries; r++ {
+				callAbftRetryHook(r)
+				directConvChannel(row, img, wrow, bias[oc], g)
+				var s float64
+				for _, v := range row {
+					s += float64(v)
+				}
+				if !abftMismatch(pred, s, tol, bnd, lim) {
+					ok = true
+					break
+				}
+			}
+			if ok {
+				o.Corrected++
+			} else {
+				o.Uncorrectable++
+			}
+		}
+	}
+	return o
+}
+
+// VerifyWinogradConv checks and repairs the output of WinogradConv3x3
+// (dst image-major [bsz, OutC·H·W], bias already added). A repaired plane
+// is re-executed with the direct convolution, whose values differ from the
+// Winograd transform's within float rounding.
+func VerifyWinogradConv(dst, src *T, bsz, outC int, weight *T, bias []float64, g ConvGeom) VerifyOutcome {
+	injectF64(dst.Data[:bsz*outC*g.InH*g.InW])
+	return verifyWino(dst.Data, src.Data, bsz, outC, weight.Data, bias, g, abftEps64, abftEta64, abftLim64)
+}
+
+// VerifyWinogradConv32 is VerifyWinogradConv for the float32 backend.
+func VerifyWinogradConv32(dst, src *T32, bsz, outC int, weight *T32, bias []float32, g ConvGeom) VerifyOutcome {
+	injectF32(dst.Data[:bsz*outC*g.InH*g.InW])
+	return verifyWino(dst.Data, src.Data, bsz, outC, weight.Data, bias, g, abftEps32, abftEta32, abftLim32)
+}

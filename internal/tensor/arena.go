@@ -14,7 +14,20 @@ type Arena struct {
 	free map[int][]*T
 	// used tracks tensors handed out since the last Reset.
 	used []*T
+	// abft, when non-nil, asks kernels drawing scratch from this arena to
+	// checksum-verify their outputs and record outcomes here (DESIGN.md
+	// §10). Riding on the arena keeps verification a per-call property —
+	// the arena is already the one object every inference path threads
+	// through per worker — without widening every forwarder signature.
+	abft *AbftStats
 }
+
+// SetAbft enables (non-nil) or disables (nil) checksum verification for
+// kernels running against this arena, directing outcomes to s.
+func (a *Arena) SetAbft(s *AbftStats) { a.abft = s }
+
+// Abft returns the verification sink, or nil when verification is off.
+func (a *Arena) Abft() *AbftStats { return a.abft }
 
 // NewArena returns an empty arena.
 func NewArena() *Arena {

@@ -136,7 +136,17 @@ type Arena32 struct {
 	used  []*T32
 	bytes rawPool[uint8]
 	ints  rawPool[int32]
+	// abft mirrors Arena.abft: a non-nil sink asks the reduced-precision
+	// kernels to checksum-verify their outputs (DESIGN.md §10).
+	abft *AbftStats
 }
+
+// SetAbft enables (non-nil) or disables (nil) checksum verification for
+// kernels running against this arena, directing outcomes to s.
+func (a *Arena32) SetAbft(s *AbftStats) { a.abft = s }
+
+// Abft returns the verification sink, or nil when verification is off.
+func (a *Arena32) Abft() *AbftStats { return a.abft }
 
 // NewArena32 returns an empty arena.
 func NewArena32() *Arena32 {

@@ -70,6 +70,63 @@ func dequantRowAVX(dst *float32, c *int32, cs *int32, n int, corr int32, scale f
 //go:noescape
 func addBiasRowAVX(dst *float32, src *float32, n int, bias float32)
 
+// axpyRowF32AVX computes dst[i] += alpha·src[i] for i in [0, n); n must be
+// a multiple of 8. The ABFT float32 checksum prediction pass.
+//
+//go:noescape
+func axpyRowF32AVX(dst *float32, src *float32, n int, alpha float32)
+
+// axpyRowF64AVX computes dst[i] += alpha·src[i] for i in [0, n); n must be
+// a multiple of 4.
+//
+//go:noescape
+func axpyRowF64AVX(dst *float64, src *float64, n int, alpha float64)
+
+// sumAbsRowF32AVX computes sum[i] += row[i] and sumAbs[i] += |row[i]| for
+// i in [0, n); n must be a multiple of 8. The ABFT measurement pass.
+//
+//go:noescape
+func sumAbsRowF32AVX(sum *float32, sumAbs *float32, row *float32, n int)
+
+// sumAbsRowF64AVX is the float64 variant of sumAbsRowF32AVX; n must be a
+// multiple of 4.
+//
+//go:noescape
+func sumAbsRowF64AVX(sum *float64, sumAbs *float64, row *float64, n int)
+
+// predRowU8AVX computes pred[j] += s·b[j] and csRef[j] += b[j] for j in
+// [0, n); n must be a multiple of 8. Identical int32 wraparound arithmetic
+// to the scalar loop.
+//
+//go:noescape
+func predRowU8AVX(pred *int32, csRef *int32, b *uint8, n int, s int32)
+
+// sumRowI32AVX computes acc[i] += row[i] (int32 wraparound) for i in
+// [0, n); n must be a multiple of 8.
+//
+//go:noescape
+func sumRowI32AVX(acc *int32, row *int32, n int)
+
+// scaleSetRowF32AVX computes dst[i] = alpha·src[i] for i in [0, n); n must
+// be a multiple of 8. Seeds the ABFT prediction buffer without a zero pass.
+//
+//go:noescape
+func scaleSetRowF32AVX(dst *float32, src *float32, n int, alpha float32)
+
+// setAbsRowF32AVX computes sum[i] = row[i] and sumAbs[i] = |row[i]| for i
+// in [0, n); n must be a multiple of 8.
+//
+//go:noescape
+func setAbsRowF32AVX(sum *float32, sumAbs *float32, row *float32, n int)
+
+// proxyScanF32AVX scans the ABFT fast tier from column start to n (both
+// multiples of 8) and returns the first index whose 8-lane block holds a
+// column with |pred[j]−act[j]| > scale·actAbs[j]+floor (or a non-finite
+// tolerance), or n when all remaining lanes pass.
+//
+//go:noescape
+func proxyScanF32AVX(pred *float32, act *float32, actAbs *float32, start int, n int, scale float32, floor float32) int
+
 // simdAvailable reports hardware+OS support for the AVX2/FMA kernels.
 var simdAvailable = detectAVX2FMA()
 

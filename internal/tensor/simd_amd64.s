@@ -446,3 +446,254 @@ ab_loop:
 	JNZ     ab_loop
 	VZEROUPPER
 	RET
+
+// func axpyRowF32AVX(dst *float32, src *float32, n int, alpha float32)
+//
+// dst[i] += alpha·src[i], n a multiple of 8 — the float32 ABFT checksum
+// prediction pass. FMA reassociates nothing here (one product per element);
+// the fused rounding only tightens the checksum.
+TEXT ·axpyRowF32AVX(SB), NOSPLIT, $0-28
+	MOVQ dst+0(FP), R9
+	MOVQ src+8(FP), SI
+	MOVQ n+16(FP), CX
+	VBROADCASTSS alpha+24(FP), Y4
+
+axf32_loop:
+	VMOVUPS     (SI), Y0
+	VMOVUPS     (R9), Y1
+	VFMADD231PS Y4, Y0, Y1
+	VMOVUPS     Y1, (R9)
+	ADDQ        $32, SI
+	ADDQ        $32, R9
+	SUBQ        $8, CX
+	JNZ         axf32_loop
+	VZEROUPPER
+	RET
+
+// func axpyRowF64AVX(dst *float64, src *float64, n int, alpha float64)
+//
+// dst[i] += alpha·src[i], n a multiple of 4 — float64 variant.
+TEXT ·axpyRowF64AVX(SB), NOSPLIT, $0-32
+	MOVQ dst+0(FP), R9
+	MOVQ src+8(FP), SI
+	MOVQ n+16(FP), CX
+	VBROADCASTSD alpha+24(FP), Y4
+
+axf64_loop:
+	VMOVUPD     (SI), Y0
+	VMOVUPD     (R9), Y1
+	VFMADD231PD Y4, Y0, Y1
+	VMOVUPD     Y1, (R9)
+	ADDQ        $32, SI
+	ADDQ        $32, R9
+	SUBQ        $4, CX
+	JNZ         axf64_loop
+	VZEROUPPER
+	RET
+
+// func sumAbsRowF32AVX(sum *float32, sumAbs *float32, row *float32, n int)
+//
+// sum[i] += row[i]; sumAbs[i] += |row[i]| (sign-bit mask), n a multiple of
+// 8 — the ABFT measurement pass. NaN propagates into both accumulators.
+TEXT ·sumAbsRowF32AVX(SB), NOSPLIT, $0-32
+	MOVQ sum+0(FP), R9
+	MOVQ sumAbs+8(FP), DX
+	MOVQ row+16(FP), SI
+	MOVQ n+24(FP), CX
+	MOVL $0x7FFFFFFF, AX
+	VMOVD AX, X5
+	VPBROADCASTD X5, Y5
+
+saf32_loop:
+	VMOVUPS (SI), Y0
+	VMOVUPS (R9), Y1
+	VADDPS  Y0, Y1, Y1
+	VMOVUPS Y1, (R9)
+	VANDPS  Y5, Y0, Y0
+	VMOVUPS (DX), Y2
+	VADDPS  Y0, Y2, Y2
+	VMOVUPS Y2, (DX)
+	ADDQ    $32, SI
+	ADDQ    $32, R9
+	ADDQ    $32, DX
+	SUBQ    $8, CX
+	JNZ     saf32_loop
+	VZEROUPPER
+	RET
+
+// func sumAbsRowF64AVX(sum *float64, sumAbs *float64, row *float64, n int)
+//
+// float64 variant of sumAbsRowF32AVX, n a multiple of 4.
+TEXT ·sumAbsRowF64AVX(SB), NOSPLIT, $0-32
+	MOVQ sum+0(FP), R9
+	MOVQ sumAbs+8(FP), DX
+	MOVQ row+16(FP), SI
+	MOVQ n+24(FP), CX
+	MOVQ $0x7FFFFFFFFFFFFFFF, AX
+	VMOVQ AX, X5
+	VPBROADCASTQ X5, Y5
+
+saf64_loop:
+	VMOVUPD (SI), Y0
+	VMOVUPD (R9), Y1
+	VADDPD  Y0, Y1, Y1
+	VMOVUPD Y1, (R9)
+	VANDPD  Y5, Y0, Y0
+	VMOVUPD (DX), Y2
+	VADDPD  Y0, Y2, Y2
+	VMOVUPD Y2, (DX)
+	ADDQ    $32, SI
+	ADDQ    $32, R9
+	ADDQ    $32, DX
+	SUBQ    $4, CX
+	JNZ     saf64_loop
+	VZEROUPPER
+	RET
+
+// func predRowU8AVX(pred *int32, csRef *int32, b *uint8, n int, s int32)
+//
+// pred[j] += s·b[j]; csRef[j] += b[j], n a multiple of 8 — the int32 ABFT
+// prediction pass over one uint8 B row. VPMULLD keeps the low 32 product
+// bits, exactly the scalar int32 multiply, so the path is bit-equivalent
+// to the pure-Go loop even when a corrupted operand wraps.
+TEXT ·predRowU8AVX(SB), NOSPLIT, $0-36
+	MOVQ pred+0(FP), R9
+	MOVQ csRef+8(FP), DX
+	MOVQ b+16(FP), SI
+	MOVQ n+24(FP), CX
+	MOVL s+32(FP), AX
+	VMOVD AX, X5
+	VPBROADCASTD X5, Y5
+
+pru8_loop:
+	VPMOVZXBD (SI), Y0
+	VMOVDQU   (DX), Y2
+	VPADDD    Y0, Y2, Y2
+	VMOVDQU   Y2, (DX)
+	VPMULLD   Y5, Y0, Y0
+	VMOVDQU   (R9), Y1
+	VPADDD    Y0, Y1, Y1
+	VMOVDQU   Y1, (R9)
+	ADDQ      $8, SI
+	ADDQ      $32, R9
+	ADDQ      $32, DX
+	SUBQ      $8, CX
+	JNZ       pru8_loop
+	VZEROUPPER
+	RET
+
+// func sumRowI32AVX(acc *int32, row *int32, n int)
+//
+// acc[i] += row[i] with int32 wraparound, n a multiple of 8 — the int32
+// ABFT measurement pass.
+TEXT ·sumRowI32AVX(SB), NOSPLIT, $0-24
+	MOVQ acc+0(FP), R9
+	MOVQ row+8(FP), SI
+	MOVQ n+16(FP), CX
+
+sri32_loop:
+	VMOVDQU (SI), Y0
+	VMOVDQU (R9), Y1
+	VPADDD  Y0, Y1, Y1
+	VMOVDQU Y1, (R9)
+	ADDQ    $32, SI
+	ADDQ    $32, R9
+	SUBQ    $8, CX
+	JNZ     sri32_loop
+	VZEROUPPER
+	RET
+
+// func scaleSetRowF32AVX(dst *float32, src *float32, n int, alpha float32)
+//
+// dst[i] = alpha·src[i], n a multiple of 8 — seeds the ABFT prediction
+// buffer from the first B row so the pooled scratch never needs zeroing.
+TEXT ·scaleSetRowF32AVX(SB), NOSPLIT, $0-28
+	MOVQ dst+0(FP), R9
+	MOVQ src+8(FP), SI
+	MOVQ n+16(FP), CX
+	VBROADCASTSS alpha+24(FP), Y4
+
+ssf32_loop:
+	VMOVUPS (SI), Y0
+	VMULPS  Y4, Y0, Y0
+	VMOVUPS Y0, (R9)
+	ADDQ    $32, SI
+	ADDQ    $32, R9
+	SUBQ    $8, CX
+	JNZ     ssf32_loop
+	VZEROUPPER
+	RET
+
+// func setAbsRowF32AVX(sum *float32, sumAbs *float32, row *float32, n int)
+//
+// sum[i] = row[i]; sumAbs[i] = |row[i]|, n a multiple of 8 — seeds the
+// ABFT measurement buffers from the first C row.
+TEXT ·setAbsRowF32AVX(SB), NOSPLIT, $0-32
+	MOVQ sum+0(FP), R9
+	MOVQ sumAbs+8(FP), DX
+	MOVQ row+16(FP), SI
+	MOVQ n+24(FP), CX
+	MOVL $0x7FFFFFFF, AX
+	VMOVD AX, X5
+	VPBROADCASTD X5, Y5
+
+sab32_loop:
+	VMOVUPS (SI), Y0
+	VMOVUPS Y0, (R9)
+	VANDPS  Y5, Y0, Y1
+	VMOVUPS Y1, (DX)
+	ADDQ    $32, SI
+	ADDQ    $32, R9
+	ADDQ    $32, DX
+	SUBQ    $8, CX
+	JNZ     sab32_loop
+	VZEROUPPER
+	RET
+
+// func proxyScanF32AVX(pred *float32, act *float32, actAbs *float32, start int, n int, scale float32, floor float32) int
+//
+// Scans the fast verification tier eight columns at a time from index
+// start (a multiple of 8) to n (a multiple of 8): a lane passes when
+// |pred−act| ≤ scale·actAbs + floor and that tolerance is finite. Returns
+// the first index whose 8-lane block contains a failing lane (the caller
+// re-judges those columns exactly), or n when every remaining lane passes.
+// The LE_OQ predicate is false on NaN in either operand, so non-finite
+// data always fails a lane rather than passing it.
+TEXT ·proxyScanF32AVX(SB), NOSPLIT, $0-56
+	MOVQ pred+0(FP), DI
+	MOVQ act+8(FP), SI
+	MOVQ actAbs+16(FP), DX
+	MOVQ start+24(FP), CX
+	MOVQ n+32(FP), BX
+	VBROADCASTSS scale+40(FP), Y1
+	VBROADCASTSS floor+44(FP), Y2
+	MOVL $0x7FFFFFFF, AX
+	VMOVD AX, X5
+	VPBROADCASTD X5, Y3 // |x| mask
+	MOVL $0x7F7FFFFF, AX
+	VMOVD AX, X5
+	VPBROADCASTD X5, Y4 // MaxFloat32
+	CMPQ CX, BX
+	JGE  pscan_done
+
+pscan_loop:
+	VMOVUPS   (DI)(CX*4), Y5
+	VSUBPS    (SI)(CX*4), Y5, Y5
+	VANDPS    Y3, Y5, Y5 // d = |pred − act|
+	VMOVUPS   (DX)(CX*4), Y6
+	VMULPS    Y1, Y6, Y6
+	VADDPS    Y2, Y6, Y6 // t = scale·actAbs + floor
+	VCMPPS    $0x12, Y6, Y5, Y7 // d ≤ t (LE_OQ)
+	VCMPPS    $0x12, Y4, Y6, Y8 // t ≤ MaxFloat32
+	VANDPS    Y8, Y7, Y7
+	VMOVMSKPS Y7, AX
+	CMPL      AX, $0xFF
+	JNE       pscan_done
+	ADDQ      $8, CX
+	CMPQ      CX, BX
+	JLT       pscan_loop
+
+pscan_done:
+	MOVQ CX, ret+48(FP)
+	VZEROUPPER
+	RET

@@ -33,3 +33,39 @@ func dequantRowAVX(dst *float32, c *int32, cs *int32, n int, corr int32, scale f
 func addBiasRowAVX(dst *float32, src *float32, n int, bias float32) {
 	panic("tensor: SIMD kernel called on non-amd64 target")
 }
+
+func axpyRowF32AVX(dst *float32, src *float32, n int, alpha float32) {
+	panic("tensor: SIMD kernel called on non-amd64 target")
+}
+
+func axpyRowF64AVX(dst *float64, src *float64, n int, alpha float64) {
+	panic("tensor: SIMD kernel called on non-amd64 target")
+}
+
+func sumAbsRowF32AVX(sum *float32, sumAbs *float32, row *float32, n int) {
+	panic("tensor: SIMD kernel called on non-amd64 target")
+}
+
+func sumAbsRowF64AVX(sum *float64, sumAbs *float64, row *float64, n int) {
+	panic("tensor: SIMD kernel called on non-amd64 target")
+}
+
+func predRowU8AVX(pred *int32, csRef *int32, b *uint8, n int, s int32) {
+	panic("tensor: SIMD kernel called on non-amd64 target")
+}
+
+func sumRowI32AVX(acc *int32, row *int32, n int) {
+	panic("tensor: SIMD kernel called on non-amd64 target")
+}
+
+func scaleSetRowF32AVX(dst *float32, src *float32, n int, alpha float32) {
+	panic("tensor: SIMD kernel called on non-amd64 target")
+}
+
+func setAbsRowF32AVX(sum *float32, sumAbs *float32, row *float32, n int) {
+	panic("tensor: SIMD kernel called on non-amd64 target")
+}
+
+func proxyScanF32AVX(pred *float32, act *float32, actAbs *float32, start int, n int, scale float32, floor float32) int {
+	panic("tensor: SIMD kernel called on non-amd64 target")
+}

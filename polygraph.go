@@ -112,6 +112,15 @@ type Options struct {
 	// fast path runs quantized and the rare escalation stages re-check at
 	// full precision.
 	LateBackend string
+	// Verified enables ABFT checksum verification of every member's
+	// inference kernels (DESIGN.md §10): conv and dense matrix products are
+	// checked against row/column checksums in the kernel epilogue, detected
+	// faults are re-executed, and a member whose fault could not be
+	// corrected abstains from voting. Clean-run results are bit-identical
+	// to unverified execution; overhead is a few percent at serving batch
+	// sizes (measured in internal/perf/BENCH_abft.json). Counters are
+	// exposed via System.AbftCounts and the serving /metrics registry.
+	Verified bool
 	// Parallel enables concurrent member evaluation inside Classify: member
 	// forward passes fan out across a bounded worker pool, with staged
 	// activation preserved through speculative stages that are cancelled
@@ -280,6 +289,9 @@ func Build(benchmark string, opts Options) (*System, error) {
 			return nil, fmt.Errorf("polygraph: preparing backends: %w", err)
 		}
 	}
+	if opts.Verified {
+		sys.PrepareVerified(true)
+	}
 	if opts.Cache != nil {
 		// Attach last, once the configuration is final: the key fingerprint
 		// covers thresholds, staging, member set and the per-member backend
@@ -418,6 +430,30 @@ func (s *System) CacheStats() CacheStats {
 		Expired:   st.Expired,
 		Entries:   st.Entries,
 		Bytes:     st.Bytes,
+	}
+}
+
+// AbftCounts is a snapshot of the ABFT verification counters (zero unless
+// Options.Verified was set): checksum comparisons, detected mismatches,
+// and their corrected/uncorrectable resolutions.
+type AbftCounts struct {
+	Checks        uint64
+	Detected      uint64
+	Corrected     uint64
+	Uncorrectable uint64
+}
+
+// Verified reports whether ABFT checksum verification is enabled.
+func (s *System) Verified() bool { return s.sys.Verified() }
+
+// AbftCounts snapshots the cumulative verification counters.
+func (s *System) AbftCounts() AbftCounts {
+	c := s.sys.AbftCounts()
+	return AbftCounts{
+		Checks:        c.Checks,
+		Detected:      c.Detected,
+		Corrected:     c.Corrected,
+		Uncorrectable: c.Uncorrectable,
 	}
 }
 
