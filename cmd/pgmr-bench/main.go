@@ -44,6 +44,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	verified := fs.Bool("verified", false, "enable ABFT checksum verification in throughput experiments")
 	cacheMB := fs.Int("cache-mb", 64, "ext-caching: prediction-cache budget in MiB")
 	cacheTTL := fs.Duration("cache-ttl", 0, "ext-caching: cache entry TTL (0 = entries never expire)")
+	cacheDir := fs.String("cache-dir", "", "ext-caching2: persistent L2 cache directory (empty = run-scoped temp dir)")
 	zipfS := fs.Float64("zipf", 1.1, "ext-caching: Zipf skew exponent of the duplicate workload (> 1)")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: pgmr-bench [-list] [-quiet] [-csv DIR] [-json FILE] <experiment-id>... | all\n")
@@ -102,6 +103,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	ctx.Verified = *verified
 	ctx.CacheMB = *cacheMB
 	ctx.CacheTTL = *cacheTTL
+	ctx.CacheDir = *cacheDir
 	ctx.ZipfS = *zipfS
 	if !*quiet {
 		ctx.Zoo.Progress = func(f string, a ...any) {

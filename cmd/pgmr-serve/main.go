@@ -7,6 +7,7 @@
 //	pgmr-serve -benchmark convnet -addr :8080
 //	pgmr-serve -benchmark convnet -batch-window 2ms -max-batch 32 -queue 512
 //	pgmr-serve -benchmark convnet -cache-mb 64 -cache-ttl 10m
+//	pgmr-serve -benchmark convnet -cache-mb 64 -cache-dir /var/lib/pgmr/cache -cache-disk-mb 512
 //	pgmr-serve -benchmark convnet -backend int8 -late-backend f64
 //	pgmr-serve -benchmark convnet -loadtest -clients 16 -requests 500
 //
@@ -50,6 +51,8 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long graceful shutdown waits for in-flight requests")
 	cacheMB := flag.Int("cache-mb", 0, "prediction-cache budget in MiB (0 = caching off)")
 	cacheTTL := flag.Duration("cache-ttl", 0, "prediction-cache entry TTL (0 = entries never expire)")
+	cacheDir := flag.String("cache-dir", "", "persistent L2 cache directory (survives restarts; requires -cache-mb)")
+	cacheDiskMB := flag.Int("cache-disk-mb", 0, "L2 disk-tier budget in MiB (0 = 256 MiB default; requires -cache-dir)")
 	verified := flag.Bool("verified", false, "enable ABFT checksum verification of member inference kernels")
 	quiet := flag.Bool("quiet", false, "suppress training progress output")
 
@@ -64,8 +67,18 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if *cacheMB < 0 || *cacheTTL < 0 {
-		fmt.Fprintln(os.Stderr, "pgmr-serve: -cache-mb and -cache-ttl must be >= 0")
+	if *cacheMB < 0 || *cacheTTL < 0 || *cacheDiskMB < 0 {
+		fmt.Fprintln(os.Stderr, "pgmr-serve: -cache-mb, -cache-ttl and -cache-disk-mb must be >= 0")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if (*cacheDir != "" || *cacheDiskMB > 0) && *cacheMB == 0 {
+		fmt.Fprintln(os.Stderr, "pgmr-serve: -cache-dir/-cache-disk-mb require -cache-mb > 0")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *cacheDiskMB > 0 && *cacheDir == "" {
+		fmt.Fprintln(os.Stderr, "pgmr-serve: -cache-disk-mb requires -cache-dir")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -87,7 +100,12 @@ func main() {
 		Progress:      func(f string, a ...any) { fmt.Fprintf(os.Stderr, "# "+f+"\n", a...) },
 	}
 	if *cacheMB > 0 {
-		opts.Cache = &polygraph.CacheOptions{MaxBytes: int64(*cacheMB) << 20, TTL: *cacheTTL}
+		opts.Cache = &polygraph.CacheOptions{
+			MaxBytes:     int64(*cacheMB) << 20,
+			TTL:          *cacheTTL,
+			Dir:          *cacheDir,
+			DiskMaxBytes: int64(*cacheDiskMB) << 20,
+		}
 	}
 	sys, err := polygraph.Build(*benchmark, opts)
 	if err != nil {
@@ -112,6 +130,9 @@ func main() {
 
 	if *loadtest {
 		runLoadtest(srv, metrics, *benchmark, *pool, *clients, *requests, *perRequest)
+		if err := sys.Close(); err != nil {
+			fatalf("closing cache: %v", err)
+		}
 		return
 	}
 
@@ -143,6 +164,10 @@ func main() {
 	}
 	if err := srv.Drain(ctx); err != nil {
 		fatalf("drain: %v", err)
+	}
+	// Flush the write-behind tail so the next process restarts warm.
+	if err := sys.Close(); err != nil {
+		fatalf("closing cache: %v", err)
 	}
 	fmt.Fprintln(os.Stderr, "# drained cleanly")
 }

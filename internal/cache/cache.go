@@ -41,6 +41,16 @@ type Stats struct {
 	Expired   uint64
 	Entries   int
 	Bytes     int64
+	// PerShard breaks the occupancy down by lock shard, in shard-index
+	// order — the load-balance view (a hot shard shows up as one slot
+	// carrying most of the bytes).
+	PerShard []ShardStats
+}
+
+// ShardStats is one shard's slice of the occupancy.
+type ShardStats struct {
+	Entries int
+	Bytes   int64
 }
 
 // entryOverhead approximates the fixed per-entry cost (key, list links,
@@ -209,9 +219,10 @@ func (c *Cache[V]) Len() int {
 	return n
 }
 
-// Stats aggregates the per-shard counters.
+// Stats aggregates the per-shard counters and reports the per-shard
+// occupancy breakdown.
 func (c *Cache[V]) Stats() Stats {
-	var st Stats
+	st := Stats{PerShard: make([]ShardStats, len(c.shards))}
 	for i := range c.shards {
 		sh := &c.shards[i]
 		st.Hits += sh.hits.Load()
@@ -219,9 +230,10 @@ func (c *Cache[V]) Stats() Stats {
 		st.Evictions += sh.evictions.Load()
 		st.Expired += sh.expired.Load()
 		sh.mu.Lock()
-		st.Entries += len(sh.entries)
-		st.Bytes += sh.bytes
+		st.PerShard[i] = ShardStats{Entries: len(sh.entries), Bytes: sh.bytes}
 		sh.mu.Unlock()
+		st.Entries += st.PerShard[i].Entries
+		st.Bytes += st.PerShard[i].Bytes
 	}
 	return st
 }

@@ -1,0 +1,277 @@
+package persist
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"repro/internal/cache"
+)
+
+// The write-behind flusher: a single goroutine that drains the pending
+// queue into batches and appends each batch with one write + one fsync per
+// touched shard. Entries become visible to Get (and count as Flushed) only
+// after their batch's fsync — a crash can lose at most the unflushed tail,
+// never serve a half-written record (the CRC rejects it at recovery).
+
+// runFlusher is the flusher main loop. It exits on Close (after a final
+// drain) or on an injected crash (crash tests), marking the store failed so
+// Add turns into a counted drop.
+func (s *Store[V]) runFlusher() {
+	defer close(s.done)
+	ticker := time.NewTicker(s.cfg.FlushEvery)
+	defer ticker.Stop()
+	batch := make([]pendingEntry[V], 0, s.cfg.MaxBatch)
+	flush := func() bool {
+		if len(batch) == 0 {
+			return true
+		}
+		ok := s.flushBatch(batch)
+		batch = batch[:0]
+		return ok
+	}
+	for {
+		select {
+		case e := <-s.pending:
+			batch = append(batch, e)
+			if len(batch) >= s.cfg.MaxBatch {
+				if !flush() {
+					return
+				}
+			}
+		case <-ticker.C:
+			if !flush() {
+				return
+			}
+		case ack := <-s.flushReq:
+			if !s.drainInto(&batch, flush) {
+				ack <- s.exitErr()
+				return
+			}
+			ack <- nil
+		case <-s.stop:
+			if !s.drainInto(&batch, flush) {
+				return
+			}
+			flush()
+			return
+		}
+	}
+}
+
+// drainInto empties the pending channel into the batch, flushing every
+// MaxBatch entries. Returns false when a flush killed the store.
+func (s *Store[V]) drainInto(batch *[]pendingEntry[V], flush func() bool) bool {
+	for {
+		select {
+		case e := <-s.pending:
+			*batch = append(*batch, e)
+			if len(*batch) >= s.cfg.MaxBatch {
+				if !flush() {
+					return false
+				}
+			}
+		default:
+			return flush()
+		}
+	}
+}
+
+// flushBatch appends one batch: entries are grouped by shard, each shard's
+// records are encoded into a single buffer, written at the shard's append
+// offset and fsynced, and only then published to the index. Within a batch
+// the last write for a key wins (later records supersede earlier ones both
+// in the buffer and at recovery). Returns false when the flusher must die
+// (injected crash).
+func (s *Store[V]) flushBatch(batch []pendingEntry[V]) bool {
+	s.backlog.Add(-int64(len(batch)))
+	byShard := make(map[int][]pendingEntry[V])
+	for _, e := range batch {
+		si := int(e.key[0]) & s.mask
+		byShard[si] = append(byShard[si], e)
+	}
+	// Deterministic shard order so an injected crash is reproducible.
+	order := make([]int, 0, len(byShard))
+	for si := range byShard {
+		order = append(order, si)
+	}
+	sort.Ints(order)
+	alive := true
+	for _, si := range order {
+		if !alive {
+			// A crashed flusher writes nothing further: the rest of the
+			// batch is lost exactly like a real mid-batch kill.
+			s.dropped.Add(uint64(len(byShard[si])))
+			continue
+		}
+		alive = s.flushShard(si, byShard[si])
+	}
+	if !alive {
+		s.failed.Store(true)
+	}
+	return alive
+}
+
+// flushShard writes one shard's slice of the batch. Returns false on an
+// injected crash (partial write, no fsync, no index update).
+func (s *Store[V]) flushShard(si int, entries []pendingEntry[V]) bool {
+	type framed struct {
+		idx  int // into entries
+		off  int // into buf
+		size int
+	}
+	var buf []byte
+	frames := make([]framed, 0, len(entries))
+	for i, e := range entries {
+		val, err := s.codec.Encode(e.val)
+		if err != nil || recordSize(len(val)) > s.cfg.MaxRecord {
+			s.dropped.Add(1)
+			continue
+		}
+		start := len(buf)
+		buf = appendRecord(buf, s.fp, e.key, e.expires, val)
+		frames = append(frames, framed{idx: i, off: start, size: len(buf) - start})
+	}
+	if len(buf) == 0 {
+		return true
+	}
+
+	sh := &s.shards[si]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.f == nil {
+		s.dropped.Add(uint64(len(frames)))
+		return true
+	}
+	if limit := s.testPartialWrite.Load(); limit >= 0 {
+		// Injected crash: a prefix of the batch reaches the disk, nothing is
+		// fsynced or indexed, and the flusher dies. Recovery must truncate
+		// the torn frame and keep everything previously acked.
+		if limit > int64(len(buf)) {
+			limit = int64(len(buf))
+		}
+		sh.f.WriteAt(buf[:limit], sh.size)
+		return false
+	}
+	if _, err := sh.f.WriteAt(buf, sh.size); err != nil {
+		// Lossy mode: the batch is dropped; the file may hold a torn frame
+		// that the next recovery scan will truncate. Do not advance size —
+		// the next batch overwrites the partial bytes.
+		s.writeErrors.Add(1)
+		s.dropped.Add(uint64(len(frames)))
+		return true
+	}
+	if err := sh.f.Sync(); err != nil {
+		s.writeErrors.Add(1)
+		s.dropped.Add(uint64(len(frames)))
+		return true
+	}
+	base := sh.size
+	for _, fr := range frames {
+		e := entries[fr.idx]
+		if old, ok := sh.idx[e.key]; ok {
+			sh.live -= int64(old.len)
+		}
+		sh.idx[e.key] = ref{off: base + int64(fr.off), len: int32(fr.size), expires: e.expires}
+		sh.live += int64(fr.size)
+	}
+	sh.size += int64(len(buf))
+	s.flushed.Add(uint64(len(frames)))
+	s.maybeCompactLocked(si, sh)
+	return true
+}
+
+// maybeCompactLocked rewrites the shard when it is worth it: the file is
+// over its budget (live entries must be re-packed and, if still over, the
+// oldest dropped) or dead bytes — superseded and expired records — exceed
+// half the file. Called with sh.mu held, from the flusher only.
+func (s *Store[V]) maybeCompactLocked(si int, sh *shard) {
+	dead := sh.size - sh.live
+	if sh.size <= s.perShard && dead <= sh.size/2 {
+		return
+	}
+	if sh.size <= s.perShard && dead < int64(s.cfg.MaxRecord) && dead <= 4096 {
+		return // not enough reclaimable bytes to pay for a rewrite
+	}
+	s.compactLocked(si, sh)
+}
+
+// compactLocked rewrites the live records of one shard into a fresh segment
+// and renames it over the old one. Record bytes are copied verbatim (frames
+// stay bit-identical, CRCs and all). Expired entries are dropped; if the
+// live set alone exceeds the shard budget, the oldest records (append
+// order) are evicted until it fits.
+func (s *Store[V]) compactLocked(si int, sh *shard) {
+	type kv struct {
+		key cache.Key
+		r   ref
+	}
+	entries := make([]kv, 0, len(sh.idx))
+	now := s.cfg.Now().UnixNano()
+	for k, r := range sh.idx {
+		if r.expires != 0 && now > r.expires {
+			s.expired.Add(1)
+			continue
+		}
+		entries = append(entries, kv{k, r})
+	}
+	sort.Slice(entries, func(a, b int) bool { return entries[a].r.off < entries[b].r.off })
+	keep := entries
+	var keepBytes int64
+	for _, e := range entries {
+		keepBytes += int64(e.r.len)
+	}
+	for len(keep) > 0 && keepBytes > s.perShard {
+		keepBytes -= int64(keep[0].r.len)
+		keep = keep[1:]
+		s.evicted.Add(1)
+	}
+
+	path := filepath.Join(s.cfg.Dir, segName(si))
+	tmp := path + ".tmp"
+	nf, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		s.writeErrors.Add(1)
+		return
+	}
+	newIdx := make(map[cache.Key]ref, len(keep))
+	var off int64
+	copyBuf := make([]byte, 0, 64<<10)
+	for _, e := range keep {
+		if cap(copyBuf) < int(e.r.len) {
+			copyBuf = make([]byte, e.r.len)
+		}
+		b := copyBuf[:e.r.len]
+		if _, err := sh.f.ReadAt(b, e.r.off); err != nil {
+			s.corrupt.Add(1)
+			continue
+		}
+		if _, err := nf.WriteAt(b, off); err != nil {
+			nf.Close()
+			os.Remove(tmp)
+			s.writeErrors.Add(1)
+			return
+		}
+		newIdx[e.key] = ref{off: off, len: e.r.len, expires: e.r.expires}
+		off += int64(e.r.len)
+	}
+	if err := nf.Sync(); err != nil {
+		nf.Close()
+		os.Remove(tmp)
+		s.writeErrors.Add(1)
+		return
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		nf.Close()
+		os.Remove(tmp)
+		s.writeErrors.Add(1)
+		return
+	}
+	sh.f.Close()
+	sh.f = nf
+	sh.idx = newIdx
+	sh.size = off
+	sh.live = off
+	s.compactions.Add(1)
+}

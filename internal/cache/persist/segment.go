@@ -1,0 +1,108 @@
+package persist
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+
+	"repro/internal/cache"
+)
+
+// Segment record layout (all little-endian). Records are the only thing a
+// segment file contains, back to back, so the format must be self-framing
+// and self-verifying — after a crash the tail can hold any prefix of a
+// record, and a disk fault can flip bits anywhere:
+//
+//	u32  payload length (len(fingerprint ‖ key ‖ expires ‖ value))
+//	u32  CRC-32C (Castagnoli) over the payload
+//	[32] system fingerprint (cache.Fingerprint)
+//	[32] entry key (cache.Key)
+//	i64  expiry, unix nanoseconds (0 = never)
+//	...  value bytes (codec-encoded)
+//
+// The CRC covers the whole payload, so a flipped bit in the fingerprint,
+// key, expiry or value is caught before any of them is trusted. The length
+// prefix is outside the CRC — a corrupted length cannot be told apart from
+// a torn write, and both are handled the same way by the recovery scan
+// (truncate from the bad frame).
+
+const (
+	// recHeaderSize is the length-prefix + CRC frame around every payload.
+	recHeaderSize = 8
+	// recPayloadFixed is the payload size before the value bytes.
+	recPayloadFixed = len(cache.Fingerprint{}) + len(cache.Key{}) + 8
+)
+
+// crcTable selects CRC-32C; hardware-accelerated on amd64/arm64.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Decode error classes. The recovery scan maps them to different actions:
+// a torn frame truncates the file (everything after is untrustworthy), a
+// corrupt payload inside an intact frame is skipped record-by-record.
+var (
+	// errTornRecord: the buffer ends inside the frame — the write that
+	// produced it never completed (or the length prefix itself is damaged).
+	errTornRecord = errors.New("persist: torn record")
+	// errCorruptRecord: the frame is complete but the payload fails its CRC
+	// or is structurally impossible.
+	errCorruptRecord = errors.New("persist: corrupt record")
+)
+
+// record is one decoded segment entry.
+type record struct {
+	fp      cache.Fingerprint
+	key     cache.Key
+	expires int64
+	val     []byte
+}
+
+// appendRecord encodes one entry onto buf and returns the extended buffer.
+func appendRecord(buf []byte, fp cache.Fingerprint, k cache.Key, expires int64, val []byte) []byte {
+	plen := recPayloadFixed + len(val)
+	var hdr [recHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(plen))
+	start := len(buf)
+	buf = append(buf, hdr[:]...)
+	buf = append(buf, fp[:]...)
+	buf = append(buf, k[:]...)
+	var ebuf [8]byte
+	binary.LittleEndian.PutUint64(ebuf[:], uint64(expires))
+	buf = append(buf, ebuf[:]...)
+	buf = append(buf, val...)
+	crc := crc32.Checksum(buf[start+recHeaderSize:], crcTable)
+	binary.LittleEndian.PutUint32(buf[start+4:start+8], crc)
+	return buf
+}
+
+// recordSize returns the framed on-disk size of a record carrying a value
+// of the given length.
+func recordSize(valLen int) int { return recHeaderSize + recPayloadFixed + valLen }
+
+// decodeRecord parses the record at the start of b. It returns the decoded
+// record and its framed length. maxRecord bounds the accepted frame size —
+// a hostile or bit-flipped length prefix must not drive a huge allocation.
+// The returned value slice aliases b; callers that keep it must copy.
+func decodeRecord(b []byte, maxRecord int) (record, int, error) {
+	var rec record
+	if len(b) < recHeaderSize {
+		return rec, 0, errTornRecord
+	}
+	plen := int(binary.LittleEndian.Uint32(b[0:4]))
+	if plen < recPayloadFixed || plen > maxRecord-recHeaderSize {
+		// An impossible length. Either the prefix was torn mid-write or a
+		// bit flipped in it; nothing after this point can be framed.
+		return rec, 0, errTornRecord
+	}
+	if len(b) < recHeaderSize+plen {
+		return rec, 0, errTornRecord
+	}
+	payload := b[recHeaderSize : recHeaderSize+plen]
+	if crc32.Checksum(payload, crcTable) != binary.LittleEndian.Uint32(b[4:8]) {
+		return rec, recHeaderSize + plen, errCorruptRecord
+	}
+	copy(rec.fp[:], payload[0:len(rec.fp)])
+	copy(rec.key[:], payload[len(rec.fp):len(rec.fp)+len(rec.key)])
+	rec.expires = int64(binary.LittleEndian.Uint64(payload[len(rec.fp)+len(rec.key) : recPayloadFixed]))
+	rec.val = payload[recPayloadFixed:plen]
+	return rec, recHeaderSize + plen, nil
+}

@@ -1,0 +1,91 @@
+package cache
+
+import "sync/atomic"
+
+// Tier is the secondary-store surface a Tiered cache layers under the
+// in-memory LRU. persist.Store satisfies it (write-behind, so Add never
+// blocks); so does another *Cache. The cache package deliberately depends
+// only on this interface — the disk tier imports cache, never the reverse.
+type Tier[V any] interface {
+	// Get returns the stored value for k. Implementations own the
+	// durability semantics; callers treat a false as a plain miss.
+	Get(k Key) (V, bool)
+	// Add stores v under k. May be asynchronous and lossy.
+	Add(k Key, v V)
+}
+
+// TierStats counts traffic at the tier boundary.
+type TierStats struct {
+	// L1Hits served straight from memory.
+	L1Hits uint64
+	// L2Hits missed memory, found in the second tier, and were promoted.
+	L2Hits uint64
+	// Misses missed both tiers.
+	Misses uint64
+	// WriteBehind counts Adds forwarded to the second tier.
+	WriteBehind uint64
+}
+
+// Tiered composes the in-memory cache with an optional second tier. Reads
+// check L1 first and promote an L2 hit into L1 (so a warm working set
+// migrates back to memory after a restart); writes land in both tiers. With
+// a nil second tier it degrades to a thin wrapper around L1.
+//
+// Both tiers key by the same content digest and the second tier verifies
+// the system fingerprint per record, so promotion needs no re-validation.
+type Tiered[V any] struct {
+	l1 *Cache[V]
+	l2 Tier[V]
+
+	l1Hits atomic.Uint64
+	l2Hits atomic.Uint64
+	misses atomic.Uint64
+	writes atomic.Uint64
+}
+
+// NewTiered layers l2 (which may be nil) under l1.
+func NewTiered[V any](l1 *Cache[V], l2 Tier[V]) *Tiered[V] {
+	return &Tiered[V]{l1: l1, l2: l2}
+}
+
+// Get returns the value for k from the fastest tier holding it, promoting
+// an L2 hit into L1.
+func (t *Tiered[V]) Get(k Key) (V, bool) {
+	if v, ok := t.l1.Get(k); ok {
+		t.l1Hits.Add(1)
+		return v, true
+	}
+	if t.l2 != nil {
+		if v, ok := t.l2.Get(k); ok {
+			t.l2Hits.Add(1)
+			t.l1.Add(k, v)
+			return v, true
+		}
+	}
+	t.misses.Add(1)
+	var zero V
+	return zero, false
+}
+
+// Add stores v in L1 and forwards it to the second tier. Ownership rules
+// follow Cache.Add: the caller must not mutate v afterwards.
+func (t *Tiered[V]) Add(k Key, v V) {
+	t.l1.Add(k, v)
+	if t.l2 != nil {
+		t.writes.Add(1)
+		t.l2.Add(k, v)
+	}
+}
+
+// L1 exposes the in-memory tier (stats, direct probes).
+func (t *Tiered[V]) L1() *Cache[V] { return t.l1 }
+
+// Stats reports the tier-boundary counters.
+func (t *Tiered[V]) Stats() TierStats {
+	return TierStats{
+		L1Hits:      t.l1Hits.Load(),
+		L2Hits:      t.l2Hits.Load(),
+		Misses:      t.misses.Load(),
+		WriteBehind: t.writes.Load(),
+	}
+}

@@ -1,0 +1,114 @@
+package cache
+
+import (
+	"sync"
+	"testing"
+)
+
+// mapTier is a trivial Tier for tests.
+type mapTier struct {
+	mu   sync.Mutex
+	m    map[Key]string
+	adds int
+}
+
+func (t *mapTier) Get(k Key) (string, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	v, ok := t.m[k]
+	return v, ok
+}
+
+func (t *mapTier) Add(k Key, v string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.m[k] = v
+	t.adds++
+}
+
+func tkey(b byte) Key {
+	var k Key
+	k[0] = b
+	return k
+}
+
+func TestTieredPromotion(t *testing.T) {
+	l1 := New[string](Config{}, nil)
+	l2 := &mapTier{m: map[Key]string{tkey(1): "from-l2"}}
+	tc := NewTiered[string](l1, l2)
+
+	// First read misses L1, hits L2, promotes.
+	if v, ok := tc.Get(tkey(1)); !ok || v != "from-l2" {
+		t.Fatalf("Get = %q, %v", v, ok)
+	}
+	// Second read is an L1 hit.
+	if _, ok := tc.Get(tkey(1)); !ok {
+		t.Fatal("promoted entry missed L1")
+	}
+	if v, ok := l1.Get(tkey(1)); !ok || v != "from-l2" {
+		t.Fatalf("promotion did not land in L1: %q, %v", v, ok)
+	}
+	st := tc.Stats()
+	if st.L1Hits != 1 || st.L2Hits != 1 || st.Misses != 0 {
+		t.Fatalf("stats = %+v; want 1 L1 hit, 1 L2 hit", st)
+	}
+}
+
+func TestTieredWriteBehindAndMiss(t *testing.T) {
+	l1 := New[string](Config{}, nil)
+	l2 := &mapTier{m: map[Key]string{}}
+	tc := NewTiered[string](l1, l2)
+
+	if _, ok := tc.Get(tkey(9)); ok {
+		t.Fatal("hit on empty tiers")
+	}
+	tc.Add(tkey(2), "both")
+	if v, ok := l2.Get(tkey(2)); !ok || v != "both" {
+		t.Fatalf("write-behind missing from L2: %q, %v", v, ok)
+	}
+	st := tc.Stats()
+	if st.Misses != 1 || st.WriteBehind != 1 {
+		t.Fatalf("stats = %+v; want 1 miss, 1 write-behind", st)
+	}
+}
+
+func TestTieredNilL2(t *testing.T) {
+	tc := NewTiered[string](New[string](Config{}, nil), nil)
+	tc.Add(tkey(3), "l1-only")
+	if v, ok := tc.Get(tkey(3)); !ok || v != "l1-only" {
+		t.Fatalf("Get = %q, %v", v, ok)
+	}
+	if _, ok := tc.Get(tkey(4)); ok {
+		t.Fatal("hit on missing key")
+	}
+	st := tc.Stats()
+	if st.L1Hits != 1 || st.Misses != 1 || st.WriteBehind != 0 || st.L2Hits != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestStatsPerShard(t *testing.T) {
+	c := New[string](Config{Shards: 4}, func(s string) int64 { return int64(len(s)) })
+	for i := 0; i < 4; i++ {
+		c.Add(tkey(byte(i)), "v")
+	}
+	st := c.Stats()
+	if len(st.PerShard) != 4 {
+		t.Fatalf("PerShard len = %d, want 4", len(st.PerShard))
+	}
+	var entries int
+	var bytes int64
+	for _, ss := range st.PerShard {
+		entries += ss.Entries
+		bytes += ss.Bytes
+	}
+	if entries != st.Entries || bytes != st.Bytes {
+		t.Fatalf("per-shard sums (%d, %d) disagree with totals (%d, %d)", entries, bytes, st.Entries, st.Bytes)
+	}
+	// tkey spreads by first byte, one entry per shard here.
+	for i, ss := range st.PerShard {
+		if ss.Entries != 1 {
+			t.Fatalf("shard %d entries = %d, want 1", i, ss.Entries)
+		}
+	}
+}

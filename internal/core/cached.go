@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/cache"
+	"repro/internal/cache/persist"
 	"repro/internal/tensor"
 )
 
@@ -18,12 +19,14 @@ import (
 // configuration field, so a hit can only ever return what the very same
 // system would have computed.
 
-// PredictionCache is the Decision-typed wrapper around the generic sharded
-// store plus the inflight-coalescing group. Safe for concurrent use and for
-// sharing between a System, the HTTP server's pre-admission probe, and
-// stream processors.
+// PredictionCache is the Decision-typed wrapper around the tiered store —
+// the in-memory sharded LRU plus an optional persistent L2 tier — and the
+// inflight-coalescing group. Safe for concurrent use and for sharing
+// between a System, the HTTP server's pre-admission probe, and stream
+// processors.
 type PredictionCache struct {
-	store     *cache.Cache[Decision]
+	tier      *cache.Tiered[Decision]
+	l2        *persist.Store[Decision] // nil when memory-only
 	group     *cache.Group[Decision]
 	fp        cache.Fingerprint
 	coalesced atomic.Uint64
@@ -31,7 +34,9 @@ type PredictionCache struct {
 
 // CacheStats aggregates store counters with the engine-level coalescing
 // count (inputs served by joining another caller's in-flight ensemble pass
-// or by intra-batch dedup).
+// or by intra-batch dedup). The L2 fields are zero when no disk tier is
+// attached. Hits counts serves from either tier; L2Hits is the subset that
+// missed memory and was promoted from disk.
 type CacheStats struct {
 	Hits      uint64
 	Misses    uint64
@@ -40,6 +45,27 @@ type CacheStats struct {
 	Expired   uint64
 	Entries   int
 	Bytes     int64
+
+	// L2 tier.
+	L2Hits        uint64 // disk hits promoted into memory
+	L2Entries     int    // live indexed records
+	L2Bytes       int64  // live record bytes on disk
+	L2DiskBytes   int64  // total segment bytes (live + dead, pre-compaction)
+	L2Flushed     uint64 // records made durable by the write-behind flusher
+	L2Dropped     uint64 // records lost to backpressure or write errors
+	L2Backlog     int64  // records queued, not yet flushed
+	L2Recovered   uint64 // records re-indexed by the last recovery scan
+	L2Truncated   uint64 // torn tails cut by the last recovery scan
+	L2Corrupt     uint64 // CRC-rejected records (recovery + reads)
+	L2Stale       uint64 // fingerprint-mismatch records rejected at recovery
+	L2Evicted     uint64 // live records dropped by size-budgeted compaction
+	L2Compactions uint64 // segment rewrites
+}
+
+// decisionCodec serializes Decisions for the persistent tier.
+var decisionCodec = persist.Codec[Decision]{
+	Encode: EncodeDecision,
+	Decode: DecodeDecision,
 }
 
 // decisionBytes approximates a Decision's heap footprint for the byte
@@ -48,15 +74,59 @@ func decisionBytes(d Decision) int64 {
 	return 64 + 48*int64(len(d.Votes))
 }
 
-// NewPredictionCache creates a prediction cache bound to the given system
-// fingerprint. Use System.ConfigFingerprint (or EnableCache) so the
-// fingerprint actually matches the serving configuration.
+// NewPredictionCache creates a memory-only prediction cache bound to the
+// given system fingerprint. Use System.ConfigFingerprint (or EnableCache)
+// so the fingerprint actually matches the serving configuration.
 func NewPredictionCache(cfg cache.Config, fp cache.Fingerprint) *PredictionCache {
 	return &PredictionCache{
-		store: cache.New[Decision](cfg, decisionBytes),
+		tier:  cache.NewTiered[Decision](cache.New[Decision](cfg, decisionBytes), nil),
 		group: cache.NewGroup[Decision](),
 		fp:    fp,
 	}
+}
+
+// NewTieredPredictionCache creates a prediction cache with a persistent L2
+// tier under the in-memory LRU. Decisions overflowing (or restarting past)
+// memory are served from disk and promoted back; the disk tier is
+// write-behind and lossy, so it can only ever cost a recomputation, never
+// block the serve path. The store must be Closed to flush the tail.
+func NewTieredPredictionCache(cfg cache.Config, dcfg persist.Config, fp cache.Fingerprint) (*PredictionCache, error) {
+	l2, err := persist.Open(dcfg, fp, decisionCodec)
+	if err != nil {
+		return nil, err
+	}
+	return &PredictionCache{
+		tier:  cache.NewTiered[Decision](cache.New[Decision](cfg, decisionBytes), l2),
+		l2:    l2,
+		group: cache.NewGroup[Decision](),
+		fp:    fp,
+	}, nil
+}
+
+// get and put are the store seam every cached path goes through: the tiered
+// read (L1, then L2 with promotion) and the tiered write (L1 now, L2
+// write-behind). Values cross this seam under the cache's ownership rules —
+// cloned in, cloned out by the callers.
+func (p *PredictionCache) get(k cache.Key) (Decision, bool) { return p.tier.Get(k) }
+func (p *PredictionCache) put(k cache.Key, d Decision)      { p.tier.Add(k, d) }
+
+// FlushL2 blocks until every queued write-behind entry has been flushed to
+// the disk tier (or dropped). No-op without an L2 tier.
+func (p *PredictionCache) FlushL2() error {
+	if p.l2 == nil {
+		return nil
+	}
+	return p.l2.Flush()
+}
+
+// Close flushes and closes the disk tier. The cache remains usable as a
+// memory-only cache afterwards (adds to the closed tier become counted
+// drops). No-op without an L2 tier.
+func (p *PredictionCache) Close() error {
+	if p.l2 == nil {
+		return nil
+	}
+	return p.l2.Close()
 }
 
 // Fingerprint returns the system fingerprint the cache is bound to.
@@ -71,7 +141,7 @@ func (p *PredictionCache) KeyFor(x *tensor.T) cache.Key {
 // Lookup probes the cache without computing anything. The returned decision
 // owns its Votes map (cloned), so callers may mutate it freely.
 func (p *PredictionCache) Lookup(x *tensor.T) (Decision, bool) {
-	d, ok := p.store.Get(p.KeyFor(x))
+	d, ok := p.get(p.KeyFor(x))
 	if !ok {
 		return Decision{}, false
 	}
@@ -81,21 +151,39 @@ func (p *PredictionCache) Lookup(x *tensor.T) (Decision, bool) {
 // Insert stores a decision for an input (clone-in: the caller keeps
 // ownership of d).
 func (p *PredictionCache) Insert(x *tensor.T, d Decision) {
-	p.store.Add(p.KeyFor(x), cloneDecision(d))
+	p.put(p.KeyFor(x), cloneDecision(d))
 }
 
-// Stats snapshots the cache counters.
+// Stats snapshots the cache counters across both tiers.
 func (p *PredictionCache) Stats() CacheStats {
-	st := p.store.Stats()
-	return CacheStats{
-		Hits:      st.Hits,
-		Misses:    st.Misses,
+	l1 := p.tier.L1().Stats()
+	ts := p.tier.Stats()
+	st := CacheStats{
+		Hits:      ts.L1Hits + ts.L2Hits,
+		Misses:    ts.Misses,
 		Coalesced: p.coalesced.Load(),
-		Evictions: st.Evictions,
-		Expired:   st.Expired,
-		Entries:   st.Entries,
-		Bytes:     st.Bytes,
+		Evictions: l1.Evictions,
+		Expired:   l1.Expired,
+		Entries:   l1.Entries,
+		Bytes:     l1.Bytes,
 	}
+	if p.l2 != nil {
+		l2 := p.l2.Stats()
+		st.L2Hits = ts.L2Hits
+		st.L2Entries = l2.Entries
+		st.L2Bytes = l2.LiveBytes
+		st.L2DiskBytes = l2.DiskBytes
+		st.L2Flushed = l2.Flushed
+		st.L2Dropped = l2.Dropped
+		st.L2Backlog = int64(l2.Backlog)
+		st.L2Recovered = l2.Recovered
+		st.L2Truncated = l2.Truncated
+		st.L2Corrupt = l2.Corrupt
+		st.L2Stale = l2.Stale
+		st.L2Evicted = l2.Evicted
+		st.L2Compactions = l2.Compactions
+	}
+	return st
 }
 
 // ConfigFingerprint digests every configuration field that can change a
@@ -134,6 +222,22 @@ func (s *System) EnableCache(cfg cache.Config, salt string) *PredictionCache {
 	return s.Cache
 }
 
+// EnableTieredCache attaches a prediction cache with a persistent L2 tier,
+// fingerprinted against the current configuration like EnableCache. Entries
+// written by an earlier process under the same configuration are recovered
+// from dcfg.Dir and served without recomputation; entries from a different
+// configuration are rejected record-by-record at recovery. Close the
+// returned cache (or call s.Cache.Close) before process exit to flush the
+// write-behind tail.
+func (s *System) EnableTieredCache(cfg cache.Config, dcfg persist.Config, salt string) (*PredictionCache, error) {
+	pc, err := NewTieredPredictionCache(cfg, dcfg, s.ConfigFingerprint(salt))
+	if err != nil {
+		return nil, err
+	}
+	s.Cache = pc
+	return pc, nil
+}
+
 // cloneDecision gives the decision its own Votes map so cached values, the
 // singleflight publication, and caller-visible results never alias.
 func cloneDecision(d Decision) Decision {
@@ -168,7 +272,7 @@ func (s *System) classifyCached(ctx context.Context, x *tensor.T) (Decision, err
 func (s *System) classifyCachedWith(ctx context.Context, x *tensor.T, runOne runOneFn) (Decision, error) {
 	pc := s.Cache
 	k := pc.KeyFor(x)
-	if d, ok := pc.store.Get(k); ok {
+	if d, ok := pc.get(k); ok {
 		return cloneDecision(d), nil
 	}
 	for {
@@ -179,7 +283,7 @@ func (s *System) classifyCachedWith(ctx context.Context, x *tensor.T, runOne run
 				pc.group.Finish(k, f, Decision{}, err)
 				return Decision{}, err
 			}
-			pc.store.Add(k, cloneDecision(d))
+			pc.put(k, cloneDecision(d))
 			pc.group.Finish(k, f, cloneDecision(d), nil)
 			return d, nil
 		}
@@ -193,7 +297,7 @@ func (s *System) classifyCachedWith(ctx context.Context, x *tensor.T, runOne run
 		}
 		// The leader's caller cancelled; ours did not. Re-probe (another
 		// leader may have landed the value meanwhile) and try again.
-		if d, ok := pc.store.Get(k); ok {
+		if d, ok := pc.get(k); ok {
 			return cloneDecision(d), nil
 		}
 	}
@@ -230,7 +334,7 @@ func (s *System) classifyBatchCachedWith(ctx context.Context, xs []*tensor.T, ru
 			continue
 		}
 		first[k] = i
-		if d, ok := pc.store.Get(k); ok {
+		if d, ok := pc.get(k); ok {
 			out[i] = cloneDecision(d)
 			resolved[i] = true
 			continue
@@ -259,7 +363,7 @@ func (s *System) classifyBatchCachedWith(ctx context.Context, xs []*tensor.T, ru
 		}
 		for j, l := range leads {
 			d := ds[j]
-			pc.store.Add(keys[l.idx], cloneDecision(d))
+			pc.put(keys[l.idx], cloneDecision(d))
 			pc.group.Finish(keys[l.idx], l.flight, cloneDecision(d), nil)
 			out[l.idx] = d
 			resolved[l.idx] = true
@@ -299,7 +403,7 @@ func (s *System) awaitFlight(ctx context.Context, k cache.Key, x *tensor.T, f *c
 		if ctx.Err() != nil || !isCtxErr(err) {
 			return Decision{}, err
 		}
-		if d, ok := pc.store.Get(k); ok {
+		if d, ok := pc.get(k); ok {
 			return cloneDecision(d), nil
 		}
 		var leader bool
@@ -312,7 +416,7 @@ func (s *System) awaitFlight(ctx context.Context, k cache.Key, x *tensor.T, f *c
 			pc.group.Finish(k, f, Decision{}, err)
 			return Decision{}, err
 		}
-		pc.store.Add(k, cloneDecision(d))
+		pc.put(k, cloneDecision(d))
 		pc.group.Finish(k, f, cloneDecision(d), nil)
 		return d, nil
 	}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/cache/persist"
+)
+
+// TestL2IdentityAcrossBackends locks the end-to-end identity property of
+// the persistent tier: for every inference backend (f64, f32, int8), a
+// decision served from disk — written by one cache instance, recovered by a
+// fresh one after a simulated restart — is reflect.DeepEqual to the freshly
+// computed decision. Exact, not approximate: the codec preserves float bit
+// patterns and Votes nil-ness, and the fingerprint pins the configuration.
+func TestL2IdentityAcrossBackends(t *testing.T) {
+	ctx := context.Background()
+	for _, backend := range []Backend{BackendF64, BackendF32, BackendInt8} {
+		t.Run(backend.String(), func(t *testing.T) {
+			sys, xs := backendSystem(t, testBenchmark("l2-"+backend.String()), backend)
+			xs = xs[:12]
+
+			// Fresh decisions, no cache attached.
+			want := make([]Decision, len(xs))
+			for i, x := range xs {
+				d, err := sys.ClassifyContext(ctx, x)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want[i] = d
+			}
+
+			// First process: classify through the tiered cache, flush, close.
+			dir := t.TempDir()
+			if _, err := sys.EnableTieredCache(cache.Config{}, persist.Config{Dir: dir}, "l2-test"); err != nil {
+				t.Fatal(err)
+			}
+			for i, x := range xs {
+				d, err := sys.ClassifyContext(ctx, x)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(d, want[i]) {
+					t.Fatalf("cached compute diverged at %d: %+v != %+v", i, d, want[i])
+				}
+			}
+			if err := sys.Cache.FlushL2(); err != nil {
+				t.Fatal(err)
+			}
+			if err := sys.Cache.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Second process: a fresh tiered cache on the same directory. Every
+			// lookup must be served from the recovered disk tier, bit-identical.
+			pc, err := sys.EnableTieredCache(cache.Config{}, persist.Config{Dir: dir}, "l2-test")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer pc.Close()
+			if st := pc.Stats(); st.L2Entries != len(xs) {
+				t.Fatalf("recovered %d L2 entries, want %d (stats %+v)", st.L2Entries, len(xs), st)
+			}
+			for i, x := range xs {
+				d, ok := pc.Lookup(x)
+				if !ok {
+					t.Fatalf("input %d not served from L2 after restart", i)
+				}
+				if !reflect.DeepEqual(d, want[i]) {
+					t.Fatalf("L2 decision %d != fresh compute:\n  disk:  %+v\n  fresh: %+v", i, d, want[i])
+				}
+			}
+			st := pc.Stats()
+			if st.L2Hits != uint64(len(xs)) {
+				t.Fatalf("L2 hits = %d, want %d", st.L2Hits, len(xs))
+			}
+			// And a re-lookup is an L1 hit: promotion happened.
+			if _, ok := pc.Lookup(xs[0]); !ok {
+				t.Fatal("promoted entry missed")
+			}
+			if st2 := pc.Stats(); st2.L2Hits != st.L2Hits {
+				t.Fatal("re-lookup went back to disk; promotion did not land in L1")
+			}
+		})
+	}
+}
+
+// TestL2FingerprintIsolation: a cache opened under a different salt (≈ any
+// configuration change) recovers nothing from the other configuration's
+// directory.
+func TestL2FingerprintIsolation(t *testing.T) {
+	ctx := context.Background()
+	sys, xs := backendSystem(t, testBenchmark("l2-fp"), BackendF64)
+	dir := t.TempDir()
+	if _, err := sys.EnableTieredCache(cache.Config{}, persist.Config{Dir: dir}, "salt-a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.ClassifyContext(ctx, xs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Cache.FlushL2(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Cache.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	pc, err := sys.EnableTieredCache(cache.Config{}, persist.Config{Dir: dir}, "salt-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+	st := pc.Stats()
+	if st.L2Entries != 0 || st.L2Stale == 0 {
+		t.Fatalf("stale-config entries survived a salt change: %+v", st)
+	}
+	if _, ok := pc.Lookup(xs[0]); ok {
+		t.Fatal("lookup hit across a configuration change")
+	}
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"sort"
+)
+
+// Binary codec for Decision, used by the persistent cache tier. The format
+// must be deterministic (same Decision → same bytes, so frames stay
+// bit-identical through compaction) and round-trip exact under
+// reflect.DeepEqual — including the distinction between a nil and an empty
+// Votes map, and NaN confidence bit patterns. Votes are serialized in
+// sorted label order; integrity is the segment layer's job (CRC-32C per
+// record), so the payload carries only a version byte.
+
+const decisionCodecV1 = 1
+
+// decisionFlag bits.
+const (
+	decisionReliable = 1 << 0
+	decisionHasVotes = 1 << 1 // Votes != nil (possibly empty)
+)
+
+var errBadDecision = errors.New("core: malformed decision encoding")
+
+// EncodeDecision serializes d. Layout (little-endian):
+//
+//	u8  version
+//	u8  flags (reliable, votes-non-nil)
+//	i64 label
+//	u64 confidence bits (math.Float64bits, NaN-exact)
+//	i64 activated
+//	u32 vote count, then per vote: i64 label, i64 count (sorted by label)
+func EncodeDecision(d Decision) ([]byte, error) {
+	buf := make([]byte, 0, 2+8+8+8+4+16*len(d.Votes))
+	var flags byte
+	if d.Reliable {
+		flags |= decisionReliable
+	}
+	if d.Votes != nil {
+		flags |= decisionHasVotes
+	}
+	buf = append(buf, decisionCodecV1, flags)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(d.Label)))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(d.Confidence))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(d.Activated)))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(d.Votes)))
+	labels := make([]int, 0, len(d.Votes))
+	for l := range d.Votes {
+		labels = append(labels, l)
+	}
+	sort.Ints(labels)
+	for _, l := range labels {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(l)))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(d.Votes[l])))
+	}
+	return buf, nil
+}
+
+// DecodeDecision parses an EncodeDecision payload. Trailing bytes, short
+// buffers, and unknown versions are rejected — the persistent tier treats
+// any error as a corrupt record, never as a best-effort value.
+func DecodeDecision(b []byte) (Decision, error) {
+	var d Decision
+	if len(b) < 2+8+8+8+4 {
+		return d, errBadDecision
+	}
+	if b[0] != decisionCodecV1 {
+		return d, errBadDecision
+	}
+	flags := b[1]
+	d.Reliable = flags&decisionReliable != 0
+	d.Label = int(int64(binary.LittleEndian.Uint64(b[2:10])))
+	d.Confidence = math.Float64frombits(binary.LittleEndian.Uint64(b[10:18]))
+	d.Activated = int(int64(binary.LittleEndian.Uint64(b[18:26])))
+	n := int(binary.LittleEndian.Uint32(b[26:30]))
+	rest := b[30:]
+	if len(rest) != 16*n {
+		return d, errBadDecision
+	}
+	if n > 0 && flags&decisionHasVotes == 0 {
+		return d, errBadDecision
+	}
+	if flags&decisionHasVotes != 0 {
+		d.Votes = make(map[int]int, n)
+		for i := 0; i < n; i++ {
+			l := int(int64(binary.LittleEndian.Uint64(rest[16*i:])))
+			c := int(int64(binary.LittleEndian.Uint64(rest[16*i+8:])))
+			d.Votes[l] = c
+		}
+		if len(d.Votes) != n {
+			return d, errBadDecision // duplicate labels
+		}
+	}
+	return d, nil
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestDecisionCodecRoundTrip(t *testing.T) {
+	cases := []Decision{
+		{},
+		{Label: 3, Reliable: true, Confidence: 0.75, Votes: map[int]int{3: 4, 1: 1}, Activated: 5},
+		{Label: -1, Confidence: math.Inf(1), Votes: map[int]int{}, Activated: 0},
+		{Label: 0, Confidence: math.NaN(), Votes: map[int]int{0: 1}, Activated: 1},
+		{Label: 9, Votes: nil, Activated: 12},
+	}
+	for i, d := range cases {
+		b, err := EncodeDecision(d)
+		if err != nil {
+			t.Fatalf("case %d: encode: %v", i, err)
+		}
+		got, err := DecodeDecision(b)
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		// NaN breaks DeepEqual; compare bit patterns separately.
+		if math.IsNaN(d.Confidence) {
+			if !math.IsNaN(got.Confidence) {
+				t.Fatalf("case %d: NaN confidence lost", i)
+			}
+			d.Confidence, got.Confidence = 0, 0
+		}
+		if !reflect.DeepEqual(d, got) {
+			t.Fatalf("case %d: round-trip %+v != %+v", i, got, d)
+		}
+		// nil-vs-empty Votes must survive exactly.
+		if (d.Votes == nil) != (got.Votes == nil) {
+			t.Fatalf("case %d: votes nil-ness changed", i)
+		}
+	}
+}
+
+func TestDecisionCodecDeterministic(t *testing.T) {
+	d := Decision{Label: 2, Votes: map[int]int{5: 1, 2: 3, 9: 2, 0: 1}, Activated: 7}
+	first, _ := EncodeDecision(d)
+	for i := 0; i < 20; i++ {
+		b, _ := EncodeDecision(cloneDecision(d))
+		if !bytes.Equal(b, first) {
+			t.Fatal("encoding depends on map iteration order")
+		}
+	}
+}
+
+func TestDecisionCodecRejectsMalformed(t *testing.T) {
+	good, _ := EncodeDecision(Decision{Label: 1, Votes: map[int]int{1: 2}, Activated: 3})
+	bad := [][]byte{
+		nil,
+		good[:5],                              // short
+		append(good[:len(good):len(good)], 0), // trailing byte
+		append([]byte{99}, good[1:]...),       // unknown version
+	}
+	for i, b := range bad {
+		if _, err := DecodeDecision(b); err == nil {
+			t.Fatalf("case %d: malformed encoding accepted", i)
+		}
+	}
+	// Vote count larger than the buffer supplies.
+	short := append([]byte(nil), good...)
+	short[26] = 200
+	if _, err := DecodeDecision(short); err == nil {
+		t.Fatal("oversized vote count accepted")
+	}
+}

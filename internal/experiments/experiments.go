@@ -44,6 +44,10 @@ type Context struct {
 	CacheTTL time.Duration
 	ZipfS    float64
 
+	// CacheDir, when non-empty, is where the ext-caching2 experiment keeps
+	// its persistent L2 tier; empty selects a run-scoped temp directory.
+	CacheDir string
+
 	// designs memoizes greedy designs per (benchmark, size).
 	designs map[string]*core.Design
 }
@@ -105,6 +109,44 @@ type Result struct {
 	Header []string
 	Rows   [][]string
 	Notes  []string
+	// CacheTiers is the machine-readable cache-tier summary attached by the
+	// caching experiments; nil elsewhere. It reaches pgmr-bench's -json
+	// output verbatim, so dashboards can track tier behavior without parsing
+	// table rows.
+	CacheTiers *CacheTierStats `json:",omitempty"`
+}
+
+// CacheTierStats summarizes prediction-cache traffic per tier after an
+// experiment's final pass. Promotions equals L2Hits (every disk hit is
+// promoted into memory); FlushBacklog is the write-behind queue depth at
+// snapshot time.
+type CacheTierStats struct {
+	L1Hits       uint64
+	L2Hits       uint64
+	Misses       uint64
+	Coalesced    uint64
+	Promotions   uint64
+	FlushBacklog int64
+	L2Flushed    uint64
+	L2Dropped    uint64
+	Entries      int
+	L2Entries    int
+}
+
+// cacheTierStats converts a cache snapshot into the JSON summary.
+func cacheTierStats(st core.CacheStats) *CacheTierStats {
+	return &CacheTierStats{
+		L1Hits:       st.Hits - st.L2Hits,
+		L2Hits:       st.L2Hits,
+		Misses:       st.Misses,
+		Coalesced:    st.Coalesced,
+		Promotions:   st.L2Hits,
+		FlushBacklog: st.L2Backlog,
+		L2Flushed:    st.L2Flushed,
+		L2Dropped:    st.L2Dropped,
+		Entries:      st.Entries,
+		L2Entries:    st.L2Entries,
+	}
 }
 
 // AddRow appends a formatted row.

@@ -8,7 +8,7 @@ import (
 )
 
 func TestIDsComplete(t *testing.T) {
-	want := []string{"ext-abft", "ext-budget", "ext-caching", "ext-faults", "ext-ood", "ext-oracle",
+	want := []string{"ext-abft", "ext-budget", "ext-caching", "ext-caching2", "ext-faults", "ext-ood", "ext-oracle",
 		"ext-serving", "ext-softvote", "ext-throughput", "fig1", "fig10", "fig11", "fig12",
 		"fig13", "fig14", "fig2", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9",
 		"tab2", "tab3"}

@@ -120,5 +120,6 @@ func ExtCaching(ctx *Context) (*Result, error) {
 	res.AddNote("4-member %s system, Zipf(s=%.2f) over a %d-image pool (%d distinct drawn), batch=%d, cache %d MiB; decisions verified identical cached vs uncached",
 		b.Name, s, pool, len(distinct), batch, cacheMB)
 	res.AddNote("cache: %d entries, %d coalesced, %d B resident after the warm pass", warmStats.Entries, warmStats.Coalesced, warmStats.Bytes)
+	res.CacheTiers = cacheTierStats(warmStats)
 	return res, nil
 }

@@ -1,0 +1,306 @@
+package perf
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/cache/persist"
+	"repro/internal/core"
+	"repro/internal/tensor"
+)
+
+// Measured benchmarks for the persistent L2 cache tier. Entries whose name
+// starts with "BenchmarkCacheL2" are split out of the cache report into
+// BENCH_cache2.json (see TestMain). The headline numbers are
+// BenchmarkCacheL2ColdStart (restart time-to-99%-hit-ratio with and without
+// the disk tier) and BenchmarkCacheL2FlushOverhead/zipf_steady_state, whose
+// flush_overhead_pct metric must stay under 5%: the write-behind flusher is
+// off the serve path by design, so tiering the cache must not meaningfully
+// slow a serving-shaped workload.
+
+var decisionCodec = persist.Codec[core.Decision]{
+	Encode: core.EncodeDecision,
+	Decode: core.DecodeDecision,
+}
+
+// recordEntry stores a manually measured ns/op under the benchmark's name —
+// for benchmarks whose timing is taken with interleaved best-of-N passes
+// rather than a b.N loop — replacing any earlier probe-run entry (the same
+// contract as timeOp).
+func recordEntry(b *testing.B, nsPerOp float64) *BenchEntry {
+	b.Helper()
+	entry := BenchEntry{Name: b.Name(), NsPerOp: nsPerOp}
+	for i := range collected {
+		if collected[i].Name == entry.Name {
+			collected[i] = entry
+			return &collected[i]
+		}
+	}
+	collected = append(collected, entry)
+	return &collected[len(collected)-1]
+}
+
+// BenchmarkCacheL2ColdStart replays the Zipf workload against a freshly
+// restarted process — an empty in-memory cache — with and without a warm L2
+// directory underneath, and reports how many frames and how much wall time
+// each needs before a full batch is served from cache (per-batch hit ratio
+// ≥ 99%). One op is the whole restart: open the cache, stream every frame,
+// close.
+func BenchmarkCacheL2ColdStart(b *testing.B) {
+	const batch = 32
+	const seqLen = 48 * batch
+	sys, frames := cacheSystemFixture(b, seqLen, 64, 1.1)
+	memCfg := cache.Config{MaxBytes: 64 << 20}
+
+	// replay returns the frame count and wall time until the per-batch hit
+	// ratio first reaches 99% (-1 when it never does).
+	replay := func(pc *core.PredictionCache) (reached int, toReach float64) {
+		start := time.Now()
+		reached = -1
+		prev := pc.Stats()
+		for i := 0; i < len(frames); i += batch {
+			sys.ClassifyBatch(frames[i : i+batch])
+			st := pc.Stats()
+			hits, misses := st.Hits-prev.Hits, st.Misses-prev.Misses
+			prev = st
+			if reached < 0 && hits+misses > 0 && float64(hits)/float64(hits+misses) >= 0.99 {
+				reached = i + batch
+				toReach = float64(time.Since(start).Nanoseconds())
+			}
+		}
+		return reached, toReach
+	}
+
+	// Warm the disk tier once: a first boot streams the workload through a
+	// tiered cache and shuts down cleanly, leaving the directory every
+	// "restart_with_l2" op recovers from.
+	dir := b.TempDir()
+	diskCfg := persist.Config{Dir: dir}
+	pc, err := sys.EnableTieredCache(memCfg, diskCfg, "bits=0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	replay(pc)
+	if err := pc.Close(); err != nil {
+		b.Fatal(err)
+	}
+	sys.Cache = nil
+
+	var memNs99 float64
+	b.Run("restart_memory_only", func(b *testing.B) {
+		var reached int
+		var ns float64
+		e := timeOp(b, func() {
+			pc := sys.EnableCache(memCfg, "bits=0")
+			reached, ns = replay(pc)
+			sys.Cache = nil
+		})
+		memNs99 = ns
+		e.Metrics = map[string]float64{
+			"frames_to_99": float64(reached),
+			"ms_to_99":     ns / 1e6,
+			"img_per_sec":  float64(seqLen) * 1e9 / e.NsPerOp,
+		}
+		b.ReportMetric(float64(reached), "frames_to_99")
+		b.ReportMetric(ns/1e6, "ms_to_99")
+	})
+	b.Run("restart_with_l2", func(b *testing.B) {
+		var reached int
+		var ns float64
+		e := timeOp(b, func() {
+			pc, err := sys.EnableTieredCache(memCfg, diskCfg, "bits=0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			reached, ns = replay(pc)
+			if err := pc.Close(); err != nil {
+				b.Fatal(err)
+			}
+			sys.Cache = nil
+		})
+		e.Metrics = map[string]float64{
+			"frames_to_99": float64(reached),
+			"ms_to_99":     ns / 1e6,
+			"img_per_sec":  float64(seqLen) * 1e9 / e.NsPerOp,
+		}
+		if memNs99 > 0 && ns > 0 {
+			e.Metrics["time_to_99_speedup"] = memNs99 / ns
+			b.ReportMetric(memNs99/ns, "x_mem_to_99")
+		}
+		b.ReportMetric(float64(reached), "frames_to_99")
+		b.ReportMetric(ns/1e6, "ms_to_99")
+	})
+}
+
+// BenchmarkCacheL2FlushOverhead measures what the write-behind flusher adds
+// to the serve path, memory-only vs tiered on the same workload with
+// interleaved best-of-N timing: each rep times one memory-only pass and one
+// tiered pass back to back on fresh caches (and a fresh empty directory), so
+// both variants recompute the same misses and the tiered one additionally
+// frames, CRCs, writes and fsyncs a record per miss. FlushL2 runs before the
+// clock stops, so the tiered time covers the full durable write, not just
+// the enqueue; store open/close stays outside the timed region (it is
+// once-per-process, not steady state).
+//
+// The headline is zipf_steady_state — a serving cache's normal regime, hits
+// dominating with a tail of novel keys feeding the flusher — whose
+// flush_overhead_pct must stay under 5%. all_miss_ingest is the worst-case
+// diagnostic: every single frame writes a record, bounding what a cold
+// ingest can cost.
+func BenchmarkCacheL2FlushOverhead(b *testing.B) {
+	const batch = 32
+	memCfg := cache.Config{MaxBytes: 64 << 20}
+	// 4 shards, not the default 16: these working sets are a few dozen keys,
+	// and each flush batch fsyncs every segment file it touched, so the shard
+	// count sets the fixed fsync cost per coalescing tick.
+	diskCfg := func(dir string) persist.Config { return persist.Config{Dir: dir, Shards: 4} }
+
+	// measure returns the best-of-N interleaved (memory, tiered) pass times.
+	measure := func(b *testing.B, sys *core.System, frames []*tensor.T) (baseline, tiered float64) {
+		b.Helper()
+		classifyAll := func() {
+			for i := 0; i < len(frames); i += batch {
+				sys.ClassifyBatch(frames[i : i+batch])
+			}
+		}
+		root := b.TempDir()
+		baseline, tiered = math.MaxFloat64, math.MaxFloat64
+		for rep := 0; rep < 4; rep++ {
+			sys.EnableCache(memCfg, "bits=0")
+			start := time.Now()
+			classifyAll()
+			memNs := float64(time.Since(start).Nanoseconds())
+			sys.Cache = nil
+
+			pc, err := sys.EnableTieredCache(memCfg,
+				diskCfg(filepath.Join(root, fmt.Sprint(rep))), "bits=0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			start = time.Now()
+			classifyAll()
+			if err := pc.FlushL2(); err != nil {
+				b.Fatal(err)
+			}
+			tierNs := float64(time.Since(start).Nanoseconds())
+			if err := pc.Close(); err != nil {
+				b.Fatal(err)
+			}
+			sys.Cache = nil
+
+			if rep > 0 {
+				baseline = math.Min(baseline, memNs)
+				tiered = math.Min(tiered, tierNs)
+			}
+		}
+		return baseline, tiered
+	}
+	report := func(b *testing.B, n int, baseline, tiered float64) {
+		b.Helper()
+		e := recordEntry(b, tiered)
+		overhead := 100 * (tiered - baseline) / baseline
+		e.Metrics = map[string]float64{
+			"flush_overhead_pct": overhead,
+			"img_per_sec":        float64(n) * 1e9 / tiered,
+		}
+		b.ReportMetric(overhead, "overhead_%")
+	}
+
+	b.Run("zipf_steady_state", func(b *testing.B) {
+		// The experiment-scale window: ~64 distinct keys spread over 1536
+		// frames, so the flusher's work amortizes over a serving-shaped
+		// stream rather than being front-loaded into a few batches.
+		const seqLen = 48 * batch
+		sys, frames := cacheSystemFixture(b, seqLen, 64, 1.1)
+		baseline, tiered := measure(b, sys, frames)
+		report(b, seqLen, baseline, tiered)
+	})
+	b.Run("all_miss_ingest", func(b *testing.B) {
+		const seqLen = 16 * batch
+		sys, _ := cacheSystemFixture(b, 1, 2, 1.1)
+		rng := rand.New(rand.NewSource(13))
+		frames := make([]*tensor.T, seqLen)
+		for i := range frames {
+			frames[i] = tensor.New(3, 32, 32)
+			frames[i].FillUniform(rng, 0, 1)
+		}
+		baseline, tiered := measure(b, sys, frames)
+		report(b, seqLen, baseline, tiered)
+	})
+}
+
+// BenchmarkCacheL2Store measures the raw persistent store: the synchronous
+// cost of enqueueing a record on the serve path (Add never blocks on disk),
+// the durable write throughput of a flushed batch, and the in-memory index
+// hit path after recovery.
+func BenchmarkCacheL2Store(b *testing.B) {
+	fp := cache.Fingerprint{1}
+	mkKeys := func(n int) []cache.Key {
+		keys := make([]cache.Key, n)
+		x := tensor.New(1, 2, 2)
+		for i := range keys {
+			x.Data[0] = float64(i)
+			keys[i] = cache.ImageKey(fp, x.Shape, x.Data)
+		}
+		return keys
+	}
+	d := core.Decision{Label: 3, Reliable: true, Confidence: 0.9, Votes: map[int]int{3: 2, 1: 1}, Activated: 3}
+	open := func(b *testing.B, dir string) *persist.Store[core.Decision] {
+		b.Helper()
+		s, err := persist.Open(persist.Config{Dir: dir, MaxBytes: 1 << 30, FlushEvery: time.Hour}, fp, decisionCodec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return s
+	}
+
+	b.Run("flush_batch_512", func(b *testing.B) {
+		s := open(b, b.TempDir())
+		defer s.Close()
+		keys := mkKeys(512)
+		e := timeOp(b, func() {
+			for _, k := range keys {
+				s.Add(k, d)
+			}
+			if err := s.Flush(); err != nil {
+				b.Fatal(err)
+			}
+		})
+		e.Metrics = map[string]float64{
+			"ns_per_record":   e.NsPerOp / 512,
+			"records_per_sec": 512 * 1e9 / e.NsPerOp,
+		}
+		b.ReportMetric(e.NsPerOp/512, "ns/record")
+	})
+	b.Run("get_hit", func(b *testing.B) {
+		dir := b.TempDir()
+		s := open(b, dir)
+		keys := mkKeys(1024)
+		for _, k := range keys {
+			s.Add(k, d)
+		}
+		if err := s.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Close(); err != nil {
+			b.Fatal(err)
+		}
+		// Reopen so gets are served from the recovered index — the restart
+		// read path, decode included.
+		s = open(b, dir)
+		defer s.Close()
+		i := 0
+		e := timeOp(b, func() {
+			if _, ok := s.Get(keys[i&1023]); !ok {
+				b.Fatal("recovered key missing")
+			}
+			i++
+		})
+		e.Metrics = map[string]float64{"ns_per_get": e.NsPerOp}
+	})
+}

@@ -30,9 +30,13 @@ func TestMain(m *testing.M) {
 		// Cache and quant-backend benchmarks get their own reports so the
 		// kernel, caching and reduced-precision numbers version
 		// independently in CI artifacts.
-		var kernels, caches, quant, abft []BenchEntry
+		var kernels, caches, cache2, quant, abft []BenchEntry
 		for _, e := range collected {
 			switch {
+			// L2 before the plain cache case: "BenchmarkCache" is a prefix
+			// of "BenchmarkCacheL2".
+			case strings.HasPrefix(e.Name, "BenchmarkCacheL2"):
+				cache2 = append(cache2, e)
 			case strings.HasPrefix(e.Name, "BenchmarkCache"):
 				caches = append(caches, e)
 			case strings.HasPrefix(e.Name, "BenchmarkQuant"):
@@ -59,6 +63,7 @@ func TestMain(m *testing.M) {
 		}
 		write(kernels, "PGMR_BENCH_JSON", "BENCH_kernels.json")
 		write(caches, "PGMR_BENCH_CACHE_JSON", "BENCH_cache.json")
+		write(cache2, "PGMR_BENCH_CACHE2_JSON", "BENCH_cache2.json")
 		write(quant, "PGMR_BENCH_QUANT_JSON", "BENCH_quant.json")
 		write(abft, "PGMR_BENCH_ABFT_JSON", "BENCH_abft.json")
 	}

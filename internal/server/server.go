@@ -349,7 +349,19 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		st := prober.CacheStats()
-		s.metrics.ObserveCacheProbe(hits, len(ims)-hits, st.Coalesced, st.Entries, st.Bytes)
+		s.metrics.ObserveCacheProbe(telemetry.CacheProbe{
+			Hits:      hits,
+			Misses:    len(ims) - hits,
+			Coalesced: st.Coalesced,
+			Entries:   st.Entries,
+			Bytes:     st.Bytes,
+			L2Hits:    st.L2Hits,
+			L2Entries: st.L2Entries,
+			L2Bytes:   st.L2Bytes,
+			L2Backlog: st.L2Backlog,
+			L2Flushed: st.L2Flushed,
+			L2Dropped: st.L2Dropped,
+		})
 		switch {
 		case hits == len(ims):
 			w.Header().Set(cacheHeader, "hit")

@@ -48,6 +48,16 @@ type Metrics struct {
 	CacheEntries   *Gauge   // predictions currently cached
 	CacheBytes     *Gauge   // bytes currently charged against the cache budget
 
+	// Persistent L2 cache tier (internal/cache/persist). All mirrored from
+	// the backend cache's cumulative counters on every probe; zero when the
+	// server runs without a disk tier.
+	CacheL2Hits    *Gauge // decisions served from disk and promoted to memory
+	CacheL2Entries *Gauge // live records indexed on disk
+	CacheL2Bytes   *Gauge // live record bytes on disk
+	CacheL2Backlog *Gauge // write-behind records queued, not yet flushed
+	CacheL2Flushed *Gauge // records made durable by the flusher (cumulative)
+	CacheL2Dropped *Gauge // records lost to backpressure or write errors (cumulative)
+
 	// ABFT verification (DESIGN.md §10). Cumulative counters mirrored from
 	// the system's verification sink after every batch dispatch, like the
 	// cache gauges: detected faults caught in kernel epilogues, split by
@@ -99,6 +109,13 @@ func NewMetrics(maxMembers int) *Metrics {
 		CacheEntries:   r.Gauge("pgmr_cache_entries", "Predictions currently resident in the cache."),
 		CacheBytes:     r.Gauge("pgmr_cache_bytes", "Bytes currently charged against the prediction-cache budget."),
 
+		CacheL2Hits:    r.Gauge("pgmr_cache_l2_hits", "Decisions served from the persistent cache tier and promoted to memory (cumulative)."),
+		CacheL2Entries: r.Gauge("pgmr_cache_l2_entries", "Live records indexed in the persistent cache tier."),
+		CacheL2Bytes:   r.Gauge("pgmr_cache_l2_bytes", "Live record bytes in the persistent cache tier."),
+		CacheL2Backlog: r.Gauge("pgmr_cache_l2_backlog", "Write-behind records queued for the persistent tier, not yet flushed."),
+		CacheL2Flushed: r.Gauge("pgmr_cache_l2_flushed", "Records made durable by the write-behind flusher (cumulative)."),
+		CacheL2Dropped: r.Gauge("pgmr_cache_l2_dropped", "Records dropped by write-behind backpressure or write errors (cumulative)."),
+
 		AbftChecks:        r.Gauge("pgmr_abft_checks", "ABFT checksum comparisons performed (cumulative, mirrored from the system)."),
 		AbftDetected:      r.Gauge("pgmr_abft_detected", "ABFT checksum mismatches detected in kernel epilogues (cumulative)."),
 		AbftCorrected:     r.Gauge("pgmr_abft_corrected", "Detected faults cleared by bounded re-execution (cumulative)."),
@@ -118,14 +135,38 @@ func (m *Metrics) ObserveAbft(checks, detected, corrected, uncorrectable uint64)
 	m.AbftUncorrectable.Set(int64(uncorrectable))
 }
 
+// CacheProbe carries one pre-admission probe outcome plus the backend
+// cache's counters for the mirrored gauges. The L2 fields stay zero for
+// memory-only caches, which parks the pgmr_cache_l2_* gauges at zero.
+type CacheProbe struct {
+	// Hits and Misses are this probe's per-image outcomes.
+	Hits, Misses int
+	// Mirrored cumulative counters / occupancy from the cache.
+	Coalesced uint64
+	Entries   int
+	Bytes     int64
+	// Mirrored persistent-tier counters.
+	L2Hits               uint64
+	L2Entries            int
+	L2Bytes              int64
+	L2Backlog            int64
+	L2Flushed, L2Dropped uint64
+}
+
 // ObserveCacheProbe records one pre-admission cache probe over a request's
 // images and refreshes the occupancy gauges from the cache's counters.
-func (m *Metrics) ObserveCacheProbe(hits, misses int, coalesced uint64, entries int, bytes int64) {
-	m.CacheHits.Add(uint64(hits))
-	m.CacheMisses.Add(uint64(misses))
-	m.CacheCoalesced.Set(int64(coalesced))
-	m.CacheEntries.Set(int64(entries))
-	m.CacheBytes.Set(bytes)
+func (m *Metrics) ObserveCacheProbe(p CacheProbe) {
+	m.CacheHits.Add(uint64(p.Hits))
+	m.CacheMisses.Add(uint64(p.Misses))
+	m.CacheCoalesced.Set(int64(p.Coalesced))
+	m.CacheEntries.Set(int64(p.Entries))
+	m.CacheBytes.Set(p.Bytes)
+	m.CacheL2Hits.Set(int64(p.L2Hits))
+	m.CacheL2Entries.Set(int64(p.L2Entries))
+	m.CacheL2Bytes.Set(p.L2Bytes)
+	m.CacheL2Backlog.Set(p.L2Backlog)
+	m.CacheL2Flushed.Set(int64(p.L2Flushed))
+	m.CacheL2Dropped.Set(int64(p.L2Dropped))
 }
 
 // ObserveDecision ingests one decision outcome: the reliability verdict,

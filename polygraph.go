@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/cache"
+	"repro/internal/cache/persist"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/model"
@@ -154,27 +155,53 @@ type Options struct {
 
 // CacheOptions configures the prediction cache (Options.Cache).
 type CacheOptions struct {
-	// MaxBytes is the total byte budget; <= 0 selects 64 MiB.
+	// MaxBytes is the in-memory byte budget; <= 0 selects 64 MiB.
 	MaxBytes int64
-	// TTL is the entry lifetime; 0 disables expiry.
+	// TTL is the entry lifetime; 0 disables expiry. Applies to both tiers.
 	TTL time.Duration
 	// Shards is the lock-shard count, rounded up to a power of two;
 	// <= 0 selects 16.
 	Shards int
+	// Dir, when non-empty, attaches a persistent L2 disk tier under the
+	// in-memory cache: decisions are written behind (asynchronously, lossy
+	// under backpressure — the serve path never blocks on disk), survive
+	// process restarts, and are promoted back into memory on first use.
+	// Entries written under a different system configuration are rejected
+	// at recovery via the embedded fingerprint. Call System.Close before
+	// exit to flush the write-behind tail.
+	Dir string
+	// DiskMaxBytes is the L2 byte budget (size-budgeted compaction evicts
+	// the oldest entries past it); <= 0 selects 256 MiB. Ignored without
+	// Dir.
+	DiskMaxBytes int64
 }
 
 // CacheStats is a point-in-time snapshot of the prediction-cache counters.
+// The L2 fields are zero unless a disk tier is attached (CacheOptions.Dir).
 type CacheStats struct {
-	// Hits and Misses count store probes.
+	// Hits and Misses count store probes (a hit from either tier counts).
 	Hits, Misses uint64
 	// Coalesced counts inputs served without their own ensemble pass by
 	// joining a concurrent identical computation or by intra-batch dedup.
 	Coalesced uint64
 	// Evictions and Expired count entries dropped for capacity and TTL.
 	Evictions, Expired uint64
-	// Entries and Bytes describe current occupancy.
+	// Entries and Bytes describe current in-memory occupancy.
 	Entries int
 	Bytes   int64
+	// L2Hits counts decisions served from disk and promoted into memory.
+	L2Hits uint64
+	// L2Entries and L2Bytes describe the live on-disk tier.
+	L2Entries int
+	L2Bytes   int64
+	// L2Flushed, L2Dropped and L2Backlog describe the write-behind queue:
+	// records made durable, records lost to backpressure or write errors,
+	// and records still queued.
+	L2Flushed, L2Dropped uint64
+	L2Backlog            int64
+	// L2Recovered and L2Truncated describe the last recovery scan: records
+	// re-indexed from disk and torn tails cut.
+	L2Recovered, L2Truncated uint64
 }
 
 // System is a runnable PolygraphMR instance.
@@ -297,11 +324,24 @@ func Build(benchmark string, opts Options) (*System, error) {
 		// covers thresholds, staging, member set and the per-member backend
 		// schedule, and the salt carries the precision bits (they rewrite
 		// network weights, which the member names cannot express).
-		sys.EnableCache(cache.Config{
+		ccfg := cache.Config{
 			MaxBytes: opts.Cache.MaxBytes,
 			TTL:      opts.Cache.TTL,
 			Shards:   opts.Cache.Shards,
-		}, fmt.Sprintf("bits=%d", opts.PrecisionBits))
+		}
+		salt := fmt.Sprintf("bits=%d", opts.PrecisionBits)
+		if opts.Cache.Dir != "" {
+			_, err := sys.EnableTieredCache(ccfg, persist.Config{
+				Dir:      opts.Cache.Dir,
+				MaxBytes: opts.Cache.DiskMaxBytes,
+				TTL:      opts.Cache.TTL,
+			}, salt)
+			if err != nil {
+				return nil, fmt.Errorf("polygraph: opening cache dir: %w", err)
+			}
+		} else {
+			sys.EnableCache(ccfg, salt)
+		}
 	}
 	return &System{sys: sys, benchmark: b, inShape: ds.InShape}, nil
 }
@@ -423,14 +463,41 @@ func (s *System) CacheStats() CacheStats {
 	}
 	st := s.sys.Cache.Stats()
 	return CacheStats{
-		Hits:      st.Hits,
-		Misses:    st.Misses,
-		Coalesced: st.Coalesced,
-		Evictions: st.Evictions,
-		Expired:   st.Expired,
-		Entries:   st.Entries,
-		Bytes:     st.Bytes,
+		Hits:        st.Hits,
+		Misses:      st.Misses,
+		Coalesced:   st.Coalesced,
+		Evictions:   st.Evictions,
+		Expired:     st.Expired,
+		Entries:     st.Entries,
+		Bytes:       st.Bytes,
+		L2Hits:      st.L2Hits,
+		L2Entries:   st.L2Entries,
+		L2Bytes:     st.L2Bytes,
+		L2Flushed:   st.L2Flushed,
+		L2Dropped:   st.L2Dropped,
+		L2Backlog:   st.L2Backlog,
+		L2Recovered: st.L2Recovered,
+		L2Truncated: st.L2Truncated,
 	}
+}
+
+// FlushCache blocks until every queued write-behind entry has reached the
+// persistent cache tier (or was dropped). No-op without a disk tier.
+func (s *System) FlushCache() error {
+	if s.sys.Cache == nil {
+		return nil
+	}
+	return s.sys.Cache.FlushL2()
+}
+
+// Close flushes and closes the persistent cache tier, if any. Classify
+// remains usable afterwards (the cache degrades to memory-only); call it
+// before process exit so the write-behind tail reaches disk.
+func (s *System) Close() error {
+	if s.sys.Cache == nil {
+		return nil
+	}
+	return s.sys.Cache.Close()
 }
 
 // AbftCounts is a snapshot of the ABFT verification counters (zero unless
