@@ -46,6 +46,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cacheTTL := fs.Duration("cache-ttl", 0, "ext-caching: cache entry TTL (0 = entries never expire)")
 	cacheDir := fs.String("cache-dir", "", "ext-caching2: persistent L2 cache directory (empty = run-scoped temp dir)")
 	zipfS := fs.Float64("zipf", 1.1, "ext-caching: Zipf skew exponent of the duplicate workload (> 1)")
+	slo := fs.Duration("slo", 50*time.Millisecond, "ext-slo: per-request latency budget of the adaptive-cascade sweep (> 0)")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: pgmr-bench [-list] [-quiet] [-csv DIR] [-json FILE] <experiment-id>... | all\n")
 		fmt.Fprintf(stderr, "experiments: %s\n", strings.Join(experiments.IDs(), ", "))
@@ -60,6 +61,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *zipfS <= 1 {
 		fmt.Fprintln(stderr, "pgmr-bench: -zipf must be > 1 (Zipf skew exponent)")
+		fs.Usage()
+		return 2
+	}
+	if *slo <= 0 {
+		fmt.Fprintf(stderr, "pgmr-bench: -slo must be a positive duration, got %v\n", *slo)
 		fs.Usage()
 		return 2
 	}
@@ -105,6 +111,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	ctx.CacheTTL = *cacheTTL
 	ctx.CacheDir = *cacheDir
 	ctx.ZipfS = *zipfS
+	ctx.SLO = *slo
 	if !*quiet {
 		ctx.Zoo.Progress = func(f string, a ...any) {
 			fmt.Fprintf(stderr, "# "+f+"\n", a...)

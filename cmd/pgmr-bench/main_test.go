@@ -27,6 +27,8 @@ func TestRunUsageErrors(t *testing.T) {
 		{"zipf below 1", []string{"-zipf", "0.5", "ext-caching"}},
 		{"unknown backend", []string{"-backend", "f16", "ext-throughput"}},
 		{"uppercase backend", []string{"-backend", "INT8", "ext-throughput"}},
+		{"zero slo", []string{"-slo", "0", "ext-slo"}},
+		{"negative slo", []string{"-slo", "-5ms", "ext-slo"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

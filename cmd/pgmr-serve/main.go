@@ -54,6 +54,7 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "persistent L2 cache directory (survives restarts; requires -cache-mb)")
 	cacheDiskMB := flag.Int("cache-disk-mb", 0, "L2 disk-tier budget in MiB (0 = 256 MiB default; requires -cache-dir)")
 	verified := flag.Bool("verified", false, "enable ABFT checksum verification of member inference kernels")
+	slo := flag.Duration("slo", 0, "per-request latency SLO; attaches the adaptive cascade controller (unset = static serving)")
 	quiet := flag.Bool("quiet", false, "suppress training progress output")
 
 	loadtest := flag.Bool("loadtest", false, "run an in-process load test instead of serving")
@@ -87,6 +88,17 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	sloSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "slo" {
+			sloSet = true
+		}
+	})
+	if err := validateSLO(sloSet, *slo); err != nil {
+		fmt.Fprintf(os.Stderr, "pgmr-serve: %v\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	opts := polygraph.Options{
 		Members:       *members,
@@ -107,6 +119,12 @@ func main() {
 			DiskMaxBytes: int64(*cacheDiskMB) << 20,
 		}
 	}
+	if *slo > 0 {
+		opts.SLO = *slo
+		// The controller plans around the same batch shape the server is
+		// configured with.
+		opts.Policy = &polygraph.PolicyOptions{BatchWindow: *batchWindow, MaxBatch: *maxBatch}
+	}
 	sys, err := polygraph.Build(*benchmark, opts)
 	if err != nil {
 		fatalf("building system: %v", err)
@@ -116,20 +134,32 @@ func main() {
 		*benchmark, *members, conf, freq)
 
 	metrics := telemetry.NewMetrics(*members)
-	srv, err := server.New(server.Config{
+	scfg := server.Config{
 		Backend:         sys,
 		BatchWindow:     *batchWindow,
 		MaxBatch:        *maxBatch,
 		QueueDepth:      *queue,
 		DefaultDeadline: *deadline,
 		Metrics:         metrics,
-	})
+	}
+	// The nil check matters: assigning a nil *policy.Controller directly
+	// would make the interface non-nil and crash the batcher.
+	if ctl := sys.PolicyController(); ctl != nil {
+		scfg.Policy = ctl
+		fmt.Fprintf(os.Stderr, "# SLO controller armed: budget=%v\n", *slo)
+	}
+	srv, err := server.New(scfg)
 	if err != nil {
 		fatalf("%v", err)
 	}
 
 	if *loadtest {
 		runLoadtest(srv, metrics, *benchmark, *pool, *clients, *requests, *perRequest)
+		if ctl := sys.PolicyController(); ctl != nil {
+			sn := ctl.Snapshot()
+			fmt.Printf("policy: tier=%d (%s) requests=%d budget-misses=%d step-downs=%d step-ups=%d\n",
+				sn.Tier, sn.TierName, sn.Requests, sn.BudgetMisses, sn.StepDowns, sn.StepUps)
+		}
 		if err := sys.Close(); err != nil {
 			fatalf("closing cache: %v", err)
 		}
@@ -222,6 +252,16 @@ func validateBackends(backend, late string) error {
 	}
 	if _, err := core.ParseBackend(late); err != nil {
 		return fmt.Errorf("-late-backend: %w", err)
+	}
+	return nil
+}
+
+// validateSLO rejects an explicitly requested non-positive SLO: leaving the
+// flag unset serves statically, but "-slo 0" asks for a controller with no
+// budget — a usage error, not a mode.
+func validateSLO(set bool, d time.Duration) error {
+	if set && d <= 0 {
+		return fmt.Errorf("-slo must be a positive duration, got %v", d)
 	}
 	return nil
 }

@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"testing"
+	"time"
+)
 
 // TestValidateBackends pins the -backend/-late-backend usage contract: the
 // three real backends (and the empty default) pass, anything else is a usage
@@ -18,5 +21,22 @@ func TestValidateBackends(t *testing.T) {
 	}
 	if err := validateBackends("", "INT8"); err == nil {
 		t.Error("validateBackends accepted -late-backend INT8")
+	}
+}
+
+// TestValidateSLO pins the -slo usage contract: unset means static serving
+// (whatever the default value), but an explicitly passed non-positive
+// duration is a usage error.
+func TestValidateSLO(t *testing.T) {
+	if err := validateSLO(false, 0); err != nil {
+		t.Errorf("validateSLO(unset, 0) = %v, want nil", err)
+	}
+	if err := validateSLO(true, 10*time.Millisecond); err != nil {
+		t.Errorf("validateSLO(set, 10ms) = %v, want nil", err)
+	}
+	for _, d := range []time.Duration{0, -time.Second} {
+		if err := validateSLO(true, d); err == nil {
+			t.Errorf("validateSLO(set, %v) accepted a non-positive SLO", d)
+		}
 	}
 }

@@ -29,8 +29,10 @@ func (f Fingerprint) String() string { return hex.EncodeToString(f[:]) }
 // digestSchema versions the key byte layout itself: bump it whenever the
 // fingerprint or image serialization changes, so caches populated by older
 // layouts read as cold rather than wrong. v2 added the per-member backend
-// schedule (reduced-precision execution changes decisions).
-const digestSchema = "pgmr-cache-v2"
+// schedule (reduced-precision execution changes decisions); v3 added the
+// stage-policy descriptor (an adaptive cascade controller can change stage
+// depth and backends per batch).
+const digestSchema = "pgmr-cache-v3"
 
 // SystemConfig enumerates the decision-relevant configuration covered by a
 // fingerprint.
@@ -51,6 +53,14 @@ type SystemConfig struct {
 	// slightly different softmax rows, so the backend schedule is
 	// decision-relevant. nil/empty means every member runs float64.
 	Backends []string
+	// Policy describes the stage policy attached to the system, when any: a
+	// runtime cascade controller can alter stage depth and per-stage
+	// backends, so two systems that differ only in their policy must not
+	// share keys. Empty means the static schedule (no policy attached).
+	// Note the engine additionally refuses to store policy-degraded batches
+	// (see internal/core), so cached entries under a fingerprint are always
+	// the reference decisions of that configuration.
+	Policy string
 	// Salt carries decision-relevant configuration the member names cannot
 	// see — e.g. RAMR precision bits, which rewrite the network weights
 	// after the system is assembled.
@@ -89,6 +99,7 @@ func SystemFingerprint(cfg SystemConfig) Fingerprint {
 	for _, b := range cfg.Backends {
 		writeStr(b)
 	}
+	writeStr(cfg.Policy)
 	writeStr(cfg.Salt)
 	return Fingerprint(h.Sum(nil))
 }

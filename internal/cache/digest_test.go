@@ -29,8 +29,8 @@ func refImage() ([]int, []float64) {
 // prediction written by one process must be readable by the next. Update
 // them ONLY together with a digestSchema bump.
 const (
-	goldenFingerprint = "ab3a3817d8a4973eccc10ff7c67b93589d6a74a89a5f2ad115281db9e19e06a3"
-	goldenKey         = "477e0858fde58db778a9394567e0e956cb148f97ce88607d5dd5659d8b3378da"
+	goldenFingerprint = "3a318f6363f2252193dd933458a0949cd3cea16d706d34649445ac22c0a10e8a"
+	goldenKey         = "7e92890788e65988f2a61d2099a3edca1534ff1c0210c160d1b95d95e9367955"
 )
 
 func TestDigestStableAcrossProcesses(t *testing.T) {
@@ -73,6 +73,7 @@ func TestDigestSensitivity(t *testing.T) {
 		"backend change": func(c *SystemConfig) { c.Backends = []string{"f64", "f32", "f64"} },
 		"backend order":  func(c *SystemConfig) { c.Backends = []string{"int8", "f64", "f64"} },
 		"backends unset": func(c *SystemConfig) { c.Backends = nil },
+		"policy":         func(c *SystemConfig) { c.Policy = "slo=10ms" },
 		"salt":           func(c *SystemConfig) { c.Salt = "bits=8" },
 	}
 	for name, mutate := range mutations {

@@ -99,6 +99,43 @@ func (s *System) PrepareBackends(calib []*tensor.T) error {
 	return nil
 }
 
+// PrepareAdaptive compiles the f32 and int8 variants of every member into
+// Member.alt, so an attached StagePolicy can override the backend of any
+// stage at runtime (int8→f32→f64 precision escalation) without recompiling.
+// calib is a sample of raw system inputs for int8 calibration; like
+// PrepareBackends, each member calibrates on its own preprocessed view.
+// Variants are compiled once and kept — PrepareAdaptive is idempotent.
+// The members' configured Backend fields (and net32) are untouched: with a
+// nil policy, or a policy that never overrides, the adaptive variants are
+// dead weight, never a behaviour change.
+func (s *System) PrepareAdaptive(calib []*tensor.T) error {
+	if len(calib) == 0 {
+		return fmt.Errorf("core: PrepareAdaptive needs a calibration sample for the int8 variants")
+	}
+	for i := range s.Members {
+		m := &s.Members[i]
+		if m.alt[BackendF32] == nil {
+			net, err := m.Net.Compile32()
+			if err != nil {
+				return fmt.Errorf("core: member %s: %w", m.Name, err)
+			}
+			m.alt[BackendF32] = net
+		}
+		if m.alt[BackendInt8] == nil {
+			pre := make([]*tensor.T, len(calib))
+			for j, x := range calib {
+				pre[j] = m.Pre.Apply(x)
+			}
+			net, err := m.Net.CompileInt8(pre)
+			if err != nil {
+				return fmt.Errorf("core: member %s: %w", m.Name, err)
+			}
+			m.alt[BackendInt8] = net
+		}
+	}
+	return nil
+}
+
 // Backends returns the per-member backend schedule in priority order —
 // the names the fingerprint and the serving metrics report.
 func (s *System) Backends() []string {

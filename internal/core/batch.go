@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/metrics"
 	"repro/internal/tensor"
@@ -31,6 +32,12 @@ import (
 // for concurrent calls on distinct members.
 type batchInferFn func(member int, xs []*tensor.T) [][]float64
 
+// batchStageInferFn is batchInferFn with a per-stage backend override: when
+// override is true the member should execute on backend be (falling back to
+// its configured path if that variant is not compiled). It is the seam the
+// StagePolicy engine drives.
+type batchStageInferFn func(member int, be Backend, override bool, xs []*tensor.T) [][]float64
+
 // batchImgState carries one image's staged-activation progress.
 type batchImgState struct {
 	rows     [][]float64
@@ -38,12 +45,34 @@ type batchImgState struct {
 	accepted int
 }
 
-// classifyBatchNetworks is the per-network batched decision engine. Chunk
+// classifyBatchNetworks is the per-network batched decision engine under the
+// static schedule. It is a thin wrapper over classifyBatchStaged that ignores
+// any attached policy — kept as the seam the equivalence property tests and
+// the cacheable reference path are written against.
+func (s *System) classifyBatchNetworks(ctx context.Context, xs []*tensor.T, infer batchInferFn) ([]Decision, error) {
+	ds, _, err := s.classifyBatchStagedWith(ctx, xs, nil,
+		func(m int, _ Backend, _ bool, pend []*tensor.T) [][]float64 { return infer(m, pend) })
+	return ds, err
+}
+
+// classifyBatchStaged runs the batched staged engine consulting the
+// system's attached policy (if any). The returned clean flag reports
+// whether every stage followed the static schedule — only clean batches may
+// be stored in the prediction cache.
+func (s *System) classifyBatchStaged(ctx context.Context, xs []*tensor.T, infer batchStageInferFn) ([]Decision, bool, error) {
+	return s.classifyBatchStagedWith(ctx, xs, s.Policy, infer)
+}
+
+// classifyBatchStagedWith is the batched staged decision engine. Chunk
 // boundaries replicate the sequential activate() checkpoints; within a chunk,
 // members run over the pending images (concurrently up to the Workers cap),
 // and their rows are consumed in member order so vote accounting is
-// order-identical to classifySequential.
-func (s *System) classifyBatchNetworks(ctx context.Context, xs []*tensor.T, infer batchInferFn) ([]Decision, error) {
+// order-identical to classifySequential. With a non-nil policy, each stage
+// boundary is offered to the policy, which may deepen/flatten the schedule,
+// halt escalation, or override the stage backend; the clean result reports
+// whether the batch stayed on the static schedule (nil policy is always
+// clean, and bit-identical to the engine before the seam existed).
+func (s *System) classifyBatchStagedWith(ctx context.Context, xs []*tensor.T, policy StagePolicy, infer batchStageInferFn) ([]Decision, bool, error) {
 	n := len(s.Members)
 	out := make([]Decision, len(xs))
 
@@ -67,8 +96,16 @@ func (s *System) classifyBatchNetworks(ctx context.Context, xs []*tensor.T, infe
 		return leaderVotes+(n-active) < s.Th.Freq
 	}
 
+	var deadline time.Time
+	if policy != nil {
+		if dl, ok := ctx.Deadline(); ok {
+			deadline = dl
+		}
+	}
+
+	clean := true
 	active := 0
-	for len(pending) > 0 && active < n {
+	for stage := 0; len(pending) > 0 && active < n; stage++ {
 		end := n
 		if s.Staged {
 			if active == 0 {
@@ -84,13 +121,51 @@ func (s *System) classifyBatchNetworks(ctx context.Context, xs []*tensor.T, infe
 			}
 		}
 
+		var req StageRequest
+		var dec StageDecision
+		var beSet bool
+		var be Backend
+		if policy != nil {
+			req = StageRequest{
+				Stage: stage, Active: active, Members: n,
+				Pending: len(pending), BatchSize: len(xs),
+				DefaultEnd: end, Deadline: deadline,
+			}
+			dec = policy.NextStage(req)
+			var halt, deviates bool
+			end, halt, deviates = resolveStage(req, dec)
+			if deviates {
+				clean = false
+			}
+			if halt {
+				// Decide every pending image from the rows it already has;
+				// Decision.Activated reports the shallower depth.
+				for _, i := range pending {
+					out[i] = Decide(st[i].rows, s.Th)
+				}
+				return out, clean, nil
+			}
+			be, beSet = dec.Backend, dec.BackendSet
+		}
+
 		pendXs = pendXs[:0]
 		for _, i := range pending {
 			pendXs = append(pendXs, xs[i])
 		}
-		chunk, err := s.runMemberRange(ctx, active, end, pendXs, infer)
+		var started time.Time
+		if policy != nil {
+			started = time.Now()
+		}
+		chunk, err := s.runMemberRange(ctx, active, end, pendXs, func(m int, xs []*tensor.T) [][]float64 {
+			return infer(m, be, beSet, xs)
+		})
 		if err != nil {
-			return nil, err
+			return nil, false, err
+		}
+		if policy != nil {
+			res := dec
+			res.End = end
+			policy.ObserveStage(req, res, time.Since(started))
 		}
 		for _, mrows := range chunk {
 			for pi, i := range pending {
@@ -116,7 +191,7 @@ func (s *System) classifyBatchNetworks(ctx context.Context, xs []*tensor.T, infe
 		}
 		pending = keep
 	}
-	return out, nil
+	return out, clean, nil
 }
 
 // runMemberRange evaluates members [start, end) on the given images, fanning
@@ -181,7 +256,19 @@ type batchScratch struct {
 // return the probability rows. Scratch is drawn from the pool so concurrent
 // member calls never share arenas.
 func (s *System) batchArenaInfer(pool *sync.Pool) batchInferFn {
+	stage := s.batchStageArenaInfer(pool)
 	return func(m int, xs []*tensor.T) [][]float64 {
+		return stage(m, BackendF64, false, xs)
+	}
+}
+
+// batchStageArenaInfer is batchArenaInfer with per-stage backend overrides:
+// when the policy requests a backend, the member runs its adaptive variant
+// compiled by PrepareAdaptive (falling back to the configured path when the
+// variant is absent, so a half-prepared system degrades to correct-but-
+// static rather than failing).
+func (s *System) batchStageArenaInfer(pool *sync.Pool) batchStageInferFn {
+	return func(m int, be Backend, override bool, xs []*tensor.T) [][]float64 {
 		sc := pool.Get().(*batchScratch)
 		mem := &s.Members[m]
 		st := s.verifySink(mem)
@@ -189,13 +276,14 @@ func (s *System) batchArenaInfer(pool *sync.Pool) batchInferFn {
 		for i, x := range xs {
 			pre[i] = mem.Pre.Apply(x)
 		}
+		net32 := mem.resolveNet(be, override)
 		var rows [][]float64
-		if mem.net32 != nil {
+		if net32 != nil {
 			if sc.a32 == nil {
 				sc.a32 = tensor.NewArena32()
 			}
 			sc.a32.SetAbft(st)
-			rows = mem.net32.InferBatch(pre, sc.a32)
+			rows = net32.InferBatch(pre, sc.a32)
 			sc.a32.Reset()
 		} else {
 			if sc.a == nil {

@@ -188,11 +188,15 @@ func (p *PredictionCache) Stats() CacheStats {
 
 // ConfigFingerprint digests every configuration field that can change a
 // Decision — thresholds, staging shape, the member set (variant keys) in
-// priority order, and the per-member backend schedule (reduced-precision
-// kernels shift softmax rows) — plus a caller salt for transformations the
-// member names cannot see (e.g. RAMR precision bits, which rewrite network
-// weights after assembly). Workers/Parallel are deliberately excluded: they
-// change wall-clock time, never decisions.
+// priority order, the per-member backend schedule (reduced-precision
+// kernels shift softmax rows), and the attached stage-policy descriptor —
+// plus a caller salt for transformations the member names cannot see (e.g.
+// RAMR precision bits, which rewrite network weights after assembly).
+// Workers/Parallel are deliberately excluded: they change wall-clock time,
+// never decisions. The policy descriptor is belt-and-braces: degraded
+// batches are never stored anyway (see classifyBatchCachedWith), but
+// keying on the descriptor keeps persistent tiers written under different
+// policies disjoint by construction.
 func (s *System) ConfigFingerprint(salt string) cache.Fingerprint {
 	names := make([]string, len(s.Members))
 	for i, m := range s.Members {
@@ -202,6 +206,10 @@ func (s *System) ConfigFingerprint(salt string) cache.Fingerprint {
 	if batch < 1 {
 		batch = 1 // the engines normalize Batch<1 to 1; key identically
 	}
+	policy := ""
+	if s.Policy != nil {
+		policy = s.Policy.Descriptor()
+	}
 	return cache.SystemFingerprint(cache.SystemConfig{
 		Conf:     s.Th.Conf,
 		Freq:     s.Th.Freq,
@@ -209,6 +217,7 @@ func (s *System) ConfigFingerprint(salt string) cache.Fingerprint {
 		Batch:    batch,
 		Members:  names,
 		Backends: s.Backends(),
+		Policy:   policy,
 		Salt:     salt,
 	})
 }
@@ -256,11 +265,15 @@ func isCtxErr(err error) bool {
 }
 
 // runOneFn computes one image uncached; runBatchFn computes a batch
-// uncached. The cached paths are written against these seams — mirroring
-// the inferFn seam of the engines — so the equivalence property tests can
-// drive them with exact synthetic softmax tables.
+// uncached, additionally reporting whether the batch is clean — computed on
+// the static schedule and therefore storeable. A policy-degraded batch
+// (clean == false) is served and published to coalesced followers but never
+// inserted, so the cache only ever holds reference decisions. The cached
+// paths are written against these seams — mirroring the inferFn seam of the
+// engines — so the equivalence property tests can drive them with exact
+// synthetic softmax tables.
 type runOneFn func(context.Context, *tensor.T) (Decision, error)
-type runBatchFn func(context.Context, []*tensor.T) ([]Decision, error)
+type runBatchFn func(context.Context, []*tensor.T) ([]Decision, bool, error)
 
 // classifyCached is the single-image cached path: probe, then join or lead
 // the singleflight for the key. Followers whose own context is still live
@@ -310,7 +323,7 @@ func (s *System) classifyCachedWith(ctx context.Context, x *tensor.T, runOne run
 // its unique images only. Decisions are index-aligned and identical to the
 // uncached engine's.
 func (s *System) classifyBatchCached(ctx context.Context, xs []*tensor.T) ([]Decision, error) {
-	return s.classifyBatchCachedWith(ctx, xs, s.classifyBatchUncached, s.classifyUncached)
+	return s.classifyBatchCachedWith(ctx, xs, s.classifyBatchUncachedTagged, s.classifyUncached)
 }
 
 func (s *System) classifyBatchCachedWith(ctx context.Context, xs []*tensor.T, runBatch runBatchFn, runOne runOneFn) ([]Decision, error) {
@@ -354,7 +367,7 @@ func (s *System) classifyBatchCachedWith(ctx context.Context, xs []*tensor.T, ru
 		for j, l := range leads {
 			cxs[j] = xs[l.idx]
 		}
-		ds, err := runBatch(ctx, cxs)
+		ds, clean, err := runBatch(ctx, cxs)
 		if err != nil {
 			for _, l := range leads {
 				pc.group.Finish(keys[l.idx], l.flight, Decision{}, err)
@@ -363,7 +376,14 @@ func (s *System) classifyBatchCachedWith(ctx context.Context, xs []*tensor.T, ru
 		}
 		for j, l := range leads {
 			d := ds[j]
-			pc.put(keys[l.idx], cloneDecision(d))
+			if clean {
+				// Only reference decisions enter the store: a policy-degraded
+				// batch (shallower stages, overridden backends) is served to
+				// this call and its coalesced followers but never cached, so
+				// a later unloaded request can never be answered with a
+				// load-shedding-era decision.
+				pc.put(keys[l.idx], cloneDecision(d))
+			}
 			pc.group.Finish(keys[l.idx], l.flight, cloneDecision(d), nil)
 			out[l.idx] = d
 			resolved[l.idx] = true

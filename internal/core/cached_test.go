@@ -32,9 +32,10 @@ func tableRunners(s *System, tables [][][]float64, calls *atomic.Int64) (runOneF
 		calls.Add(1)
 		return s.classifySequential(ctx, x, tableInfer(tables[int(x.Data[0])]))
 	}
-	runBatch := func(ctx context.Context, xs []*tensor.T) ([]Decision, error) {
+	runBatch := func(ctx context.Context, xs []*tensor.T) ([]Decision, bool, error) {
 		calls.Add(int64(len(xs)))
-		return s.classifyBatchNetworks(ctx, xs, batchInfer)
+		ds, err := s.classifyBatchNetworks(ctx, xs, batchInfer)
+		return ds, err == nil, err
 	}
 	return runOne, runBatch
 }
@@ -209,8 +210,8 @@ func TestClassifyCachedCoalescesConcurrent(t *testing.T) {
 func TestClassifyBatchCachedErrorPropagates(t *testing.T) {
 	s := tableSystem(2, Thresholds{Conf: 0, Freq: 1}, false, 1, 1)
 	s.EnableCache(testCacheConfig(), "")
-	runBatch := func(ctx context.Context, xs []*tensor.T) ([]Decision, error) {
-		return nil, context.Canceled
+	runBatch := func(ctx context.Context, xs []*tensor.T) ([]Decision, bool, error) {
+		return nil, false, context.Canceled
 	}
 	runOne := func(ctx context.Context, x *tensor.T) (Decision, error) {
 		return Decision{Label: 1, Votes: map[int]int{}, Activated: 2}, nil
@@ -220,12 +221,12 @@ func TestClassifyBatchCachedErrorPropagates(t *testing.T) {
 		t.Fatal("expected error from failed compute")
 	}
 	// The key must not be poisoned: a later caller recomputes successfully.
-	okBatch := func(ctx context.Context, xs []*tensor.T) ([]Decision, error) {
+	okBatch := func(ctx context.Context, xs []*tensor.T) ([]Decision, bool, error) {
 		ds := make([]Decision, len(xs))
 		for i := range ds {
 			ds[i] = Decision{Label: 1, Votes: map[int]int{}, Activated: 2}
 		}
-		return ds, nil
+		return ds, true, nil
 	}
 	ds, err := s.classifyBatchCachedWith(context.Background(), []*tensor.T{x}, okBatch, runOne)
 	if err != nil || ds[0].Label != 1 {

@@ -219,19 +219,31 @@ func (s *System) ClassifyBatchContext(ctx context.Context, xs []*tensor.T) ([]De
 // cache: the per-network fused path when the worker pool allows it, the
 // bit-exact sequential per-image arena path otherwise.
 func (s *System) classifyBatchUncached(ctx context.Context, xs []*tensor.T) ([]Decision, error) {
-	if s.workerCount(len(xs)) == 1 {
+	ds, _, err := s.classifyBatchUncachedTagged(ctx, xs)
+	return ds, err
+}
+
+// classifyBatchUncachedTagged is classifyBatchUncached plus the clean flag:
+// true when every stage followed the static schedule (so the decisions are
+// the reference ones and may be cached), false when an attached policy
+// degraded the batch. With a policy attached the fused staged engine always
+// runs — even at Workers == 1 — because the policy's stage semantics only
+// exist there; without one, Workers == 1 keeps the bit-exact sequential
+// per-image path.
+func (s *System) classifyBatchUncachedTagged(ctx context.Context, xs []*tensor.T) ([]Decision, bool, error) {
+	if s.Policy == nil && s.workerCount(len(xs)) == 1 {
 		out := make([]Decision, len(xs))
 		a := tensor.NewArena()
 		infer := s.arenaInfer(a)
 		for i, x := range xs {
 			d, err := s.classifySequential(ctx, x, infer)
 			if err != nil {
-				return nil, err
+				return nil, false, err
 			}
 			out[i] = d
 		}
-		return out, nil
+		return out, true, nil
 	}
 	pool := &sync.Pool{New: func() any { return &batchScratch{} }}
-	return s.classifyBatchNetworks(ctx, xs, s.batchArenaInfer(pool))
+	return s.classifyBatchStaged(ctx, xs, s.batchStageArenaInfer(pool))
 }

@@ -30,6 +30,30 @@ type Member struct {
 	// net32 is the compiled reduced-precision net (f32 or int8 per Backend),
 	// set by PrepareBackends. nil means execute Net in float64.
 	net32 *nn.Net32
+
+	// alt holds adaptively compiled backend variants, indexed by Backend and
+	// set by PrepareAdaptive, so a StagePolicy can switch a stage between
+	// f64/f32/int8 without recompiling. alt[BackendF64] is always nil (the
+	// f64 path runs Net directly).
+	alt [3]*nn.Net32
+}
+
+// resolveNet picks the compiled net for a stage: the member's configured
+// path when no override is requested (or the override matches the
+// configured backend), otherwise the adaptive variant from PrepareAdaptive.
+// A requested variant that was never compiled falls back to the configured
+// path — correct, just not cheaper. nil means run Net in float64.
+func (m *Member) resolveNet(be Backend, override bool) *nn.Net32 {
+	if !override || be == m.Backend {
+		return m.net32
+	}
+	if be == BackendF64 {
+		return nil
+	}
+	if int(be) < len(m.alt) && m.alt[be] != nil {
+		return m.alt[be]
+	}
+	return m.net32
 }
 
 // Infer runs the member on a raw input image.
@@ -77,6 +101,15 @@ type System struct {
 	// (see cached.go). Attach with EnableCache after the configuration is
 	// final — the cache key is fingerprinted against it.
 	Cache *PredictionCache
+
+	// Policy, when non-nil, lets a runtime cascade controller reshape the
+	// staged schedule per batch — stage depth, per-stage backend, halting —
+	// to trade accuracy headroom for latency (see policy.go and
+	// internal/policy). It applies to the batched engine (ClassifyBatch);
+	// single-image Classify always runs the static reference schedule. nil
+	// keeps the batched engine bit-identical to the static path. Attach
+	// before EnableCache so the fingerprint covers the policy descriptor.
+	Policy StagePolicy
 
 	// abft aggregates ABFT verification outcomes across every verified
 	// member inference; non-nil once PrepareVerified(true) ran (verify.go).

@@ -48,6 +48,12 @@ type Context struct {
 	// its persistent L2 tier; empty selects a run-scoped temp directory.
 	CacheDir string
 
+	// SLO is the per-request latency budget the ext-slo experiment steers
+	// the adaptive cascade to (must be > 0; default 50ms — enough headroom
+	// over the serving tail-noise floor of a small shared-core machine
+	// that the budget is attainable at all).
+	SLO time.Duration
+
 	// designs memoizes greedy designs per (benchmark, size).
 	designs map[string]*core.Design
 }
@@ -57,7 +63,7 @@ type Context struct {
 func NewContext() *Context {
 	return &Context{
 		Zoo: model.DefaultZoo(), GPU: perf.TitanX(),
-		CacheMB: 64, ZipfS: 1.1,
+		CacheMB: 64, ZipfS: 1.1, SLO: 50 * time.Millisecond,
 		designs: map[string]*core.Design{},
 	}
 }

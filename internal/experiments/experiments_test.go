@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"os"
 	"strings"
 	"testing"
 
@@ -9,7 +10,7 @@ import (
 
 func TestIDsComplete(t *testing.T) {
 	want := []string{"ext-abft", "ext-budget", "ext-caching", "ext-caching2", "ext-faults", "ext-ood", "ext-oracle",
-		"ext-serving", "ext-softvote", "ext-throughput", "fig1", "fig10", "fig11", "fig12",
+		"ext-serving", "ext-slo", "ext-softvote", "ext-throughput", "fig1", "fig10", "fig11", "fig12",
 		"fig13", "fig14", "fig2", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9",
 		"tab2", "tab3"}
 	got := IDs()
@@ -120,6 +121,28 @@ func TestExtAbftEndToEnd(t *testing.T) {
 	}
 	if len(res.Rows) != 3 {
 		t.Fatalf("expected one row per backend, got %d", len(res.Rows))
+	}
+}
+
+// TestExtSLOEndToEnd smokes the adaptive-cascade sweep: the runner itself
+// enforces the ≥99% low-load agreement floor, so the test asserts it ran,
+// produced one row per (load, mode) point, and wrote the report.
+func TestExtSLOEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("zoo-backed experiment in -short mode")
+	}
+	path := t.TempDir() + "/BENCH_slo.json"
+	t.Setenv("PGMR_BENCH_SLO_JSON", path)
+	ctx := NewContext()
+	res, err := Run(ctx, "ext-slo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 {
+		t.Fatalf("expected 3 loads x 2 modes = 6 rows, got %d", len(res.Rows))
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Errorf("BENCH_slo.json not written: %v", err)
 	}
 }
 

@@ -1,0 +1,80 @@
+package perf
+
+import (
+	"encoding/json"
+	"os"
+)
+
+// This file holds the machine-readable output of the ext-slo experiment
+// (internal/experiments/fig_slo.go): an open-loop offered-load sweep of the
+// serving subsystem with and without the SLO-driven adaptive cascade
+// controller. The sweep writes BENCH_slo.json (path overridable via
+// PGMR_BENCH_SLO_JSON) so CI can archive the latency/accuracy Pareto and
+// dashboards can track the controller's behavior across commits.
+
+// SLOPoint is one (mode, offered-rate) measurement of the sweep.
+type SLOPoint struct {
+	// Mode is "static" or "slo".
+	Mode string `json:"mode"`
+	// RateReqPerSec is the offered open-loop request rate; RateImgPerSec
+	// the image rate (requests carry the report's ImagesPerRequest).
+	RateReqPerSec float64 `json:"rate_req_per_sec"`
+	RateImgPerSec float64 `json:"rate_img_per_sec,omitempty"`
+	Requests      int     `json:"requests"`
+	OK            int     `json:"ok"`
+	Rejected      int     `json:"rejected"`
+	Failed        int     `json:"failed"`
+	// Warmup is how many leading requests the percentiles exclude (the
+	// ramp-up / controller-transient cut; identical for both modes at the
+	// same offered rate).
+	Warmup int `json:"warmup,omitempty"`
+	// Latency percentiles over successful post-warmup requests, in
+	// milliseconds.
+	P50Ms float64 `json:"p50_ms"`
+	P90Ms float64 `json:"p90_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	// MetBudget reports P99Ms <= the report's SLOMs.
+	MetBudget bool `json:"met_budget"`
+	// Controller state after the run (zero-valued for static points).
+	Tier         int    `json:"tier,omitempty"`
+	TierName     string `json:"tier_name,omitempty"`
+	StepDowns    uint64 `json:"step_downs,omitempty"`
+	StepUps      uint64 `json:"step_ups,omitempty"`
+	BudgetMisses uint64 `json:"budget_misses,omitempty"`
+	Escalations  uint64 `json:"escalations,omitempty"`
+}
+
+// SLOReport is the BENCH_slo.json document.
+type SLOReport struct {
+	Benchmark  string  `json:"benchmark"`
+	Members    int     `json:"members"`
+	SLOMs      float64 `json:"slo_ms"`
+	GoMaxProcs int     `json:"gomaxprocs"`
+	// ImagesPerRequest is the request payload size of the sweep (the SLO
+	// is a per-request budget).
+	ImagesPerRequest int `json:"images_per_request,omitempty"`
+	// AgreementLowLoad is the fraction of (label, reliable) decisions the
+	// policy-attached system shares with the static full-precision cascade
+	// on the low-load region (acceptance floor: 0.99).
+	AgreementLowLoad float64    `json:"agreement_low_load"`
+	Points           []SLOPoint `json:"points"`
+}
+
+// SLOReportPath resolves where the report goes: $PGMR_BENCH_SLO_JSON when
+// set, else internal/perf/BENCH_slo.json relative to the working directory
+// (the repo root for `go run ./cmd/pgmr-bench ext-slo`).
+func SLOReportPath() string {
+	if p := os.Getenv("PGMR_BENCH_SLO_JSON"); p != "" {
+		return p
+	}
+	return "internal/perf/BENCH_slo.json"
+}
+
+// WriteSLOReport writes the report as indented JSON.
+func WriteSLOReport(path string, r SLOReport) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

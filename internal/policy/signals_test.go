@@ -1,0 +1,220 @@
+package policy
+
+import (
+	"testing"
+	"time"
+)
+
+// These tests pin the controller's load-feedback signals one by one, each on
+// a deterministic fake clock: the miss-driven step down, the miss hold and
+// exponential backoff that gate step-ups, the queue-wait pressure, and the
+// throughput gate. The cost model alone prices one batch's residence; these
+// signals are what make the controller converge under sustained load
+// instead of oscillating at the edge (DESIGN.md §12).
+
+// TestBudgetMissForcesStepDown: a served request blowing the SLO between
+// two tier decisions applies one rung of downward pressure even though the
+// cost model says the current tier fits.
+func TestBudgetMissForcesStepDown(t *testing.T) {
+	clk := newFakeClock()
+	c := testController(t, 50*time.Millisecond, clk)
+	seedCosts(c) // static tier predicted at 10ms ≤ the 40ms budget
+
+	c.NextStage(stage0(8))
+	if ti, _ := c.Tier(); ti != 0 {
+		t.Fatalf("healthy controller left the static tier (%d)", ti)
+	}
+
+	clk.advance(10 * time.Millisecond)
+	c.ObserveRequest(80 * time.Millisecond) // p99 signal: budget miss
+	clk.advance(10 * time.Millisecond)
+	c.NextStage(stage0(8))
+	if ti, name := c.Tier(); ti != 1 {
+		t.Fatalf("tier after a budget miss = %d (%s); want 1 (one rung down)", ti, name)
+	}
+	// One rung, not a plunge: the next decision (no new miss) holds.
+	clk.advance(10 * time.Millisecond)
+	c.NextStage(stage0(8))
+	if ti, _ := c.Tier(); ti > 1 {
+		t.Fatalf("pressure without a new miss kept stepping down (tier %d)", ti)
+	}
+}
+
+// TestMissHoldsBackStepUp: after a step down, a healthy streak is not
+// enough — the controller must also have gone a full StepUpHold without an
+// observed budget miss, or it would climb back while served requests are
+// still blowing the SLO.
+func TestMissHoldsBackStepUp(t *testing.T) {
+	clk := newFakeClock()
+	c := testController(t, 50*time.Millisecond, clk)
+	seedCosts(c)
+	c.SetQueueDepth(1000)
+	c.NextStage(stage0(8))
+	down, _ := c.Tier()
+	if down == 0 {
+		t.Fatal("saturation did not step down")
+	}
+
+	// Idle queue, generous clock steps — but a fresh miss before every
+	// decision. The healthy streak builds; the miss hold must still block.
+	c.SetQueueDepth(0)
+	for i := 0; i < 10; i++ {
+		clk.advance(250 * time.Millisecond)
+		c.ObserveRequest(80 * time.Millisecond)
+		clk.advance(time.Millisecond)
+		c.NextStage(stage0(8))
+	}
+	if ti, _ := c.Tier(); ti != down {
+		t.Fatalf("controller stepped up to %d while requests were still missing the budget", ti)
+	}
+
+	// Misses stop: the same cadence now recovers.
+	for i := 0; i < 30; i++ {
+		clk.advance(250 * time.Millisecond)
+		c.NextStage(stage0(8))
+		if ti, _ := c.Tier(); ti < down {
+			return
+		}
+	}
+	t.Fatal("controller never stepped up after misses stopped")
+}
+
+// TestFailedProbeBacksOff: a step up that is immediately followed by a step
+// down (a failed probe into an unsustainable tier) must double the step-up
+// hold, so the next probe waits longer — the cadence that keeps probe
+// backlog excursions out of the served tail.
+func TestFailedProbeBacksOff(t *testing.T) {
+	clk := newFakeClock()
+	c := testController(t, 50*time.Millisecond, clk)
+	seedCosts(c)
+	base := c.cfg.StepUpHold // 200ms for a 50ms SLO
+
+	stepDown := func() int {
+		c.SetQueueDepth(1000)
+		clk.advance(time.Millisecond)
+		c.NextStage(stage0(8))
+		c.SetQueueDepth(0)
+		ti, _ := c.Tier()
+		return ti
+	}
+	// recoverOne advances the clock in small steps until one step up lands.
+	recoverOne := func() time.Duration {
+		start, _ := c.Tier()
+		var waited time.Duration
+		for i := 0; i < 200; i++ {
+			clk.advance(50 * time.Millisecond)
+			waited += 50 * time.Millisecond
+			c.NextStage(stage0(8))
+			if ti, _ := c.Tier(); ti < start {
+				return waited
+			}
+		}
+		t.Fatal("no step up within the probe window")
+		return 0
+	}
+
+	floor := stepDown()
+	if floor == 0 {
+		t.Fatal("saturation did not step down")
+	}
+	first := recoverOne() // healthy probe: base hold applies
+	if first > base+3*50*time.Millisecond+base {
+		t.Fatalf("first probe waited %v; expected about the base hold (%v)", first, base)
+	}
+	// The probe fails: saturation knocks the controller straight back down
+	// within 3×hold of the step up → the hold doubles.
+	if got := stepDown(); got <= floor-1 {
+		t.Fatalf("failed probe did not step back down (tier %d)", got)
+	}
+	second := recoverOne()
+	if second < 2*base {
+		t.Fatalf("after a failed probe the next step up waited only %v; want ≥ %v (doubled hold)", second, 2*base)
+	}
+}
+
+// TestQueueWaitPressureStepsDown: a queue-wait EWMA above half the budget
+// is congestion the cost model cannot see (the backlog is eating the
+// headroom before latencies miss); it must apply the same one-rung
+// downward pressure a miss does.
+func TestQueueWaitPressureStepsDown(t *testing.T) {
+	clk := newFakeClock()
+	c := testController(t, 50*time.Millisecond, clk)
+	seedCosts(c)
+
+	c.NextStage(stage0(8))
+	if ti, _ := c.Tier(); ti != 0 {
+		t.Fatalf("healthy controller left the static tier (%d)", ti)
+	}
+	// Budget = 40ms; feed waits well past half of it.
+	for i := 0; i < 5; i++ {
+		c.ObserveQueueWait(30 * time.Millisecond)
+	}
+	clk.advance(10 * time.Millisecond)
+	c.NextStage(stage0(8))
+	if ti, name := c.Tier(); ti != 1 {
+		t.Fatalf("tier under queue-wait pressure = %d (%s); want 1", ti, name)
+	}
+}
+
+// TestThroughputGateBlocksStepUp: even with a drained queue and a healthy
+// streak, the controller must not climb into a tier whose modeled serving
+// rate is below the measured arrival rate — that tier already lost the
+// throughput race once, and a probe only rebuilds the backlog.
+func TestThroughputGateBlocksStepUp(t *testing.T) {
+	clk := newFakeClock()
+	c := testController(t, 50*time.Millisecond, clk)
+	seedCosts(c)
+	c.SetQueueDepth(1000)
+	c.NextStage(stage0(8))
+	down, _ := c.Tier()
+	if down == 0 {
+		t.Fatal("saturation did not step down")
+	}
+	c.SetQueueDepth(0)
+
+	// Sustained arrival stream: 2000 items per 250ms decision interval
+	// (8000 items/s — far beyond what any tier's model can serve at 8-image
+	// batches costing milliseconds). The healthy streak builds, the holds
+	// pass, and the gate must still pin the tier.
+	for i := 0; i < 12; i++ {
+		clk.advance(250 * time.Millisecond)
+		for j := 0; j < 2000; j++ {
+			c.ObserveQueueWait(time.Microsecond)
+		}
+		c.NextStage(stage0(8))
+	}
+	if ti, _ := c.Tier(); ti != down {
+		t.Fatalf("controller stepped up to %d against the measured serving rate", ti)
+	}
+
+	// The stream stops; the rate EWMA decays across decisions and the
+	// controller recovers.
+	for i := 0; i < 60; i++ {
+		clk.advance(250 * time.Millisecond)
+		c.NextStage(stage0(8))
+		if ti, _ := c.Tier(); ti < down {
+			return
+		}
+	}
+	t.Fatal("controller never stepped up after the arrival stream stopped")
+}
+
+// TestQuietHoldDecays: the backed-off hold must relax toward the configured
+// base after a stable, miss-free stretch, so one bad probe does not impair
+// recovery forever.
+func TestQuietHoldDecays(t *testing.T) {
+	clk := newFakeClock()
+	c := testController(t, 50*time.Millisecond, clk)
+	seedCosts(c)
+	c.upHold.Store(int64(32 * c.cfg.StepUpHold)) // as if many probes failed
+
+	// A long quiet stretch at the static tier: each decision may halve the
+	// hold once 3×hold has passed without changes or misses.
+	for i := 0; i < 100; i++ {
+		clk.advance(5 * time.Second)
+		c.NextStage(stage0(8))
+	}
+	if got, base := c.upHold.Load(), int64(c.cfg.StepUpHold); got != base {
+		t.Fatalf("hold after a quiet stretch = %v; want base %v", time.Duration(got), time.Duration(base))
+	}
+}

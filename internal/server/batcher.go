@@ -13,6 +13,7 @@ import (
 type item struct {
 	img  polygraph.Image
 	ctx  context.Context
+	enq  time.Time       // when the item entered the admission queue
 	done chan itemResult // buffered(1): the batcher never blocks delivering
 }
 
@@ -33,6 +34,14 @@ var errServerStopped = errors.New("server: stopped before the image was classifi
 // formation free of cross-goroutine coordination.
 func (s *Server) runBatcher() {
 	defer close(s.batcherDone)
+	// One timer serves every batch: collect re-arms it per window instead of
+	// allocating a fresh timer (and its runtime bookkeeping) per batch. The
+	// invariant across collect calls is "stopped with a drained channel".
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
 	for {
 		var first *item
 		select {
@@ -41,19 +50,32 @@ func (s *Server) runBatcher() {
 			s.failLeftovers()
 			return
 		}
-		batch := s.collect(first)
+		batch := s.collect(first, timer)
 		s.release(len(batch))
 		s.dispatch(batch)
+		if s.cfg.Policy != nil {
+			s.metrics.ObservePolicy(policySample(s.cfg.Policy.Snapshot()))
+		}
 	}
 }
 
-// collect gathers a batch starting from first: up to MaxBatch images, not
-// waiting longer than BatchWindow past the first.
-func (s *Server) collect(first *item) []*item {
-	batch := append(make([]*item, 0, s.cfg.MaxBatch), first)
-	if s.cfg.BatchWindow <= 0 {
+// collect gathers a batch starting from first: up to maxBatch images, not
+// waiting longer than window past the first. The shape comes from the SLO
+// policy when one is configured (fed the live queue depth, which still
+// counts first's reserved slot), otherwise from the static config. timer
+// arrives stopped-and-drained and is returned the same way.
+func (s *Server) collect(first *item, timer *time.Timer) []*item {
+	window, maxBatch := s.cfg.BatchWindow, s.cfg.MaxBatch
+	if s.cfg.Policy != nil {
+		window, maxBatch = s.cfg.Policy.PlanBatch(int(s.depth.Load()))
+		if maxBatch < 1 {
+			maxBatch = 1
+		}
+	}
+	batch := append(make([]*item, 0, maxBatch), first)
+	if window <= 0 {
 		// No waiting: take only what is already queued.
-		for len(batch) < s.cfg.MaxBatch {
+		for len(batch) < maxBatch {
 			select {
 			case it := <-s.queue:
 				batch = append(batch, it)
@@ -63,15 +85,21 @@ func (s *Server) collect(first *item) []*item {
 		}
 		return batch
 	}
-	timer := time.NewTimer(s.cfg.BatchWindow)
-	defer timer.Stop()
-	for len(batch) < s.cfg.MaxBatch {
+	timer.Reset(window)
+	for len(batch) < maxBatch {
 		select {
 		case it := <-s.queue:
 			batch = append(batch, it)
 		case <-timer.C:
+			// The timer fired and its channel is drained — already back in
+			// the invariant state.
 			return batch
 		}
+	}
+	// Filled to maxBatch before the window closed: disarm the timer,
+	// draining the channel if it fired concurrently.
+	if !timer.Stop() {
+		<-timer.C
 	}
 	return batch
 }
@@ -89,6 +117,11 @@ func (s *Server) release(n int) {
 func (s *Server) dispatch(batch []*item) {
 	live := batch[:0]
 	for _, it := range batch {
+		wait := time.Since(it.enq)
+		s.metrics.QueueWait.Observe(wait.Seconds())
+		if s.cfg.Policy != nil {
+			s.cfg.Policy.ObserveQueueWait(wait)
+		}
 		if err := it.ctx.Err(); err != nil {
 			it.done <- itemResult{err: err}
 			continue

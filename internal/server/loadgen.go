@@ -29,6 +29,20 @@ type LoadConfig struct {
 	// ImagesPerRequest groups images per request (1 = single-image
 	// requests, the batcher's coalescing workload). Default 1.
 	ImagesPerRequest int
+	// Rate, when positive, switches the generator to open loop: requests
+	// are released on a fixed schedule of Rate requests per second,
+	// independent of response times — the offered-load mode SLO sweeps
+	// need, since a closed loop self-throttles exactly when the server
+	// slows down. Concurrency then bounds the in-flight senders; when all
+	// are busy, released requests queue and fire late (the schedule never
+	// skips). 0 keeps the closed loop.
+	Rate float64
+	// Warmup excludes the first Warmup requests from the latency
+	// percentiles (they still count toward Requests/OK/throughput). Load
+	// points that judge steady-state behavior set this to cover ramp-up —
+	// connection setup, cache warming, an adaptive controller finding its
+	// tier. 0 measures every request.
+	Warmup int
 	// TimeoutMS, when positive, is sent as the per-request deadline.
 	TimeoutMS int
 	// Client overrides the HTTP client. Default: http.Client with a 30s
@@ -48,7 +62,7 @@ type LoadResult struct {
 	Duration     time.Duration
 	ImagesPerSec float64
 
-	// Latency percentiles over successful requests.
+	// Latency percentiles over successful requests past the warmup cut.
 	P50, P90, P99, Max time.Duration
 }
 
@@ -116,6 +130,35 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadResult, error) {
 		res       LoadResult
 	)
 	url := cfg.URL + "/v1/classify"
+
+	// In open-loop mode a pacer goroutine releases request indices on the
+	// fixed schedule; in closed-loop mode workers pull the next index as
+	// soon as their previous response lands.
+	var tokens chan int
+	if cfg.Rate > 0 {
+		tokens = make(chan int, cfg.Requests)
+		interval := time.Duration(float64(time.Second) / cfg.Rate)
+		go func() {
+			defer close(tokens)
+			t0 := time.Now()
+			for n := 0; n < cfg.Requests; n++ {
+				due := t0.Add(time.Duration(n) * interval)
+				if d := time.Until(due); d > 0 {
+					select {
+					case <-time.After(d):
+					case <-ctx.Done():
+						return
+					}
+				}
+				select {
+				case tokens <- n:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+
 	start := time.Now()
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Concurrency; w++ {
@@ -123,9 +166,18 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadResult, error) {
 		go func() {
 			defer wg.Done()
 			for {
-				n := int(next.Add(1)) - 1
-				if n >= cfg.Requests || ctx.Err() != nil {
-					return
+				var n int
+				if tokens != nil {
+					tok, ok := <-tokens
+					if !ok || ctx.Err() != nil {
+						return
+					}
+					n = tok
+				} else {
+					n = int(next.Add(1)) - 1
+					if n >= cfg.Requests || ctx.Err() != nil {
+						return
+					}
 				}
 				body := bodies[n%len(bodies)]
 				t0 := time.Now()
@@ -138,7 +190,9 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadResult, error) {
 					res.OK++
 					res.Images += images
 					res.Reliable += reliable
-					latencies = append(latencies, lat)
+					if n >= cfg.Warmup {
+						latencies = append(latencies, lat)
+					}
 				case rejected:
 					res.Rejected++
 				default:

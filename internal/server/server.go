@@ -32,6 +32,7 @@ import (
 	"time"
 
 	polygraph "repro"
+	"repro/internal/policy"
 	"repro/internal/server/telemetry"
 )
 
@@ -60,6 +61,18 @@ type CacheProber interface {
 type AbftReporter interface {
 	Verified() bool
 	AbftCounts() polygraph.AbftCounts
+}
+
+// Policy is the optional SLO batch planner — satisfied by
+// *policy.Controller. When set, the batcher asks it for the next batch
+// window and size before each collect (feeding it the live queue depth),
+// reports per-item queue waits and per-request latencies back, and mirrors
+// its snapshot into the pgmr_policy_* gauges after every dispatch.
+type Policy interface {
+	PlanBatch(queueDepth int) (window time.Duration, maxBatch int)
+	ObserveQueueWait(d time.Duration)
+	ObserveRequest(latency time.Duration)
+	Snapshot() policy.Snapshot
 }
 
 // cacheHeader reports the probe outcome per response: "hit" (every image
@@ -95,6 +108,11 @@ type Config struct {
 	// Metrics receives everything the server observes. Default: a fresh
 	// telemetry.NewMetrics(8) bundle.
 	Metrics *telemetry.Metrics
+	// Policy, when non-nil, supplies the batch window and max batch per
+	// collect instead of the static BatchWindow/MaxBatch, and receives the
+	// latency and queue-wait feedback it steers by. nil serves with the
+	// static configuration.
+	Policy Policy
 }
 
 func (c Config) withDefaults() Config {
@@ -267,7 +285,11 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(code)
 		_ = json.NewEncoder(w).Encode(payload)
-		s.metrics.ObserveResponse(code, time.Since(start))
+		latency := time.Since(start)
+		s.metrics.ObserveResponse(code, latency)
+		if s.cfg.Policy != nil {
+			s.cfg.Policy.ObserveRequest(latency)
+		}
 	}
 	fail := func(code int, format string, args ...any) {
 		respond(code, errorResponse{Error: fmt.Sprintf(format, args...)})
@@ -415,7 +437,7 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		if served[i] {
 			continue
 		}
-		it := &item{img: im, ctx: ctx, done: make(chan itemResult, 1)}
+		it := &item{img: im, ctx: ctx, enq: time.Now(), done: make(chan itemResult, 1)}
 		items = append(items, it)
 		idxs = append(idxs, i)
 		s.queue <- it
@@ -444,6 +466,29 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		resp.Predictions = preds
 	}
 	respond(http.StatusOK, resp)
+}
+
+// policySample converts a controller snapshot into the telemetry mirror
+// type (telemetry is a leaf package and cannot import internal/policy).
+func policySample(sn policy.Snapshot) telemetry.PolicySample {
+	ps := telemetry.PolicySample{
+		Tier:         sn.Tier,
+		StageDepth:   sn.StageDepth,
+		EarlyBackend: sn.EarlyBackend,
+		LateBackend:  sn.LateBackend,
+		Window:       sn.Window,
+		MaxBatch:     sn.MaxBatch,
+		BudgetMisses: sn.BudgetMisses,
+		Escalations:  sn.Escalations,
+		StepDowns:    sn.StepDowns,
+		StepUps:      sn.StepUps,
+	}
+	for _, sc := range sn.StageCosts {
+		ps.StageCosts = append(ps.StageCosts, telemetry.PolicyStageCost{
+			Stage: sc.Stage, Backend: sc.Backend, Micros: sc.Micros,
+		})
+	}
+	return ps
 }
 
 // statusFor maps classification errors to HTTP status codes.

@@ -67,8 +67,26 @@ type Metrics struct {
 	AbftCorrected     *Gauge // detected faults cleared by re-execution
 	AbftUncorrectable *Gauge // detected faults that persisted (votes abstained)
 
-	mu        sync.Mutex
-	responses map[int]*Counter // responses by HTTP status code
+	// Admission queue wait: how long each image sat in the batcher queue
+	// between enqueue and dispatch.
+	QueueWait *Histogram // pgmr_queue_wait_seconds
+
+	// SLO policy controller (internal/policy, DESIGN.md §12). Mirrored from
+	// the controller snapshot after every batch dispatch; all zero when the
+	// server runs without a policy.
+	PolicyTier         *Gauge // current degradation tier (0 = static)
+	PolicyStageDepth   *Gauge // members activated through the last observed stage
+	PolicyWindowUs     *Gauge // last planned batch window (µs)
+	PolicyMaxBatch     *Gauge // last planned max batch size
+	PolicyBudgetMisses *Gauge // requests that exceeded the SLO (cumulative)
+	PolicyEscalations  *Gauge // escalation stages executed (cumulative)
+	PolicyStepDowns    *Gauge // tier step-downs (cumulative)
+	PolicyStepUps      *Gauge // tier step-ups (cumulative)
+
+	mu          sync.Mutex
+	responses   map[int]*Counter // responses by HTTP status code
+	policyRoles map[string]*Gauge
+	stageCosts  map[string]*Gauge
 }
 
 // NewMetrics builds a bundle on a fresh registry. maxMembers sizes the
@@ -121,7 +139,20 @@ func NewMetrics(maxMembers int) *Metrics {
 		AbftCorrected:     r.Gauge("pgmr_abft_corrected", "Detected faults cleared by bounded re-execution (cumulative)."),
 		AbftUncorrectable: r.Gauge("pgmr_abft_uncorrectable", "Detected faults that persisted across re-execution; the member's votes abstained (cumulative)."),
 
-		responses: map[int]*Counter{},
+		QueueWait: r.Histogram("pgmr_queue_wait_seconds", "Time images spent in the batcher admission queue before dispatch.", latency),
+
+		PolicyTier:         r.Gauge("pgmr_policy_tier", "Current SLO-controller degradation tier (0 = static configuration)."),
+		PolicyStageDepth:   r.Gauge("pgmr_policy_stage_depth", "Members activated through the last policy-observed stage."),
+		PolicyWindowUs:     r.Gauge("pgmr_policy_window_us", "Last batch window planned by the SLO controller, in microseconds."),
+		PolicyMaxBatch:     r.Gauge("pgmr_policy_max_batch", "Last max batch size planned by the SLO controller."),
+		PolicyBudgetMisses: r.Gauge("pgmr_policy_budget_misses", "Requests whose latency exceeded the SLO budget (cumulative, mirrored)."),
+		PolicyEscalations:  r.Gauge("pgmr_policy_escalations", "Escalation stages executed under the policy (cumulative, mirrored)."),
+		PolicyStepDowns:    r.Gauge("pgmr_policy_step_downs", "Tier step-downs taken by the SLO controller (cumulative, mirrored)."),
+		PolicyStepUps:      r.Gauge("pgmr_policy_step_ups", "Tier step-ups taken by the SLO controller (cumulative, mirrored)."),
+
+		responses:   map[int]*Counter{},
+		policyRoles: map[string]*Gauge{},
+		stageCosts:  map[string]*Gauge{},
 	}
 	return m
 }
@@ -212,6 +243,93 @@ func (m *Metrics) Response(code int) *Counter {
 		m.responses[code] = c
 	}
 	return c
+}
+
+// PolicyStageCost is one exported cost-model cell: the EWMA per-(image·
+// member) latency of a stage on a backend. Declared here (rather than
+// importing internal/policy) so telemetry stays a leaf package.
+type PolicyStageCost struct {
+	Stage   int
+	Backend string
+	Micros  float64
+}
+
+// PolicySample is one snapshot of the SLO controller, mirrored into the
+// pgmr_policy_* gauges after each batch dispatch. The server converts the
+// controller's own snapshot type into this.
+type PolicySample struct {
+	Tier         int
+	StageDepth   int
+	EarlyBackend string
+	LateBackend  string
+	Window       time.Duration
+	MaxBatch     int
+	BudgetMisses uint64
+	Escalations  uint64
+	StepDowns    uint64
+	StepUps      uint64
+	StageCosts   []PolicyStageCost
+}
+
+// ObservePolicy refreshes the pgmr_policy_* gauges from one controller
+// snapshot. The chosen-backend series (pgmr_policy_backend{role,backend})
+// and per-stage cost EWMAs (pgmr_policy_stage_cost_ns{stage,backend}) are
+// registered lazily, like the per-code response counters.
+func (m *Metrics) ObservePolicy(p PolicySample) {
+	m.PolicyTier.Set(int64(p.Tier))
+	m.PolicyStageDepth.Set(int64(p.StageDepth))
+	m.PolicyWindowUs.Set(p.Window.Microseconds())
+	m.PolicyMaxBatch.Set(int64(p.MaxBatch))
+	m.PolicyBudgetMisses.Set(int64(p.BudgetMisses))
+	m.PolicyEscalations.Set(int64(p.Escalations))
+	m.PolicyStepDowns.Set(int64(p.StepDowns))
+	m.PolicyStepUps.Set(int64(p.StepUps))
+	m.setPolicyRole("early", p.EarlyBackend)
+	m.setPolicyRole("late", p.LateBackend)
+	for _, sc := range p.StageCosts {
+		m.stageCostGauge(sc.Stage, sc.Backend).Set(int64(sc.Micros * 1000))
+	}
+}
+
+// setPolicyRole marks which backend a cascade role (early/late) currently
+// uses: the chosen pgmr_policy_backend{role,backend} series reads 1, every
+// other backend seen for that role reads 0.
+func (m *Metrics) setPolicyRole(role, backend string) {
+	key := role + "/" + backend
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.policyRoles[key]; !ok {
+		m.policyRoles[key] = m.Registry.Gauge("pgmr_policy_backend",
+			"Backend currently selected for a cascade role (1 = selected).",
+			Label{"role", role}, Label{"backend", backend})
+	}
+	prefix := role + "/"
+	for k, g := range m.policyRoles {
+		if len(k) > len(prefix) && k[:len(prefix)] == prefix {
+			if k == key {
+				g.Set(1)
+			} else {
+				g.Set(0)
+			}
+		}
+	}
+}
+
+// stageCostGauge returns (registering on first use) the per-stage cost gauge
+// pgmr_policy_stage_cost_ns{stage="K",backend="B"}: the controller's EWMA
+// per-(image·member) latency for that stage, in nanoseconds.
+func (m *Metrics) stageCostGauge(stage int, backend string) *Gauge {
+	key := fmt.Sprintf("%d/%s", stage, backend)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	g, ok := m.stageCosts[key]
+	if !ok {
+		g = m.Registry.Gauge("pgmr_policy_stage_cost_ns",
+			"EWMA per-image-member stage latency from the SLO controller cost model, in nanoseconds.",
+			Label{"stage", fmt.Sprintf("%d", stage)}, Label{"backend", backend})
+		m.stageCosts[key] = g
+	}
+	return g
 }
 
 // ObserveBatch records one dynamic batch dispatch.

@@ -79,6 +79,11 @@ type Config struct {
 	// per distinct frame. Decisions and smoothing are unchanged; hits are
 	// counted in Stats.CacheHits.
 	Cache *core.PredictionCache
+	// ObserveLatency, when non-nil, receives every frame's measured
+	// classification latency. This is the feed a runtime policy controller
+	// (internal/policy) steers by when a stream pipeline, rather than the
+	// HTTP server, drives the system.
+	ObserveLatency func(time.Duration)
 	// now is injectable for tests.
 	now func() time.Time
 }
@@ -271,6 +276,9 @@ func (p *Processor) classifyBatchFrames(bc BatchClassifier, buf []*tensor.T, sta
 // emit applies smoothing, deadline accounting and statistics for one
 // decision — the per-frame bookkeeping shared by both processing modes.
 func (p *Processor) emit(d core.Decision, latency time.Duration, stats *Stats, totalActivated *int, handle func(Frame)) {
+	if p.cfg.ObserveLatency != nil {
+		p.cfg.ObserveLatency(latency)
+	}
 	p.window = append(p.window, d)
 	if len(p.window) > p.cfg.Window {
 		p.window = p.window[1:]

@@ -29,6 +29,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/model"
+	"repro/internal/policy"
 	"repro/internal/precision"
 	"repro/internal/tensor"
 )
@@ -147,10 +148,45 @@ type Options struct {
 	// uncached ones — the cache key covers the image content (quantized)
 	// and a fingerprint of every decision-relevant configuration field.
 	Cache *CacheOptions
+	// SLO, when positive, attaches the SLO-driven adaptive cascade
+	// controller (DESIGN.md §12): a runtime policy that watches measured
+	// stage latencies and the serving queue and, under load, degrades the
+	// batched cascade — cheaper early-stage backends, a fused full-committee
+	// fallback, then shallower stages — to keep the per-request latency
+	// inside this budget, stepping back up with hysteresis once load drops.
+	// Unloaded decisions are bit-identical to the static configuration.
+	// Adaptive backend variants (f32, int8) are compiled for every member at
+	// Build time so the controller can switch per batch without I/O.
+	SLO time.Duration
+	// Policy tunes the SLO controller; nil selects defaults. Ignored unless
+	// SLO is positive.
+	Policy *PolicyOptions
 	// Quiet suppresses training progress output.
 	Quiet bool
 	// Progress, when non-nil and not Quiet, receives training notes.
 	Progress func(format string, args ...any)
+}
+
+// PolicyOptions tunes the SLO controller (Options.SLO). Zero fields select
+// the defaults documented on policy.Config.
+type PolicyOptions struct {
+	// BatchWindow and MaxBatch describe the serving batch shape the
+	// controller adapts around — pass the same values the server is
+	// configured with. Defaults: 5ms, 64.
+	BatchWindow time.Duration
+	MaxBatch    int
+	// MaxBatchCap bounds how far the controller may grow the batch under
+	// load. Default max(4×MaxBatch, 256).
+	MaxBatchCap int
+	// Safety is the fraction of SLO budgeted for (default 0.8).
+	Safety float64
+	// Alpha is the EWMA weight of new cost samples (default 0.2).
+	Alpha float64
+	// StepUpAfter and StepUpHold gate recovery: consecutive healthy
+	// decisions (default 3) and minimum time since the last tier change
+	// (default max(4×SLO, 100ms)) before stepping one tier back up.
+	StepUpAfter int
+	StepUpHold  time.Duration
 }
 
 // CacheOptions configures the prediction cache (Options.Cache).
@@ -282,12 +318,22 @@ func Build(benchmark string, opts Options) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Calibration inputs for backend compilation: a deterministic slice of
+	// the validation split — the same data the thresholds were profiled on,
+	// never the test split.
+	calib := func() []*tensor.T {
+		cs := make([]*tensor.T, 0, 16)
+		for i := 0; i < len(ds.Val) && i < 16; i++ {
+			cs = append(cs, ds.Val[i].X)
+		}
+		return cs
+	}
+	early, late := core.BackendF64, core.BackendF64
 	if opts.Backend != "" || opts.LateBackend != "" {
-		early, err := core.ParseBackend(opts.Backend)
-		if err != nil {
+		if early, err = core.ParseBackend(opts.Backend); err != nil {
 			return nil, fmt.Errorf("polygraph: %w", err)
 		}
-		late := early
+		late = early
 		if opts.LateBackend != "" {
 			if late, err = core.ParseBackend(opts.LateBackend); err != nil {
 				return nil, fmt.Errorf("polygraph: %w", err)
@@ -306,18 +352,43 @@ func Build(benchmark string, opts Options) (*System, error) {
 				sys.Members[i].Backend = late
 			}
 		}
-		// Calibrate on a deterministic slice of the validation split — the
-		// same data the thresholds were profiled on, never the test split.
-		calib := make([]*tensor.T, 0, 16)
-		for i := 0; i < len(ds.Val) && i < 16; i++ {
-			calib = append(calib, ds.Val[i].X)
-		}
-		if err := sys.PrepareBackends(calib); err != nil {
+		if err := sys.PrepareBackends(calib()); err != nil {
 			return nil, fmt.Errorf("polygraph: preparing backends: %w", err)
 		}
 	}
 	if opts.Verified {
 		sys.PrepareVerified(true)
+	}
+	if opts.SLO > 0 {
+		// The controller may retarget any member onto a cheaper backend per
+		// batch; compile the adaptive variants now so switching is free.
+		if err := sys.PrepareAdaptive(calib()); err != nil {
+			return nil, fmt.Errorf("polygraph: preparing adaptive backends: %w", err)
+		}
+		pcfg := policy.Config{
+			SLO:        opts.SLO,
+			Members:    len(sys.Members),
+			Freq:       sys.Th.Freq,
+			StageBatch: sys.Batch,
+			BaseEarly:  early,
+			BaseLate:   late,
+		}
+		if po := opts.Policy; po != nil {
+			pcfg.BaseWindow = po.BatchWindow
+			pcfg.BaseMaxBatch = po.MaxBatch
+			pcfg.MaxBatchCap = po.MaxBatchCap
+			pcfg.Safety = po.Safety
+			pcfg.Alpha = po.Alpha
+			pcfg.StepUpAfter = po.StepUpAfter
+			pcfg.StepUpHold = po.StepUpHold
+		}
+		ctl, err := policy.New(pcfg)
+		if err != nil {
+			return nil, fmt.Errorf("polygraph: %w", err)
+		}
+		// Attach before the cache so the key fingerprint covers the policy
+		// descriptor.
+		sys.Policy = ctl
 	}
 	if opts.Cache != nil {
 		// Attach last, once the configuration is final: the key fingerprint
@@ -522,6 +593,15 @@ func (s *System) AbftCounts() AbftCounts {
 		Corrected:     c.Corrected,
 		Uncorrectable: c.Uncorrectable,
 	}
+}
+
+// PolicyController returns the SLO controller attached by Options.SLO, or
+// nil when the system runs the static cascade. Servers pass it as
+// server.Config.Policy so the batcher and the engine steer from the same
+// state.
+func (s *System) PolicyController() *policy.Controller {
+	ctl, _ := s.sys.Policy.(*policy.Controller)
+	return ctl
 }
 
 // Members returns the member names in activation-priority order, e.g.
