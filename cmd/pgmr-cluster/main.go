@@ -1,0 +1,257 @@
+// Command pgmr-cluster stands up an N-node scale-out serving cluster in one
+// process — every node a full PolygraphMR system behind its own HTTP server,
+// peered over loopback TCP with the binary cluster protocol — and drives all
+// nodes concurrently with closed-loop clients. It is the CI smoke and local
+// harness for clustered serving (DESIGN.md §13): after the run it prints
+// per-node throughput and routing counters, and fails (exit 1) if any request
+// failed, any image degraded to fallback compute, or a multi-node cluster
+// never actually forwarded work between peers.
+//
+// Usage:
+//
+//	pgmr-cluster -benchmark convnet -nodes 3 -requests 200 -clients 4
+//	pgmr-cluster -nodes 1 -requests 200   # single-node baseline
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"repro"
+	"repro/internal/server"
+	"repro/internal/server/telemetry"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// node bundles one cluster member's moving parts for startup and teardown.
+type node struct {
+	id      string
+	sys     *polygraph.System
+	srv     *server.Server
+	metrics *telemetry.Metrics
+	hs      *http.Server
+	httpLn  net.Listener
+	res     *server.LoadResult
+	loadErr error
+}
+
+// run is the testable entry point: it parses flags from args, writes the
+// summary to stdout and diagnostics to stderr, and returns the process exit
+// code (0 ok, 1 harness failure, 2 usage error).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pgmr-cluster", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	benchmark := fs.String("benchmark", "convnet", "benchmark name (see pgmr -h)")
+	members := fs.Int("members", 4, "number of member networks (2-8)")
+	nodes := fs.Int("nodes", 3, "cluster size (1 = single-node baseline)")
+	cacheMB := fs.Int("cache-mb", 64, "per-node prediction-cache budget in MiB (0 = caching off)")
+	clients := fs.Int("clients", 4, "closed-loop client goroutines per node")
+	requests := fs.Int("requests", 200, "requests sent to each node")
+	perRequest := fs.Int("images-per-request", 1, "images per request")
+	pool := fs.Int("n", 64, "size of the rotating image pool")
+	quiet := fs.Bool("quiet", false, "suppress training progress output")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: pgmr-cluster [-benchmark NAME] [-nodes N] [-requests N] [-clients N]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "pgmr-cluster: unexpected arguments: %v\n", fs.Args())
+		fs.Usage()
+		return 2
+	}
+	if err := validateHarness(*nodes, *pool, *clients, *requests, *perRequest, *cacheMB); err != nil {
+		fmt.Fprintf(stderr, "pgmr-cluster: %v\n", err)
+		fs.Usage()
+		return 2
+	}
+
+	// Bind every node's peer-transport listener first so the shared
+	// membership map carries real ports before any system is built.
+	peers := map[string]string{}
+	lns := make([]net.Listener, *nodes)
+	ids := make([]string, *nodes)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintf(stderr, "pgmr-cluster: %v\n", err)
+			return 1
+		}
+		lns[i] = ln
+		ids[i] = fmt.Sprintf("n%d", i)
+		peers[ids[i]] = ln.Addr().String()
+	}
+
+	ns := make([]*node, 0, *nodes)
+	defer func() {
+		for _, nd := range ns {
+			shutdownNode(nd, stderr)
+		}
+	}()
+	for i := range ids {
+		opts := polygraph.Options{
+			Members: *members,
+			Quiet:   *quiet,
+			Progress: func(f string, a ...any) {
+				fmt.Fprintf(stderr, "# "+f+"\n", a...)
+			},
+		}
+		if *cacheMB > 0 {
+			opts.Cache = &polygraph.CacheOptions{MaxBytes: int64(*cacheMB) << 20}
+		}
+		metrics := telemetry.NewMetrics(*members)
+		opts.Cluster = &polygraph.ClusterOptions{
+			NodeID:         ids[i],
+			Peers:          peers,
+			Listener:       lns[i],
+			ObserveForward: metrics.ObserveForward,
+		}
+		sys, err := polygraph.Build(*benchmark, opts)
+		if err != nil {
+			fmt.Fprintf(stderr, "pgmr-cluster: building node %s: %v\n", ids[i], err)
+			return 1
+		}
+		srv, err := server.New(server.Config{Backend: sys, Metrics: metrics})
+		if err != nil {
+			sys.Close()
+			fmt.Fprintf(stderr, "pgmr-cluster: %v\n", err)
+			return 1
+		}
+		httpLn, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			srv.Drain(context.Background())
+			sys.Close()
+			fmt.Fprintf(stderr, "pgmr-cluster: %v\n", err)
+			return 1
+		}
+		hs := &http.Server{Handler: srv.Handler()}
+		go hs.Serve(httpLn)
+		ns = append(ns, &node{id: ids[i], sys: sys, srv: srv, metrics: metrics, hs: hs, httpLn: httpLn})
+	}
+	fmt.Fprintf(stderr, "# cluster up: %d nodes, %d requests x %d clients per node\n",
+		len(ns), *requests, *clients)
+
+	images, _, err := polygraph.TestImages(*benchmark, *pool)
+	if err != nil {
+		fmt.Fprintf(stderr, "pgmr-cluster: loading test images: %v\n", err)
+		return 1
+	}
+
+	// Every node's HTTP endpoint is driven concurrently — the aggregate
+	// closed-loop workload a fronting load balancer would spread.
+	start := time.Now()
+	var wg sync.WaitGroup
+	for _, nd := range ns {
+		wg.Add(1)
+		go func(nd *node) {
+			defer wg.Done()
+			nd.res, nd.loadErr = server.RunLoad(context.Background(), server.LoadConfig{
+				URL:              "http://" + nd.httpLn.Addr().String(),
+				Images:           images,
+				Concurrency:      *clients,
+				Requests:         *requests,
+				ImagesPerRequest: *perRequest,
+			})
+		}(nd)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	failed := false
+	var owned, forwarded, fallback, served, fwdErrs uint64
+	totalImages := 0
+	for _, nd := range ns {
+		if nd.loadErr != nil {
+			fmt.Fprintf(stderr, "pgmr-cluster: node %s load: %v\n", nd.id, nd.loadErr)
+			failed = true
+			continue
+		}
+		st := nd.sys.ClusterStats()
+		fmt.Fprintf(stdout, "%s: %s\n", nd.id, nd.res)
+		fmt.Fprintf(stdout, "%s: owned=%d forwarded=%d fallback=%d served=%d forward-errors=%d peers-up=%d/%d\n",
+			nd.id, st.Owned, st.Forwarded, st.Fallback, st.Served, st.ForwardErrors, st.PeersUp, st.PeersTotal)
+		owned += st.Owned
+		forwarded += st.Forwarded
+		fallback += st.Fallback
+		served += st.Served
+		fwdErrs += st.ForwardErrors
+		totalImages += nd.res.Images
+		if nd.res.Failed > 0 {
+			fmt.Fprintf(stderr, "pgmr-cluster: node %s: %d requests failed\n", nd.id, nd.res.Failed)
+			failed = true
+		}
+	}
+	fmt.Fprintf(stdout, "aggregate: nodes=%d images=%d wall=%s throughput=%.1f img/s owned=%d forwarded=%d fallback=%d\n",
+		len(ns), totalImages, wall.Round(time.Millisecond),
+		float64(totalImages)/wall.Seconds(), owned, forwarded, fallback)
+
+	// The routing acceptance properties: with every peer up no image may
+	// degrade to fallback compute, and a multi-node cluster that never
+	// forwarded anything is not actually routing by ownership.
+	if fallback > 0 || fwdErrs > 0 {
+		fmt.Fprintf(stderr, "pgmr-cluster: %d fallbacks / %d forward errors with every peer up\n", fallback, fwdErrs)
+		failed = true
+	}
+	if len(ns) > 1 && (forwarded == 0 || served == 0) {
+		fmt.Fprintf(stderr, "pgmr-cluster: %d-node cluster forwarded=%d served=%d; peers never exchanged work\n",
+			len(ns), forwarded, served)
+		failed = true
+	}
+	if failed {
+		return 1
+	}
+	return 0
+}
+
+// shutdownNode drains one member gracefully: HTTP first, then the batcher,
+// then the system (cluster transport and cache flush).
+func shutdownNode(nd *node, stderr io.Writer) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	nd.srv.BeginDrain()
+	if err := nd.hs.Shutdown(ctx); err != nil {
+		fmt.Fprintf(stderr, "pgmr-cluster: node %s shutdown: %v\n", nd.id, err)
+	}
+	if err := nd.srv.Drain(ctx); err != nil {
+		fmt.Fprintf(stderr, "pgmr-cluster: node %s drain: %v\n", nd.id, err)
+	}
+	if err := nd.sys.Close(); err != nil {
+		fmt.Fprintf(stderr, "pgmr-cluster: node %s close: %v\n", nd.id, err)
+	}
+}
+
+// validateHarness checks the numeric flags up front so misuse is a usage
+// error (exit 2) rather than a failure deep inside the harness.
+func validateHarness(nodes, pool, clients, requests, perRequest, cacheMB int) error {
+	if nodes < 1 || nodes > 16 {
+		return fmt.Errorf("-nodes must be in [1, 16], got %d", nodes)
+	}
+	if pool < 1 {
+		return fmt.Errorf("-n must be >= 1, got %d", pool)
+	}
+	if clients < 1 {
+		return fmt.Errorf("-clients must be >= 1, got %d", clients)
+	}
+	if requests < 1 {
+		return fmt.Errorf("-requests must be >= 1, got %d", requests)
+	}
+	if perRequest < 1 {
+		return fmt.Errorf("-images-per-request must be >= 1, got %d", perRequest)
+	}
+	if cacheMB < 0 {
+		return fmt.Errorf("-cache-mb must be >= 0, got %d", cacheMB)
+	}
+	return nil
+}

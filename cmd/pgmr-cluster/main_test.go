@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestValidateHarness pins the numeric-flag usage contract: defaults pass,
+// and each out-of-range value is rejected with a message naming its flag.
+func TestValidateHarness(t *testing.T) {
+	if err := validateHarness(3, 64, 4, 200, 1, 64); err != nil {
+		t.Errorf("validateHarness(defaults) = %v, want nil", err)
+	}
+	if err := validateHarness(1, 1, 1, 1, 1, 0); err != nil {
+		t.Errorf("validateHarness(minimums) = %v, want nil", err)
+	}
+	bad := []struct {
+		name                                            string
+		nodes, pool, clients, requests, perReq, cacheMB int
+	}{
+		{"-nodes", 0, 64, 4, 200, 1, 64},
+		{"-nodes", 17, 64, 4, 200, 1, 64},
+		{"-n", 3, 0, 4, 200, 1, 64},
+		{"-clients", 3, 64, 0, 200, 1, 64},
+		{"-requests", 3, 64, 4, 0, 1, 64},
+		{"-images-per-request", 3, 64, 4, 200, 0, 64},
+		{"-cache-mb", 3, 64, 4, 200, 1, -1},
+	}
+	for _, c := range bad {
+		err := validateHarness(c.nodes, c.pool, c.clients, c.requests, c.perReq, c.cacheMB)
+		if err == nil {
+			t.Errorf("validateHarness rejected nothing for bad %s", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.name) {
+			t.Errorf("error %q does not name %s", err, c.name)
+		}
+	}
+}
+
+// TestRunUsageErrors pins the exit-2 contract: malformed invocations are
+// usage errors reported on stderr before any cluster is stood up.
+func TestRunUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{"-nodes", "0"},
+		{"-nodes", "haha"},
+		{"-requests", "-5"},
+		{"-cache-mb", "-1"},
+		{"stray-positional"},
+		{"-no-such-flag"},
+	}
+	for _, args := range cases {
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code != 2 {
+			t.Errorf("run(%v) = %d, want 2", args, code)
+		}
+		if stderr.Len() == 0 {
+			t.Errorf("run(%v) wrote nothing to stderr", args)
+		}
+	}
+}

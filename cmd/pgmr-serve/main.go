@@ -9,6 +9,7 @@
 //	pgmr-serve -benchmark convnet -cache-mb 64 -cache-ttl 10m
 //	pgmr-serve -benchmark convnet -cache-mb 64 -cache-dir /var/lib/pgmr/cache -cache-disk-mb 512
 //	pgmr-serve -benchmark convnet -backend int8 -late-backend f64
+//	pgmr-serve -benchmark convnet -node-id a -peers a=10.0.0.1:7001,b=10.0.0.2:7001,c=10.0.0.3:7001
 //	pgmr-serve -benchmark convnet -loadtest -clients 16 -requests 500
 //
 // In serving mode the process runs until SIGINT/SIGTERM, then drains
@@ -26,6 +27,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -55,6 +57,8 @@ func main() {
 	cacheDiskMB := flag.Int("cache-disk-mb", 0, "L2 disk-tier budget in MiB (0 = 256 MiB default; requires -cache-dir)")
 	verified := flag.Bool("verified", false, "enable ABFT checksum verification of member inference kernels")
 	slo := flag.Duration("slo", 0, "per-request latency SLO; attaches the adaptive cascade controller (unset = static serving)")
+	nodeID := flag.String("node-id", "", "cluster: this node's id (requires -peers)")
+	peersFlag := flag.String("peers", "", "cluster: comma-separated id=host:port membership list including this node (requires -node-id)")
 	quiet := flag.Bool("quiet", false, "suppress training progress output")
 
 	loadtest := flag.Bool("loadtest", false, "run an in-process load test instead of serving")
@@ -99,6 +103,17 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	peers, err := validateCluster(*nodeID, *peersFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pgmr-serve: %v\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if peers != nil && *loadtest {
+		fmt.Fprintln(os.Stderr, "pgmr-serve: -loadtest cannot run clustered (use pgmr-cluster)")
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	opts := polygraph.Options{
 		Members:       *members,
@@ -125,6 +140,16 @@ func main() {
 		// configured with.
 		opts.Policy = &polygraph.PolicyOptions{BatchWindow: *batchWindow, MaxBatch: *maxBatch}
 	}
+	// The metrics bundle exists before Build so the cluster layer's forward
+	// observer can feed pgmr_cluster_forward_seconds from the first request.
+	metrics := telemetry.NewMetrics(*members)
+	if peers != nil {
+		opts.Cluster = &polygraph.ClusterOptions{
+			NodeID:         *nodeID,
+			Peers:          peers,
+			ObserveForward: metrics.ObserveForward,
+		}
+	}
 	sys, err := polygraph.Build(*benchmark, opts)
 	if err != nil {
 		fatalf("building system: %v", err)
@@ -132,8 +157,10 @@ func main() {
 	conf, freq := sys.Thresholds()
 	fmt.Fprintf(os.Stderr, "# system ready: %s members=%d Thr_Conf=%.2f Thr_Freq=%d\n",
 		*benchmark, *members, conf, freq)
-
-	metrics := telemetry.NewMetrics(*members)
+	if peers != nil {
+		fmt.Fprintf(os.Stderr, "# cluster member %s serving peers on %s (%d peers)\n",
+			*nodeID, peers[*nodeID], len(peers)-1)
+	}
 	scfg := server.Config{
 		Backend:         sys,
 		BatchWindow:     *batchWindow,
@@ -254,6 +281,55 @@ func validateBackends(backend, late string) error {
 		return fmt.Errorf("-late-backend: %w", err)
 	}
 	return nil
+}
+
+// validateCluster checks the -node-id/-peers pair up front so misuse is a
+// usage error (exit 2) rather than a failure deep inside polygraph.Build.
+// It returns the parsed membership map, or nil when clustering is off.
+func validateCluster(nodeID, peers string) (map[string]string, error) {
+	if nodeID == "" && peers == "" {
+		return nil, nil
+	}
+	if nodeID == "" || peers == "" {
+		return nil, fmt.Errorf("-node-id and -peers must be set together")
+	}
+	m, err := parsePeers(peers)
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := m[nodeID]; !ok {
+		return nil, fmt.Errorf("-node-id %q does not appear in -peers", nodeID)
+	}
+	if len(m) < 2 {
+		return nil, fmt.Errorf("-peers must list at least two nodes, got %d", len(m))
+	}
+	return m, nil
+}
+
+// parsePeers parses a comma-separated id=host:port membership list.
+func parsePeers(s string) (map[string]string, error) {
+	m := map[string]string{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, addr, ok := strings.Cut(part, "=")
+		if !ok || id == "" || addr == "" {
+			return nil, fmt.Errorf("-peers entry %q is not id=host:port", part)
+		}
+		if _, _, err := net.SplitHostPort(addr); err != nil {
+			return nil, fmt.Errorf("-peers entry %q: %v", part, err)
+		}
+		if _, dup := m[id]; dup {
+			return nil, fmt.Errorf("-peers lists node id %q twice", id)
+		}
+		m[id] = addr
+	}
+	if len(m) == 0 {
+		return nil, fmt.Errorf("-peers is empty")
+	}
+	return m, nil
 }
 
 // validateSLO rejects an explicitly requested non-positive SLO: leaving the

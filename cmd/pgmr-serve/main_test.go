@@ -24,6 +24,38 @@ func TestValidateBackends(t *testing.T) {
 	}
 }
 
+// TestValidateCluster pins the -node-id/-peers usage contract: both unset
+// serves unclustered, both set with a well-formed membership list that
+// contains the node id passes, and every other combination is a usage error.
+func TestValidateCluster(t *testing.T) {
+	if m, err := validateCluster("", ""); err != nil || m != nil {
+		t.Errorf("validateCluster(unset) = %v, %v; want nil, nil", m, err)
+	}
+	m, err := validateCluster("a", "a=127.0.0.1:7001, b=127.0.0.1:7002,c=host:7003")
+	if err != nil {
+		t.Fatalf("well-formed cluster rejected: %v", err)
+	}
+	if len(m) != 3 || m["a"] != "127.0.0.1:7001" || m["c"] != "host:7003" {
+		t.Fatalf("parsed peers = %v", m)
+	}
+	bad := []struct{ nodeID, peers string }{
+		{"a", ""}, // -node-id without -peers
+		{"", "a=127.0.0.1:7001,b=127.0.0.1:7002"},  // -peers without -node-id
+		{"zz", "a=127.0.0.1:7001,b=127.0.0.1:72"},  // node id not a member
+		{"a", "a=127.0.0.1:7001"},                  // single-node cluster
+		{"a", "a=127.0.0.1:7001,a=127.0.0.1:7002"}, // duplicate id
+		{"a", "a=127.0.0.1:7001,b"},                // entry missing =addr
+		{"a", "a=127.0.0.1:7001,=127.0.0.1:7002"},  // empty id
+		{"a", "a=127.0.0.1:7001,b=noport"},         // addr without port
+		{"a", ","},                                 // empty list
+	}
+	for _, c := range bad {
+		if _, err := validateCluster(c.nodeID, c.peers); err == nil {
+			t.Errorf("validateCluster(%q, %q) accepted a malformed cluster", c.nodeID, c.peers)
+		}
+	}
+}
+
 // TestValidateSLO pins the -slo usage contract: unset means static serving
 // (whatever the default value), but an explicitly passed non-positive
 // duration is a usage error.

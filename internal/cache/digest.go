@@ -15,6 +15,24 @@ type Key [sha256.Size]byte
 // String renders the key as lowercase hex (for logs and golden tests).
 func (k Key) String() string { return hex.EncodeToString(k[:]) }
 
+// Hash64 folds the key into a 64-bit FNV-1a hash — the value the cluster
+// layer's consistent-hash ring positions keys by. The key bytes are already
+// a uniform SHA-256 digest; FNV keeps ring placement decoupled from the
+// digest layout (a digestSchema bump must not silently reshuffle ring
+// ownership semantics, only the keys themselves).
+func (k Key) Hash64() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range k {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return h
+}
+
 // Fingerprint digests everything about a system's configuration that can
 // change its decisions. It is folded into every image key, so any
 // configuration change — thresholds, member set or order, preprocessor

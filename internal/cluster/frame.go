@@ -1,0 +1,144 @@
+// Package cluster is the scale-out serving layer: it routes classification
+// requests across N peer nodes so each image's cached decision lives on
+// exactly one owner (consistent hashing over the content-addressed
+// cache.Key), turning N processes into one coherent prediction cache
+// instead of N cold ones. The pieces:
+//
+//   - a compact binary TCP wire protocol (frame.go, proto.go) reusing the
+//     versioned core.EncodeDecision/DecodeDecision codec and the
+//     cache.Key/cache.Fingerprint content addressing,
+//   - a consistent-hash ring with replicated virtual nodes (ring.go),
+//   - a connection-pooled, pipelined peer client with request-id
+//     correlation, per-request deadlines and bounded inflight (client.go),
+//   - a Node (node.go, serve.go) that partitions each batch by ring owner:
+//     self-owned images run through the local engine (and its L1/L2 cache +
+//     singleflight), remote-owned images are forwarded to their owner, and
+//     an unreachable owner degrades to local compute — never to a
+//     user-visible error.
+//
+// The redundancy pipeline of the paper is untouched: every node runs the
+// full MR system; the cluster only distributes which node answers which
+// image. DESIGN.md §13 documents the wire format and the forward/fallback
+// state machine.
+package cluster
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"io"
+)
+
+// Frame layout (all little-endian), mirroring the L2 segment format the
+// repo already trusts for crash-safe persistence — self-framing and
+// self-verifying, because a TCP peer can die mid-write and a hostile or
+// corrupted length prefix must not drive a huge allocation:
+//
+//	u32 length   — len(type ‖ payload), so always ≥ 1
+//	u32 CRC-32C  — Castagnoli, over (type ‖ payload)
+//	u8  type     — message type (proto.go)
+//	... payload
+//
+// The length prefix sits outside the CRC: a damaged length cannot be told
+// apart from a torn frame, and both kill the connection (unlike the L2
+// recovery scan there is no later record worth salvaging — the stream has
+// lost sync).
+
+const (
+	// frameHeaderSize is the length-prefix + CRC envelope around a frame.
+	frameHeaderSize = 8
+	// MaxFrame bounds one frame on the wire. It must hold one classify
+	// request — fingerprint, shape and f64 pixels — with room to spare:
+	// 16 MiB covers a 3×512×512 float64 image more than twice over, while
+	// keeping a flipped-bit length prefix from allocating gigabytes.
+	MaxFrame = 16 << 20
+)
+
+// crcTable selects CRC-32C (hardware-accelerated on amd64/arm64), the same
+// polynomial the persistent cache tier uses.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Frame decode error classes. ErrTornFrame means the buffer (or stream)
+// ended inside a frame; ErrFrameTooLarge that the length prefix exceeds
+// MaxFrame; ErrCorruptFrame that an intact envelope failed its CRC or
+// framed nothing at all. All three are connection-fatal.
+var (
+	ErrTornFrame     = errors.New("cluster: torn frame")
+	ErrFrameTooLarge = errors.New("cluster: frame exceeds MaxFrame")
+	ErrCorruptFrame  = errors.New("cluster: corrupt frame")
+)
+
+// AppendFrame encodes one frame onto buf and returns the extended buffer.
+func AppendFrame(buf []byte, typ byte, payload []byte) []byte {
+	var hdr [frameHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(1+len(payload)))
+	start := len(buf)
+	buf = append(buf, hdr[:]...)
+	buf = append(buf, typ)
+	buf = append(buf, payload...)
+	crc := crc32.Checksum(buf[start+frameHeaderSize:], crcTable)
+	binary.LittleEndian.PutUint32(buf[start+4:start+8], crc)
+	return buf
+}
+
+// DecodeFrame parses the frame at the start of b, returning the message
+// type, its payload (aliasing b — callers that keep it must copy) and the
+// framed length consumed. Oversized length prefixes are rejected before
+// anything is trusted, torn frames before the CRC is read.
+func DecodeFrame(b []byte) (typ byte, payload []byte, n int, err error) {
+	if len(b) < frameHeaderSize {
+		return 0, nil, 0, ErrTornFrame
+	}
+	blen := int(binary.LittleEndian.Uint32(b[0:4]))
+	if blen < 1 {
+		return 0, nil, 0, ErrCorruptFrame
+	}
+	if blen > MaxFrame-frameHeaderSize {
+		return 0, nil, 0, ErrFrameTooLarge
+	}
+	if len(b) < frameHeaderSize+blen {
+		return 0, nil, 0, ErrTornFrame
+	}
+	body := b[frameHeaderSize : frameHeaderSize+blen]
+	if crc32.Checksum(body, crcTable) != binary.LittleEndian.Uint32(b[4:8]) {
+		return 0, nil, 0, ErrCorruptFrame
+	}
+	return body[0], body[1:], frameHeaderSize + blen, nil
+}
+
+// ReadFrame reads one frame from a stream. The length prefix is validated
+// against MaxFrame before the body is allocated, so a hostile peer cannot
+// drive an allocation blow-up; a short read anywhere maps to ErrTornFrame
+// (wrapping the underlying error for io.EOF discrimination at call sites).
+func ReadFrame(r io.Reader) (typ byte, payload []byte, err error) {
+	var hdr [frameHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return 0, nil, io.EOF // clean close between frames
+		}
+		return 0, nil, errors.Join(ErrTornFrame, err)
+	}
+	blen := int(binary.LittleEndian.Uint32(hdr[0:4]))
+	if blen < 1 {
+		return 0, nil, ErrCorruptFrame
+	}
+	if blen > MaxFrame-frameHeaderSize {
+		return 0, nil, ErrFrameTooLarge
+	}
+	body := make([]byte, blen)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, errors.Join(ErrTornFrame, err)
+	}
+	if crc32.Checksum(body, crcTable) != binary.LittleEndian.Uint32(hdr[4:8]) {
+		return 0, nil, ErrCorruptFrame
+	}
+	return body[0], body[1:], nil
+}
+
+// WriteFrame encodes and writes one frame. The scratch buffer is the
+// caller's to reuse across writes (pass nil to allocate).
+func WriteFrame(w io.Writer, scratch []byte, typ byte, payload []byte) ([]byte, error) {
+	scratch = AppendFrame(scratch[:0], typ, payload)
+	_, err := w.Write(scratch)
+	return scratch, err
+}

@@ -1,0 +1,150 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{
+		nil,
+		{},
+		{0xff},
+		bytes.Repeat([]byte{0xab}, 1024),
+	}
+	for _, p := range payloads {
+		enc := AppendFrame(nil, msgClassify, p)
+		typ, got, n, err := DecodeFrame(enc)
+		if err != nil {
+			t.Fatalf("DecodeFrame(%d-byte payload): %v", len(p), err)
+		}
+		if typ != msgClassify || n != len(enc) || !bytes.Equal(got, p) {
+			t.Fatalf("round trip mismatch: typ=%#x n=%d len(got)=%d", typ, n, len(got))
+		}
+		// Stream path must agree with the in-memory path.
+		styp, sp, serr := ReadFrame(bytes.NewReader(enc))
+		if serr != nil || styp != typ || !bytes.Equal(sp, p) {
+			t.Fatalf("ReadFrame disagrees with DecodeFrame: %v", serr)
+		}
+	}
+}
+
+func TestFrameStreamSequence(t *testing.T) {
+	var buf []byte
+	buf = AppendFrame(buf, msgPing, []byte("one"))
+	buf = AppendFrame(buf, msgPong, []byte("two"))
+	r := bytes.NewReader(buf)
+	for i, want := range []struct {
+		typ byte
+		p   string
+	}{{msgPing, "one"}, {msgPong, "two"}} {
+		typ, p, err := ReadFrame(r)
+		if err != nil || typ != want.typ || string(p) != want.p {
+			t.Fatalf("frame %d: typ=%#x payload=%q err=%v", i, typ, p, err)
+		}
+	}
+	// Clean close between frames is io.EOF, not a torn frame.
+	if _, _, err := ReadFrame(r); err != io.EOF {
+		t.Fatalf("end of stream: got %v, want io.EOF", err)
+	}
+}
+
+func TestFrameTruncation(t *testing.T) {
+	enc := AppendFrame(nil, msgDecision, []byte("payload"))
+	for cut := 1; cut < len(enc); cut++ {
+		_, _, _, err := DecodeFrame(enc[:cut])
+		if !errors.Is(err, ErrTornFrame) {
+			t.Fatalf("DecodeFrame truncated at %d: got %v, want ErrTornFrame", cut, err)
+		}
+		_, _, rerr := ReadFrame(bytes.NewReader(enc[:cut]))
+		if !errors.Is(rerr, ErrTornFrame) {
+			t.Fatalf("ReadFrame truncated at %d: got %v, want ErrTornFrame", cut, rerr)
+		}
+	}
+}
+
+func TestFrameCorruption(t *testing.T) {
+	enc := AppendFrame(nil, msgDecision, []byte("payload"))
+	// Flip one bit anywhere past the length prefix: CRC must catch it.
+	for i := 4; i < len(enc); i++ {
+		bad := append([]byte(nil), enc...)
+		bad[i] ^= 0x01
+		if _, _, _, err := DecodeFrame(bad); !errors.Is(err, ErrCorruptFrame) {
+			t.Fatalf("bit flip at %d: got %v, want ErrCorruptFrame", i, err)
+		}
+	}
+}
+
+func TestFrameHostileLength(t *testing.T) {
+	enc := AppendFrame(nil, msgDecision, []byte("payload"))
+
+	// Oversized length prefix must be rejected before any allocation.
+	big := append([]byte(nil), enc...)
+	binary.LittleEndian.PutUint32(big[0:4], uint32(MaxFrame))
+	if _, _, _, err := DecodeFrame(big); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized DecodeFrame: got %v, want ErrFrameTooLarge", err)
+	}
+	if _, _, err := ReadFrame(bytes.NewReader(big)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized ReadFrame: got %v, want ErrFrameTooLarge", err)
+	}
+
+	// A zero length frames nothing (not even a type byte): corrupt.
+	zero := append([]byte(nil), enc...)
+	binary.LittleEndian.PutUint32(zero[0:4], 0)
+	if _, _, _, err := DecodeFrame(zero); !errors.Is(err, ErrCorruptFrame) {
+		t.Fatalf("zero-length DecodeFrame: got %v, want ErrCorruptFrame", err)
+	}
+}
+
+func TestWriteFrameScratchReuse(t *testing.T) {
+	var buf bytes.Buffer
+	scratch, err := WriteFrame(&buf, nil, msgPing, []byte("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := &scratch[0]
+	scratch, err = WriteFrame(&buf, scratch, msgPong, []byte("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &scratch[0] != first {
+		t.Fatal("WriteFrame reallocated a scratch buffer that was large enough")
+	}
+}
+
+// FuzzFrameDecode drives hostile bytes through both decode paths: no input
+// may panic or allocate beyond MaxFrame, and any accepted frame must
+// re-encode bit-identically (the codec has one canonical form).
+func FuzzFrameDecode(f *testing.F) {
+	f.Add(AppendFrame(nil, msgClassify, []byte("seed payload")))
+	f.Add(AppendFrame(nil, msgDecision, nil))
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0})
+	big := AppendFrame(nil, msgError, bytes.Repeat([]byte{7}, 4096))
+	f.Add(big[:11])
+	f.Fuzz(func(t *testing.T, b []byte) {
+		typ, payload, n, err := DecodeFrame(b)
+		styp, sp, serr := ReadFrame(bytes.NewReader(b))
+		if err != nil {
+			// The two decoders must agree on rejection (modulo io.EOF for
+			// an empty stream, which only the stream path can report).
+			if serr == nil {
+				t.Fatalf("DecodeFrame rejected (%v) but ReadFrame accepted", err)
+			}
+			return
+		}
+		if n < frameHeaderSize+1 || n > len(b) {
+			t.Fatalf("accepted frame has impossible length %d (input %d)", n, len(b))
+		}
+		if serr != nil || styp != typ || !bytes.Equal(sp, payload) {
+			t.Fatalf("stream decode disagrees: err=%v typ=%#x vs %#x", serr, styp, typ)
+		}
+		// Canonical re-encode must reproduce the accepted bytes exactly.
+		if re := AppendFrame(nil, typ, payload); !bytes.Equal(re, b[:n]) {
+			t.Fatalf("re-encode not bit-identical:\n in: %x\nout: %x", b[:n], re)
+		}
+	})
+}

@@ -1,0 +1,333 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/tensor"
+)
+
+// Backend is the node-local compute surface — satisfied by *core.System,
+// whose ClassifyBatchContext runs the full cached path (L1/L2 probe,
+// singleflight, fused batch engine) when a prediction cache is attached.
+type Backend interface {
+	ClassifyBatchContext(ctx context.Context, xs []*tensor.T) ([]core.Decision, error)
+}
+
+// Config parameterizes New. NodeID, Peers, Backend and Fingerprint are
+// required; everything else has serving-grade defaults.
+type Config struct {
+	// NodeID is this node's identity; it must be a key of Peers.
+	NodeID string
+	// Peers maps node id → TCP address for every cluster member, this node
+	// included. Every node must be configured with the same map — the
+	// consistent-hash ring is built from its sorted keys.
+	Peers map[string]string
+	// Backend computes images this node owns (and fallback images whose
+	// owner is unreachable).
+	Backend Backend
+	// Fingerprint is the system configuration digest
+	// (core.System.ConfigFingerprint). It rides in every forwarded request
+	// and the owner rejects mismatches, so two nodes serving different
+	// configurations can never poison each other's caches.
+	Fingerprint cache.Fingerprint
+	// Replicas is the virtual-node count per peer on the ring; <= 0 selects
+	// DefaultReplicas.
+	Replicas int
+	// ForwardTimeout bounds one forwarded classify exchange; past it the
+	// image degrades to local compute. Default 2s.
+	ForwardTimeout time.Duration
+	// ServeTimeout bounds the local compute of one request answered for a
+	// remote peer. Default 30s.
+	ServeTimeout time.Duration
+	// DialTimeout bounds one connection attempt to a peer. Default 1s.
+	DialTimeout time.Duration
+	// PoolSize is the connections kept per peer. Default 2.
+	PoolSize int
+	// MaxInflight bounds correlated requests in flight per peer; further
+	// forwards wait (bounded by their context). Default 128.
+	MaxInflight int
+	// Backoff is how long a peer is held down (forwards fail fast to local
+	// fallback) after a dial or connection failure. Default 500ms.
+	Backoff time.Duration
+	// ObserveForward, when non-nil, receives the latency and outcome of
+	// every forwarded exchange — the serving layer points it at the
+	// pgmr_cluster_forward_seconds histogram.
+	ObserveForward func(d time.Duration, ok bool)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Replicas <= 0 {
+		c.Replicas = DefaultReplicas
+	}
+	if c.ForwardTimeout <= 0 {
+		c.ForwardTimeout = 2 * time.Second
+	}
+	if c.ServeTimeout <= 0 {
+		c.ServeTimeout = 30 * time.Second
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = time.Second
+	}
+	if c.PoolSize <= 0 {
+		c.PoolSize = 2
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 128
+	}
+	if c.Backoff <= 0 {
+		c.Backoff = 500 * time.Millisecond
+	}
+	return c
+}
+
+// Stats is a point-in-time snapshot of the node's routing counters.
+type Stats struct {
+	// Owned counts images this node computed as their ring owner (through
+	// its local cache, so repeats are cache hits, not recomputes).
+	Owned uint64
+	// Forwarded counts images answered by their remote owner.
+	Forwarded uint64
+	// Fallback counts images whose owner was unreachable (timeout, refused
+	// dial, peer error) and that were computed locally instead — degraded
+	// but never an error to the caller.
+	Fallback uint64
+	// Served counts remote peers' requests this node answered as owner.
+	Served uint64
+	// ForwardErrors counts failed forward exchanges (each either became a
+	// Fallback compute or inherited the caller's own context error).
+	ForwardErrors uint64
+	// PeersUp / PeersTotal describe the remote peer set and how many of
+	// them the breaker currently admits traffic to; Conns counts pooled
+	// connections currently established.
+	PeersUp, PeersTotal int
+	Conns               int
+}
+
+// Node is one cluster member: the ring, one client per remote peer, and
+// the local backend. Create with New, serve the wire protocol with Serve,
+// route with Classify/ClassifyBatch, stop with Close.
+type Node struct {
+	cfg   Config
+	ring  *Ring
+	peers map[string]*peerClient // remote peers only
+
+	owned       atomic.Uint64
+	forwarded   atomic.Uint64
+	fallback    atomic.Uint64
+	served      atomic.Uint64
+	forwardErrs atomic.Uint64
+
+	closed atomic.Bool
+	smu    sync.Mutex
+	lns    []interface{ Close() error }
+	conns  map[interface{ Close() error }]struct{}
+	wg     sync.WaitGroup
+}
+
+// New validates the configuration and builds the node (no I/O happens
+// until Serve or the first forward).
+func New(cfg Config) (*Node, error) {
+	cfg = cfg.withDefaults()
+	if cfg.NodeID == "" {
+		return nil, fmt.Errorf("cluster: Config.NodeID is required")
+	}
+	if cfg.Backend == nil {
+		return nil, fmt.Errorf("cluster: Config.Backend is required")
+	}
+	if _, ok := cfg.Peers[cfg.NodeID]; !ok {
+		return nil, fmt.Errorf("cluster: node id %q is not a member of Peers", cfg.NodeID)
+	}
+	ids := make([]string, 0, len(cfg.Peers))
+	for id := range cfg.Peers {
+		ids = append(ids, id)
+	}
+	ring, err := NewRing(ids, cfg.Replicas)
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{
+		cfg:   cfg,
+		ring:  ring,
+		peers: make(map[string]*peerClient, len(cfg.Peers)-1),
+		conns: map[interface{ Close() error }]struct{}{},
+	}
+	for id, addr := range cfg.Peers {
+		if id != cfg.NodeID {
+			n.peers[id] = newPeerClient(id, addr, cfg)
+		}
+	}
+	return n, nil
+}
+
+// NodeID returns this node's identity.
+func (n *Node) NodeID() string { return n.cfg.NodeID }
+
+// Ring returns the shared consistent-hash ring.
+func (n *Node) Ring() *Ring { return n.ring }
+
+// KeyFor computes the content address routing is based on.
+func (n *Node) KeyFor(x *tensor.T) cache.Key {
+	return cache.ImageKey(n.cfg.Fingerprint, x.Shape, x.Data)
+}
+
+// Classify routes one image: computed locally when this node owns it,
+// forwarded to the owner otherwise, with local fallback when the owner is
+// unreachable.
+func (n *Node) Classify(ctx context.Context, x *tensor.T) (core.Decision, error) {
+	ds, err := n.ClassifyBatch(ctx, []*tensor.T{x})
+	if err != nil {
+		return core.Decision{}, err
+	}
+	return ds[0], nil
+}
+
+// ClassifyBatch routes a batch: images this node owns run as one fused
+// local batch (through the local cache and singleflight), remote-owned
+// images are forwarded to their owners concurrently over the pipelined
+// peer connections, and forward failures degrade to one local fallback
+// batch. The only errors a caller can see are its own context's and the
+// local engine's — an unreachable peer never surfaces.
+func (n *Node) ClassifyBatch(ctx context.Context, xs []*tensor.T) ([]core.Decision, error) {
+	if len(xs) == 0 {
+		return []core.Decision{}, nil
+	}
+	out := make([]core.Decision, len(xs))
+	var localIdx []int
+	type fwd struct {
+		idx  int
+		peer *peerClient
+	}
+	var fwds []fwd
+	for i, x := range xs {
+		owner := n.ring.Owner(n.KeyFor(x))
+		if owner == n.cfg.NodeID {
+			localIdx = append(localIdx, i)
+			continue
+		}
+		fwds = append(fwds, fwd{i, n.peers[owner]})
+	}
+
+	// Forwards fly while the local batch computes.
+	var wg sync.WaitGroup
+	var fbMu sync.Mutex
+	var fbIdx []int
+	for _, f := range fwds {
+		wg.Add(1)
+		go func(f fwd) {
+			defer wg.Done()
+			fctx, cancel := context.WithTimeout(ctx, n.cfg.ForwardTimeout)
+			defer cancel()
+			start := time.Now()
+			d, err := f.peer.Classify(fctx, n.cfg.Fingerprint, xs[f.idx].Shape, xs[f.idx].Data)
+			if n.cfg.ObserveForward != nil {
+				n.cfg.ObserveForward(time.Since(start), err == nil)
+			}
+			if err == nil {
+				out[f.idx] = d
+				n.forwarded.Add(1)
+				return
+			}
+			n.forwardErrs.Add(1)
+			fbMu.Lock()
+			fbIdx = append(fbIdx, f.idx)
+			fbMu.Unlock()
+		}(f)
+	}
+
+	var localErr error
+	if len(localIdx) > 0 {
+		lxs := make([]*tensor.T, len(localIdx))
+		for j, i := range localIdx {
+			lxs[j] = xs[i]
+		}
+		ds, err := n.cfg.Backend.ClassifyBatchContext(ctx, lxs)
+		if err != nil {
+			localErr = err
+		} else {
+			for j, i := range localIdx {
+				out[i] = ds[j]
+			}
+			n.owned.Add(uint64(len(localIdx)))
+		}
+	}
+	wg.Wait()
+	if localErr != nil {
+		return nil, localErr
+	}
+	if err := ctx.Err(); err != nil {
+		// The caller's own deadline/cancellation — the one error a dead
+		// peer is allowed to surface as.
+		return nil, err
+	}
+
+	if len(fbIdx) > 0 {
+		sort.Ints(fbIdx)
+		fxs := make([]*tensor.T, len(fbIdx))
+		for j, i := range fbIdx {
+			fxs[j] = xs[i]
+		}
+		ds, err := n.cfg.Backend.ClassifyBatchContext(ctx, fxs)
+		if err != nil {
+			return nil, err
+		}
+		for j, i := range fbIdx {
+			out[i] = ds[j]
+		}
+		n.fallback.Add(uint64(len(fbIdx)))
+	}
+	return out, nil
+}
+
+// Stats snapshots the routing counters and peer pool state.
+func (n *Node) Stats() Stats {
+	st := Stats{
+		Owned:         n.owned.Load(),
+		Forwarded:     n.forwarded.Load(),
+		Fallback:      n.fallback.Load(),
+		Served:        n.served.Load(),
+		ForwardErrors: n.forwardErrs.Load(),
+		PeersTotal:    len(n.peers),
+	}
+	for _, p := range n.peers {
+		if p.up() {
+			st.PeersUp++
+		}
+		st.Conns += p.liveConns()
+	}
+	return st
+}
+
+// Close stops serving and tears down every peer connection. In-flight
+// forwarded calls fail over to local fallback; in-flight served requests
+// are abandoned with their connections.
+func (n *Node) Close() error {
+	if !n.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	n.smu.Lock()
+	lns := n.lns
+	n.lns = nil
+	conns := make([]interface{ Close() error }, 0, len(n.conns))
+	for c := range n.conns {
+		conns = append(conns, c)
+	}
+	n.smu.Unlock()
+	for _, ln := range lns {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	for _, p := range n.peers {
+		p.close()
+	}
+	n.wg.Wait()
+	return nil
+}

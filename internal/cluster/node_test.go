@@ -1,0 +1,380 @@
+package cluster
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"net"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/tensor"
+)
+
+// fakeBackend is a deterministic stand-in for the MR engine: decisions are
+// a pure function of image content, and every computed key is recorded so
+// tests can pin which node's engine saw which image.
+type fakeBackend struct {
+	fp cache.Fingerprint
+
+	mu   sync.Mutex
+	seen map[cache.Key]int
+}
+
+func newFakeBackend(fp cache.Fingerprint) *fakeBackend {
+	return &fakeBackend{fp: fp, seen: map[cache.Key]int{}}
+}
+
+func (f *fakeBackend) ClassifyBatchContext(ctx context.Context, xs []*tensor.T) ([]core.Decision, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	ds := make([]core.Decision, len(xs))
+	for i, x := range xs {
+		k := cache.ImageKey(f.fp, x.Shape, x.Data)
+		f.mu.Lock()
+		f.seen[k]++
+		f.mu.Unlock()
+		ds[i] = decisionFor(x)
+	}
+	return ds, nil
+}
+
+func (f *fakeBackend) keysSeen() map[cache.Key]int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[cache.Key]int, len(f.seen))
+	for k, v := range f.seen {
+		out[k] = v
+	}
+	return out
+}
+
+// decisionFor derives a decision deterministically from image content, so
+// any node computing the same image must produce the same bytes.
+func decisionFor(x *tensor.T) core.Decision {
+	var s float64
+	for _, v := range x.Data {
+		s += v
+	}
+	label := int(math.Abs(s*1000)) % 7
+	return core.Decision{
+		Label:      label,
+		Reliable:   label%2 == 0,
+		Confidence: math.Abs(math.Sin(s)),
+		Votes:      map[int]int{label: 3, (label + 1) % 7: 1},
+		Activated:  4,
+	}
+}
+
+func testImages(n int, seed int64) []*tensor.T {
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]*tensor.T, n)
+	for i := range xs {
+		data := make([]float64, 2*3*3)
+		for j := range data {
+			data[j] = rng.NormFloat64()
+		}
+		xs[i] = tensor.FromSlice(data, 2, 3, 3)
+	}
+	return xs
+}
+
+// startCluster brings up one in-process node per id on loopback listeners.
+// Node ids whose backend function returns nil are configured as cluster
+// members but never started — their addresses refuse connections, which is
+// how tests simulate a dead owner.
+func startCluster(t *testing.T, ids []string, mk func(id string) Backend, tweak func(*Config)) map[string]*Node {
+	t.Helper()
+	lns := map[string]net.Listener{}
+	peers := map[string]string{}
+	for _, id := range ids {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[id] = ln
+		peers[id] = ln.Addr().String()
+	}
+	nodes := map[string]*Node{}
+	for _, id := range ids {
+		be := mk(id)
+		if be == nil {
+			// Dead member: release the port so forwards to it fail fast.
+			lns[id].Close()
+			continue
+		}
+		cfg := Config{
+			NodeID:         id,
+			Peers:          peers,
+			Backend:        be,
+			ForwardTimeout: 2 * time.Second,
+			DialTimeout:    time.Second,
+			Backoff:        50 * time.Millisecond,
+		}
+		if tweak != nil {
+			tweak(&cfg)
+		}
+		n, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[id] = n
+		go n.Serve(lns[id])
+		t.Cleanup(func() { n.Close() })
+	}
+	return nodes
+}
+
+func TestNodeConfigValidation(t *testing.T) {
+	be := newFakeBackend(cache.Fingerprint{})
+	peers := map[string]string{"a": "127.0.0.1:1"}
+	if _, err := New(Config{Peers: peers, Backend: be}); err == nil {
+		t.Fatal("empty NodeID accepted")
+	}
+	if _, err := New(Config{NodeID: "a", Peers: peers}); err == nil {
+		t.Fatal("nil Backend accepted")
+	}
+	if _, err := New(Config{NodeID: "zz", Peers: peers, Backend: be}); err == nil {
+		t.Fatal("NodeID outside Peers accepted")
+	}
+}
+
+// TestClusterComputeOncePerKey is the core routing property: with every
+// node up, each unique image is computed by exactly one node — its ring
+// owner — no matter which node the request enters through, and every
+// caller gets the owner's exact decision bytes back.
+func TestClusterComputeOncePerKey(t *testing.T) {
+	fp := cache.SystemFingerprint(cache.SystemConfig{Conf: 0.3, Freq: 2, Members: []string{"ORG", "FlipX"}})
+	backends := map[string]*fakeBackend{}
+	nodes := startCluster(t, []string{"n0", "n1", "n2"},
+		func(id string) Backend {
+			backends[id] = newFakeBackend(fp)
+			return backends[id]
+		},
+		func(c *Config) { c.Fingerprint = fp })
+
+	xs := testImages(120, 7)
+	want := make([]core.Decision, len(xs))
+	for i, x := range xs {
+		want[i] = decisionFor(x)
+	}
+
+	// Every node classifies the full workload concurrently.
+	var wg sync.WaitGroup
+	results := map[string][]core.Decision{}
+	var rmu sync.Mutex
+	for id, n := range nodes {
+		wg.Add(1)
+		go func(id string, n *Node) {
+			defer wg.Done()
+			ds, err := n.ClassifyBatch(context.Background(), xs)
+			if err != nil {
+				t.Errorf("node %s: %v", id, err)
+				return
+			}
+			rmu.Lock()
+			results[id] = ds
+			rmu.Unlock()
+		}(id, n)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	for id, ds := range results {
+		if !reflect.DeepEqual(ds, want) {
+			t.Fatalf("node %s returned decisions differing from the content function", id)
+		}
+	}
+
+	// Each key must have been computed on exactly one node: its ring owner.
+	ring := nodes["n0"].Ring()
+	for i, x := range xs {
+		k := cache.ImageKey(fp, x.Shape, x.Data)
+		owner := ring.Owner(k)
+		for id, be := range backends {
+			count := be.keysSeen()[k]
+			if id == owner && count == 0 {
+				t.Fatalf("image %d: owner %s never computed its key", i, owner)
+			}
+			if id != owner && count != 0 {
+				t.Fatalf("image %d: non-owner %s computed a key owned by %s", i, id, owner)
+			}
+		}
+	}
+
+	// With 3 nodes each sending 120 images, every node must have forwarded
+	// roughly 2/3 of its workload and fallen back never.
+	for id, n := range nodes {
+		st := n.Stats()
+		if st.Fallback != 0 || st.ForwardErrors != 0 {
+			t.Fatalf("node %s: unexpected degradation %+v", id, st)
+		}
+		if st.Owned == 0 || st.Forwarded == 0 || st.Served == 0 {
+			t.Fatalf("node %s: missing traffic classes %+v", id, st)
+		}
+		if st.Owned+st.Forwarded != uint64(len(xs)) {
+			t.Fatalf("node %s: owned %d + forwarded %d != %d", id, st.Owned, st.Forwarded, len(xs))
+		}
+	}
+}
+
+// TestClusterFallbackWhenOwnerDown pins graceful degradation: with both
+// remote peers dead, every image still gets a correct decision — remote-owned
+// ones via local fallback — and no error ever reaches the caller.
+func TestClusterFallbackWhenOwnerDown(t *testing.T) {
+	fp := cache.SystemFingerprint(cache.SystemConfig{Conf: 0.3, Freq: 2, Members: []string{"ORG"}})
+	var be *fakeBackend
+	nodes := startCluster(t, []string{"n0", "n1", "n2"},
+		func(id string) Backend {
+			if id != "n0" {
+				return nil // dead members
+			}
+			be = newFakeBackend(fp)
+			return be
+		},
+		func(c *Config) {
+			c.Fingerprint = fp
+			c.ForwardTimeout = 500 * time.Millisecond
+			c.DialTimeout = 300 * time.Millisecond
+		})
+	n := nodes["n0"]
+
+	xs := testImages(60, 11)
+	ds, err := n.ClassifyBatch(context.Background(), xs)
+	if err != nil {
+		t.Fatalf("dead peers surfaced an error: %v", err)
+	}
+	for i, x := range xs {
+		if !reflect.DeepEqual(ds[i], decisionFor(x)) {
+			t.Fatalf("image %d: wrong decision under fallback", i)
+		}
+	}
+	st := n.Stats()
+	if st.Fallback == 0 || st.ForwardErrors == 0 {
+		t.Fatalf("expected fallback traffic, got %+v", st)
+	}
+	if st.Forwarded != 0 {
+		t.Fatalf("forwards to dead peers reported success: %+v", st)
+	}
+	if st.Owned+st.Fallback != uint64(len(xs)) {
+		t.Fatalf("owned %d + fallback %d != %d", st.Owned, st.Fallback, len(xs))
+	}
+	// Every key was computed locally.
+	if got := len(be.keysSeen()); got != len(xs) {
+		t.Fatalf("local backend saw %d keys, want %d", got, len(xs))
+	}
+	// The breaker must be open for the dead peers.
+	if st.PeersUp == st.PeersTotal {
+		t.Fatalf("breaker never opened: %+v", st)
+	}
+}
+
+// TestClusterFingerprintMismatch: an owner running a different system
+// configuration refuses the forward, and the sender degrades to local
+// compute rather than serving a foreign configuration's decision.
+func TestClusterFingerprintMismatch(t *testing.T) {
+	fpA := cache.SystemFingerprint(cache.SystemConfig{Conf: 0.3, Freq: 2, Members: []string{"ORG"}})
+	fpB := cache.SystemFingerprint(cache.SystemConfig{Conf: 0.9, Freq: 3, Members: []string{"ORG"}})
+	backends := map[string]*fakeBackend{}
+	nodes := startCluster(t, []string{"n0", "n1"},
+		func(id string) Backend {
+			fp := fpA
+			if id == "n1" {
+				fp = fpB
+			}
+			backends[id] = newFakeBackend(fp)
+			return backends[id]
+		},
+		func(c *Config) {
+			if c.NodeID == "n1" {
+				c.Fingerprint = fpB
+			} else {
+				c.Fingerprint = fpA
+			}
+		})
+
+	n := nodes["n0"]
+	xs := testImages(40, 13)
+	ds, err := n.ClassifyBatch(context.Background(), xs)
+	if err != nil {
+		t.Fatalf("fingerprint mismatch surfaced an error: %v", err)
+	}
+	for i, x := range xs {
+		if !reflect.DeepEqual(ds[i], decisionFor(x)) {
+			t.Fatalf("image %d: wrong decision", i)
+		}
+	}
+	st := n.Stats()
+	if st.Forwarded != 0 {
+		t.Fatalf("mismatched peer accepted forwards: %+v", st)
+	}
+	// Some images are owned by n1 under n0's key space; those must have
+	// been rejected and recomputed locally.
+	if st.Fallback == 0 || st.ForwardErrors == 0 {
+		t.Fatalf("expected rejected forwards, got %+v", st)
+	}
+	// n1's engine must never have computed anything for n0.
+	if len(backends["n1"].keysSeen()) != 0 {
+		t.Fatal("mismatched owner computed foreign-configuration images")
+	}
+}
+
+// TestClusterPing exercises the liveness probe against a live and a dead
+// peer.
+func TestClusterPing(t *testing.T) {
+	fp := cache.Fingerprint{}
+	nodes := startCluster(t, []string{"n0", "n1"},
+		func(id string) Backend { return newFakeBackend(fp) },
+		nil)
+	n := nodes["n0"]
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := n.peers["n1"].Ping(ctx); err != nil {
+		t.Fatalf("ping live peer: %v", err)
+	}
+	nodes["n1"].Close()
+	// After the peer dies, pings must start failing (first may consume the
+	// dead pooled conn, then the breaker opens).
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		pctx, pcancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+		err := n.peers["n1"].Ping(pctx)
+		pcancel()
+		if err != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("pings to a closed peer keep succeeding")
+		}
+	}
+}
+
+// TestClusterCallerContextSurfaces: the caller's own cancellation is the one
+// error a degraded forward may surface as.
+func TestClusterCallerContextSurfaces(t *testing.T) {
+	fp := cache.Fingerprint{}
+	var be *fakeBackend
+	startClusterNodes := startCluster(t, []string{"n0", "n1"},
+		func(id string) Backend {
+			if id != "n0" {
+				return nil
+			}
+			be = newFakeBackend(fp)
+			return be
+		},
+		func(c *Config) { c.Fingerprint = fp })
+	n := startClusterNodes["n0"]
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := n.ClassifyBatch(ctx, testImages(10, 17))
+	if err == nil {
+		t.Fatal("cancelled context produced no error")
+	}
+}

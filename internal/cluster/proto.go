@@ -1,0 +1,153 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+)
+
+// Message types carried in the frame type byte. Requests and responses are
+// correlated by a u64 request id — connections are pipelined, so responses
+// may arrive in any order.
+const (
+	// msgClassify asks the receiving node to classify one image through its
+	// local engine (cache + singleflight + MR system). Payload:
+	//
+	//	u64  request id
+	//	[32] system fingerprint (cache.Fingerprint) — the sender's config
+	//	u8   ndims, then per dim: u32 extent
+	//	...  pixels, f64 bits each (count = product of extents)
+	msgClassify = 0x01
+	// msgDecision answers msgClassify with a decision. Payload:
+	//
+	//	u64 request id
+	//	... core.EncodeDecision bytes (versioned codec, codec.go)
+	msgDecision = 0x02
+	// msgError answers msgClassify with a failure. Payload:
+	//
+	//	u64 request id
+	//	... UTF-8 message
+	msgError = 0x03
+	// msgPing/msgPong probe liveness. Payload: u64 request id.
+	msgPing = 0x04
+	msgPong = 0x05
+)
+
+// Classify-request shape guards. The dims bound matches polygraph's
+// MaxImageDim; ndims covers [C,H,W] with headroom. The pixel count is
+// additionally bounded by MaxFrame via the exact-length check, so a
+// hostile shape cannot promise more pixels than the frame carries.
+const (
+	maxReqDims = 8
+	maxReqDim  = 1 << 20
+)
+
+var errBadMessage = errors.New("cluster: malformed message payload")
+
+// classifyReq is one decoded classify request.
+type classifyReq struct {
+	id     uint64
+	fp     cache.Fingerprint
+	shape  []int
+	pixels []float64
+}
+
+// appendClassifyReq encodes a classify request onto buf.
+func appendClassifyReq(buf []byte, id uint64, fp cache.Fingerprint, shape []int, pixels []float64) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, id)
+	buf = append(buf, fp[:]...)
+	buf = append(buf, byte(len(shape)))
+	for _, d := range shape {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(d))
+	}
+	for _, p := range pixels {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(p))
+	}
+	return buf
+}
+
+// decodeClassifyReq parses a classify request, rejecting hostile shapes
+// (zero/oversized dims, dim-count overflow, payload length disagreeing
+// with the promised pixel count) before any allocation is sized by them.
+func decodeClassifyReq(b []byte) (classifyReq, error) {
+	var req classifyReq
+	if len(b) < 8+len(req.fp)+1 {
+		return req, errBadMessage
+	}
+	req.id = binary.LittleEndian.Uint64(b[0:8])
+	copy(req.fp[:], b[8:8+len(req.fp)])
+	rest := b[8+len(req.fp):]
+	ndims := int(rest[0])
+	rest = rest[1:]
+	if ndims < 1 || ndims > maxReqDims || len(rest) < 4*ndims {
+		return req, errBadMessage
+	}
+	req.shape = make([]int, ndims)
+	pixels := 1
+	for i := 0; i < ndims; i++ {
+		d := int(binary.LittleEndian.Uint32(rest[4*i:]))
+		if d < 1 || d > maxReqDim {
+			return req, errBadMessage
+		}
+		req.shape[i] = d
+		pixels *= d
+		// Bail before the product can overflow or promise more pixels than
+		// any frame could carry (8 bytes each under MaxFrame).
+		if pixels > MaxFrame/8 {
+			return req, errBadMessage
+		}
+	}
+	rest = rest[4*ndims:]
+	if len(rest) != 8*pixels {
+		return req, errBadMessage
+	}
+	req.pixels = make([]float64, pixels)
+	for i := range req.pixels {
+		req.pixels[i] = math.Float64frombits(binary.LittleEndian.Uint64(rest[8*i:]))
+	}
+	return req, nil
+}
+
+// appendDecisionResp encodes a msgDecision payload: the request id followed
+// by the versioned decision codec bytes.
+func appendDecisionResp(buf []byte, id uint64, d core.Decision) ([]byte, error) {
+	enc, err := core.EncodeDecision(d)
+	if err != nil {
+		return buf, err
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, id)
+	return append(buf, enc...), nil
+}
+
+// decodeDecisionResp parses a msgDecision payload.
+func decodeDecisionResp(b []byte) (id uint64, d core.Decision, err error) {
+	if len(b) < 8 {
+		return 0, core.Decision{}, errBadMessage
+	}
+	id = binary.LittleEndian.Uint64(b[0:8])
+	d, err = core.DecodeDecision(b[8:])
+	if err != nil {
+		return id, core.Decision{}, fmt.Errorf("%w: %v", errBadMessage, err)
+	}
+	return id, d, nil
+}
+
+// appendErrorResp encodes a msgError payload.
+func appendErrorResp(buf []byte, id uint64, msg string) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, id)
+	return append(buf, msg...)
+}
+
+// decodeIDResp parses the request id shared by msgError, msgPing and
+// msgPong payloads, returning the remainder (the message text for
+// msgError, empty otherwise).
+func decodeIDResp(b []byte) (id uint64, rest []byte, err error) {
+	if len(b) < 8 {
+		return 0, nil, errBadMessage
+	}
+	return binary.LittleEndian.Uint64(b[0:8]), b[8:], nil
+}

@@ -1,0 +1,102 @@
+package cluster
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+)
+
+func TestClassifyReqRoundTrip(t *testing.T) {
+	fp := cache.SystemFingerprint(cache.SystemConfig{Conf: 0.5, Freq: 2, Members: []string{"ORG"}})
+	shape := []int{1, 2, 3}
+	pixels := []float64{0, 1.5, -2.25, math.Inf(1), math.NaN(), 6e-8}
+	enc := appendClassifyReq(nil, 42, fp, shape, pixels)
+	req, err := decodeClassifyReq(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.id != 42 || req.fp != fp || !reflect.DeepEqual(req.shape, shape) {
+		t.Fatalf("header mismatch: %+v", req)
+	}
+	for i, p := range pixels {
+		if math.Float64bits(req.pixels[i]) != math.Float64bits(p) {
+			t.Fatalf("pixel %d: %v != %v (bits differ)", i, req.pixels[i], p)
+		}
+	}
+}
+
+func TestClassifyReqHostile(t *testing.T) {
+	fp := cache.Fingerprint{}
+	good := appendClassifyReq(nil, 1, fp, []int{2, 3}, make([]float64, 6))
+	cases := map[string][]byte{
+		"empty":          {},
+		"short header":   good[:20],
+		"zero dims":      append(append([]byte(nil), good[:40]...), 0),
+		"truncated dims": good[:42],
+		"short pixels":   good[:len(good)-8],
+		"extra bytes":    append(append([]byte(nil), good...), 0xff),
+	}
+	// Oversized dim: promises 2^20+1 per axis.
+	huge := appendClassifyReq(nil, 1, fp, []int{maxReqDim + 1}, nil)
+	cases["dim too large"] = huge
+	// Dim-product overflow: each dim legal, product promises > MaxFrame/8
+	// pixels — must be rejected without allocating.
+	overflow := appendClassifyReq(nil, 1, fp, []int{1 << 20, 1 << 20, 1 << 20}, nil)
+	cases["product overflow"] = overflow
+	// Too many dims.
+	manyShape := make([]int, maxReqDims+1)
+	for i := range manyShape {
+		manyShape[i] = 1
+	}
+	cases["too many dims"] = appendClassifyReq(nil, 1, fp, manyShape, []float64{0})
+
+	for name, b := range cases {
+		if _, err := decodeClassifyReq(b); err == nil {
+			t.Errorf("%s: hostile payload accepted", name)
+		}
+	}
+	if _, err := decodeClassifyReq(good); err != nil {
+		t.Fatalf("control payload rejected: %v", err)
+	}
+}
+
+func TestDecisionRespRoundTrip(t *testing.T) {
+	d := core.Decision{
+		Label:      3,
+		Reliable:   true,
+		Confidence: 0.875,
+		Votes:      map[int]int{3: 2, 1: 1},
+		Activated:  3,
+	}
+	enc, err := appendDecisionResp(nil, 7, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, got, err := decodeDecisionResp(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 7 || !reflect.DeepEqual(got, d) {
+		t.Fatalf("round trip mismatch: id=%d got=%+v", id, got)
+	}
+	if _, _, err := decodeDecisionResp(enc[:4]); err == nil {
+		t.Fatal("short decision response accepted")
+	}
+	if _, _, err := decodeDecisionResp(enc[:len(enc)-1]); err == nil {
+		t.Fatal("truncated decision codec accepted")
+	}
+}
+
+func TestErrorRespRoundTrip(t *testing.T) {
+	enc := appendErrorResp(nil, 9, "engine exploded")
+	id, msg, err := decodeIDResp(enc)
+	if err != nil || id != 9 || string(msg) != "engine exploded" {
+		t.Fatalf("id=%d msg=%q err=%v", id, msg, err)
+	}
+	if _, _, err := decodeIDResp([]byte{1, 2}); err == nil {
+		t.Fatal("short id response accepted")
+	}
+}

@@ -1,0 +1,96 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"repro/internal/cache"
+)
+
+// Ring is a consistent-hash ring over the content-addressed cache.Key
+// space: each node contributes Replicas virtual points, a key is owned by
+// the first point at or clockwise after its 64-bit hash, and removing a
+// node reassigns only the key ranges that ended at that node's points —
+// every other key keeps its owner (pinned by TestRingRebalanceBounded).
+//
+// Every node of a cluster must build an identical ring, so construction is
+// deterministic: the node list is sorted, virtual points are hashed from
+// (node id ‖ replica index), and point ties break by node order.
+type Ring struct {
+	nodes  []string
+	points []ringPoint // sorted ascending by hash
+}
+
+type ringPoint struct {
+	hash uint64
+	node int32 // index into nodes
+}
+
+// DefaultReplicas is the virtual-node count per peer when Config.Replicas
+// is unset: enough points that a 3-node ring's largest ownership share
+// stays within a few percent of 1/3.
+const DefaultReplicas = 128
+
+// NewRing builds a ring. Node ids must be non-empty and unique; replicas
+// <= 0 selects DefaultReplicas.
+func NewRing(nodes []string, replicas int) (*Ring, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one node")
+	}
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	sorted := append([]string(nil), nodes...)
+	sort.Strings(sorted)
+	for i, n := range sorted {
+		if n == "" {
+			return nil, fmt.Errorf("cluster: empty node id")
+		}
+		if i > 0 && sorted[i-1] == n {
+			return nil, fmt.Errorf("cluster: duplicate node id %q", n)
+		}
+	}
+	r := &Ring{nodes: sorted, points: make([]ringPoint, 0, len(sorted)*replicas)}
+	for ni, n := range sorted {
+		for v := 0; v < replicas; v++ {
+			r.points = append(r.points, ringPoint{vnodeHash(n, v), int32(ni)})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].node < r.points[j].node
+	})
+	return r, nil
+}
+
+// vnodeHash positions one virtual point: FNV-64a over the node id and the
+// replica index (length-framed so "a"+1 and "a1"+... cannot collide by
+// concatenation).
+func vnodeHash(node string, replica int) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(len(node)))
+	h.Write(buf[:])
+	h.Write([]byte(node))
+	binary.LittleEndian.PutUint64(buf[:], uint64(replica))
+	h.Write(buf[:])
+	return h.Sum64()
+}
+
+// Owner returns the node that owns key k: the first virtual point at or
+// after Hash64(k), wrapping to the smallest point past the top of the ring.
+func (r *Ring) Owner(k cache.Key) string {
+	h := k.Hash64()
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.nodes[r.points[i].node]
+}
+
+// Nodes returns the member ids in sorted order.
+func (r *Ring) Nodes() []string { return append([]string(nil), r.nodes...) }

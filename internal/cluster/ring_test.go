@@ -1,0 +1,126 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cache"
+)
+
+func randomKeys(n int, seed int64) []cache.Key {
+	rng := rand.New(rand.NewSource(seed))
+	keys := make([]cache.Key, n)
+	for i := range keys {
+		rng.Read(keys[i][:])
+	}
+	return keys
+}
+
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Fatal("empty node list accepted")
+	}
+	if _, err := NewRing([]string{"a", ""}, 0); err == nil {
+		t.Fatal("empty node id accepted")
+	}
+	if _, err := NewRing([]string{"a", "b", "a"}, 0); err == nil {
+		t.Fatal("duplicate node id accepted")
+	}
+}
+
+// TestRingDeterministic pins the property every node depends on: rings built
+// from the same member set — in any order, in any process — route every key
+// identically.
+func TestRingDeterministic(t *testing.T) {
+	r1, err := NewRing([]string{"node-a", "node-b", "node-c"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRing([]string{"node-c", "node-a", "node-b"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range randomKeys(2048, 1) {
+		if r1.Owner(k) != r2.Owner(k) {
+			t.Fatalf("key %s: owners differ across construction orders", k)
+		}
+	}
+}
+
+// TestRingBalance checks the replicated virtual nodes spread ownership: no
+// node of a 3-node ring should own a wildly disproportionate share.
+func TestRingBalance(t *testing.T) {
+	r, err := NewRing([]string{"a", "b", "c"}, DefaultReplicas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	keys := randomKeys(30000, 2)
+	for _, k := range keys {
+		counts[r.Owner(k)]++
+	}
+	for node, c := range counts {
+		share := float64(c) / float64(len(keys))
+		if share < 0.15 || share > 0.55 {
+			t.Fatalf("node %s owns %.1f%% of keys — ring badly unbalanced: %v",
+				node, 100*share, counts)
+		}
+	}
+}
+
+// TestRingRebalanceBounded pins consistent hashing's defining property over
+// a large random key population: removing one node reassigns exactly the
+// keys that node owned, and every one of them; no key between two surviving
+// nodes moves.
+func TestRingRebalanceBounded(t *testing.T) {
+	nodes := []string{"a", "b", "c", "d"}
+	full, err := NewRing(nodes, DefaultReplicas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reduced, err := NewRing([]string{"a", "b", "d"}, DefaultReplicas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := randomKeys(12000, 3)
+	moved, kept := 0, 0
+	for _, k := range keys {
+		before, after := full.Owner(k), reduced.Owner(k)
+		if before == "c" {
+			// The removed node's keys must all land somewhere else.
+			if after == "c" {
+				t.Fatalf("key %s still owned by removed node", k)
+			}
+			moved++
+			continue
+		}
+		// Keys owned by survivors must not move at all.
+		if after != before {
+			t.Fatalf("key %s moved %s→%s though its owner survived", k, before, after)
+		}
+		kept++
+	}
+	if moved == 0 || kept == 0 {
+		t.Fatalf("degenerate split moved=%d kept=%d over %d keys", moved, kept, len(keys))
+	}
+	// Sanity: the moved share should be roughly the removed node's 1/4.
+	share := float64(moved) / float64(len(keys))
+	if share > 0.45 {
+		t.Fatalf("removing 1 of 4 nodes moved %.1f%% of keys", 100*share)
+	}
+}
+
+func TestRingNodesCopy(t *testing.T) {
+	r, err := NewRing([]string{"b", "a"}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := r.Nodes()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Nodes() = %v, want sorted [a b]", got)
+	}
+	got[0] = "mutated"
+	if r.Nodes()[0] != "a" {
+		t.Fatal("Nodes() returned internal slice")
+	}
+}

@@ -1,0 +1,146 @@
+package cluster
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/tensor"
+)
+
+// maxServerInflight bounds concurrently computing requests per inbound
+// connection, so one peer cannot fan an unbounded goroutine count into the
+// local engine. Further frames are still read (responses are pipelined and
+// may complete out of order); their compute waits for a token.
+const maxServerInflight = 64
+
+// Serve answers peer requests on ln until the node is closed. It blocks,
+// returning nil after Close and the accept error otherwise — run it on its
+// own goroutine.
+func (n *Node) Serve(ln net.Listener) error {
+	n.smu.Lock()
+	if n.closed.Load() {
+		n.smu.Unlock()
+		ln.Close()
+		return nil
+	}
+	n.lns = append(n.lns, ln)
+	n.smu.Unlock()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			if n.closed.Load() {
+				return nil
+			}
+			return fmt.Errorf("cluster: accept on %s: %w", ln.Addr(), err)
+		}
+		if tc, ok := nc.(*net.TCPConn); ok {
+			tc.SetNoDelay(true)
+		}
+		n.smu.Lock()
+		if n.closed.Load() {
+			n.smu.Unlock()
+			nc.Close()
+			return nil
+		}
+		n.conns[nc] = struct{}{}
+		n.wg.Add(1)
+		n.smu.Unlock()
+		go n.serveConn(nc)
+	}
+}
+
+// serveConn runs one inbound connection: frames are read sequentially,
+// classify requests compute on bounded worker goroutines (responses
+// pipeline back in completion order), and any protocol violation —
+// framing error, malformed payload, unknown type — kills the connection,
+// because a desynced byte stream has no trustworthy next frame.
+func (n *Node) serveConn(nc net.Conn) {
+	defer n.wg.Done()
+	defer func() {
+		nc.Close()
+		n.smu.Lock()
+		delete(n.conns, nc)
+		n.smu.Unlock()
+	}()
+
+	// Per-connection write state: responses from concurrent workers are
+	// serialized by wmu, sharing one scratch buffer.
+	var wmu sync.Mutex
+	var wbuf []byte
+	writeFrame := func(typ byte, payload []byte) error {
+		wmu.Lock()
+		defer wmu.Unlock()
+		var err error
+		wbuf, err = WriteFrame(nc, wbuf, typ, payload)
+		return err
+	}
+
+	sem := make(chan struct{}, maxServerInflight)
+	var wg sync.WaitGroup
+	defer wg.Wait()
+
+	br := bufio.NewReaderSize(nc, 64<<10)
+	for {
+		typ, payload, err := ReadFrame(br)
+		if err != nil {
+			return
+		}
+		switch typ {
+		case msgPing:
+			id, _, derr := decodeIDResp(payload)
+			if derr != nil {
+				return
+			}
+			var out [8]byte
+			putUint64(out[:], id)
+			if writeFrame(msgPong, out[:]) != nil {
+				return
+			}
+		case msgClassify:
+			req, derr := decodeClassifyReq(payload)
+			if derr != nil {
+				return
+			}
+			sem <- struct{}{}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-sem }()
+				n.answer(writeFrame, req)
+			}()
+		default:
+			return
+		}
+	}
+}
+
+// answer computes one forwarded request through the local engine and writes
+// the response. Requests from a peer running a different system
+// configuration are rejected — serving them would return decisions the
+// sender's fingerprint does not describe.
+func (n *Node) answer(writeFrame func(byte, []byte) error, req classifyReq) {
+	if req.fp != n.cfg.Fingerprint {
+		writeFrame(msgError, appendErrorResp(nil, req.id, "system fingerprint mismatch"))
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.ServeTimeout)
+	defer cancel()
+	// decodeClassifyReq guarantees len(pixels) == product(shape), so
+	// FromSlice cannot panic.
+	x := tensor.FromSlice(req.pixels, req.shape...)
+	ds, err := n.cfg.Backend.ClassifyBatchContext(ctx, []*tensor.T{x})
+	if err != nil {
+		writeFrame(msgError, appendErrorResp(nil, req.id, err.Error()))
+		return
+	}
+	out, err := appendDecisionResp(make([]byte, 0, 64), req.id, ds[0])
+	if err != nil {
+		writeFrame(msgError, appendErrorResp(nil, req.id, err.Error()))
+		return
+	}
+	n.served.Add(1)
+	writeFrame(msgDecision, out)
+}

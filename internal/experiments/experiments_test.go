@@ -9,7 +9,7 @@ import (
 )
 
 func TestIDsComplete(t *testing.T) {
-	want := []string{"ext-abft", "ext-budget", "ext-caching", "ext-caching2", "ext-faults", "ext-ood", "ext-oracle",
+	want := []string{"ext-abft", "ext-budget", "ext-caching", "ext-caching2", "ext-cluster", "ext-faults", "ext-ood", "ext-oracle",
 		"ext-serving", "ext-slo", "ext-softvote", "ext-throughput", "fig1", "fig10", "fig11", "fig12",
 		"fig13", "fig14", "fig2", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9",
 		"tab2", "tab3"}
@@ -121,6 +121,30 @@ func TestExtAbftEndToEnd(t *testing.T) {
 	}
 	if len(res.Rows) != 3 {
 		t.Fatalf("expected one row per backend, got %d", len(res.Rows))
+	}
+}
+
+// TestExtClusterEndToEnd smokes the scale-out cluster experiment (the CI
+// smoke for clustered serving): the runner itself enforces decision
+// bit-identity to single-process serving, one-owner-per-key routing, and
+// zero fallbacks with every peer up, so the test asserts it ran, produced
+// the 1-node and 3-node points, and wrote the report.
+func TestExtClusterEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("zoo-backed experiment in -short mode")
+	}
+	path := t.TempDir() + "/BENCH_cluster.json"
+	t.Setenv("PGMR_BENCH_CLUSTER_JSON", path)
+	ctx := NewContext()
+	res, err := Run(ctx, "ext-cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("expected 1-node and 3-node rows, got %d", len(res.Rows))
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Errorf("BENCH_cluster.json not written: %v", err)
 	}
 }
 

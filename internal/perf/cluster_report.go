@@ -1,0 +1,70 @@
+package perf
+
+import (
+	"encoding/json"
+	"os"
+)
+
+// This file holds the machine-readable output of the ext-cluster experiment
+// (internal/experiments/fig_cluster.go): a 1-node vs 3-node comparison of
+// the consistent-hash routed serving cluster on the Zipf workload. The run
+// writes BENCH_cluster.json (path overridable via PGMR_BENCH_CLUSTER_JSON)
+// so CI can archive the scale-out behavior across commits.
+
+// ClusterPoint is one cluster-size measurement.
+type ClusterPoint struct {
+	// Nodes is the cluster size of this point.
+	Nodes int `json:"nodes"`
+	// ColdImgPerSec is the aggregate image throughput of the first (cache-
+	// cold) pass; WarmImgPerSec of the second pass over the same stream.
+	ColdImgPerSec float64 `json:"cold_img_per_sec"`
+	WarmImgPerSec float64 `json:"warm_img_per_sec"`
+	// Images is the aggregate image count of each pass (nodes × frames —
+	// every node streams the full workload concurrently).
+	Images int `json:"images"`
+	// HitRatio is the effective cache hit ratio over the warm pass, summed
+	// across every node's prediction cache.
+	HitRatio float64 `json:"hit_ratio"`
+	// UniqueComputes is how many distinct image keys were computed by the
+	// ensemble across the whole cluster (per pass the Zipf pool size when
+	// routing works: each unique image computed on exactly one node).
+	UniqueComputes int `json:"unique_computes"`
+	// Owned/Forwarded/Fallback are the routing counters summed over nodes.
+	Owned     uint64 `json:"owned"`
+	Forwarded uint64 `json:"forwarded"`
+	Fallback  uint64 `json:"fallback"`
+	// Identical reports every decision of both passes was bit-identical to
+	// the single-process baseline.
+	Identical bool `json:"identical"`
+}
+
+// ClusterReport is the BENCH_cluster.json document.
+type ClusterReport struct {
+	Benchmark  string         `json:"benchmark"`
+	Members    int            `json:"members"`
+	GoMaxProcs int            `json:"gomaxprocs"`
+	PoolImages int            `json:"pool_images"`
+	ZipfS      float64        `json:"zipf_s"`
+	Batch      int            `json:"batch"`
+	Frames     int            `json:"frames"`
+	Points     []ClusterPoint `json:"points"`
+}
+
+// ClusterReportPath resolves where the report goes: $PGMR_BENCH_CLUSTER_JSON
+// when set, else internal/perf/BENCH_cluster.json relative to the working
+// directory (the repo root for `go run ./cmd/pgmr-bench ext-cluster`).
+func ClusterReportPath() string {
+	if p := os.Getenv("PGMR_BENCH_CLUSTER_JSON"); p != "" {
+		return p
+	}
+	return "internal/perf/BENCH_cluster.json"
+}
+
+// WriteClusterReport writes the report as indented JSON.
+func WriteClusterReport(path string, r ClusterReport) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

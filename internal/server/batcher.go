@@ -6,6 +6,7 @@ import (
 	"time"
 
 	polygraph "repro"
+	"repro/internal/server/telemetry"
 )
 
 // item is one image queued for classification, plus the channel its
@@ -161,6 +162,19 @@ func (s *Server) dispatch(batch []*item) {
 	if rep, ok := s.cfg.Backend.(AbftReporter); ok && rep.Verified() {
 		c := rep.AbftCounts()
 		s.metrics.ObserveAbft(c.Checks, c.Detected, c.Corrected, c.Uncorrectable)
+	}
+	if cr, ok := s.cfg.Backend.(ClusterReporter); ok && cr.Clustered() {
+		st := cr.ClusterStats()
+		s.metrics.ObserveCluster(telemetry.ClusterSample{
+			Owned:         st.Owned,
+			Forwarded:     st.Forwarded,
+			Fallback:      st.Fallback,
+			Served:        st.Served,
+			ForwardErrors: st.ForwardErrors,
+			PeersUp:       st.PeersUp,
+			PeersTotal:    st.PeersTotal,
+			Conns:         st.Conns,
+		})
 	}
 }
 

@@ -63,6 +63,18 @@ type AbftReporter interface {
 	AbftCounts() polygraph.AbftCounts
 }
 
+// ClusterReporter is the optional backend surface for scale-out cluster
+// telemetry — satisfied by *polygraph.System when Options.Cluster is set.
+// When the configured Backend implements it and reports clustered serving,
+// every classify response carries the node's identity in the X-PGMR-Node
+// header and the batcher mirrors the routing counters into the
+// pgmr_cluster_* series after every dispatch.
+type ClusterReporter interface {
+	Clustered() bool
+	ClusterNodeID() string
+	ClusterStats() polygraph.ClusterStats
+}
+
 // Policy is the optional SLO batch planner — satisfied by
 // *policy.Controller. When set, the batcher asks it for the next batch
 // window and size before each collect (feeding it the live queue depth),
@@ -80,6 +92,11 @@ type Policy interface {
 // cached part rode along with the computed remainder). Absent when the
 // backend has no cache.
 const cacheHeader = "X-PGMR-Cache"
+
+// nodeHeader names the cluster node that answered the request (the entry
+// node — forwarded images still return through it). Absent when the backend
+// is not clustered.
+const nodeHeader = "X-PGMR-Node"
 
 // Config parameterizes New. The zero value of every field except Backend is
 // usable; see the field comments for defaults.
@@ -313,6 +330,9 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	s.metrics.Requests.Inc()
 	s.metrics.InFlight.Add(1)
 	defer s.metrics.InFlight.Add(-1)
+	if cr, ok := s.cfg.Backend.(ClusterReporter); ok && cr.Clustered() {
+		w.Header().Set(nodeHeader, cr.ClusterNodeID())
+	}
 
 	var req classifyRequest
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)

@@ -71,6 +71,21 @@ type Metrics struct {
 	// between enqueue and dispatch.
 	QueueWait *Histogram // pgmr_queue_wait_seconds
 
+	// Cluster routing (internal/cluster, DESIGN.md §13). The counters are
+	// advanced by deltas computed against the backend's cumulative snapshot
+	// after every batch dispatch; all zero when the server runs unclustered.
+	ClusterOwned         *Counter   // images computed locally as ring owner
+	ClusterForwarded     *Counter   // images answered by their remote owner
+	ClusterFallback      *Counter   // images computed locally because the owner was unreachable
+	ClusterServed        *Counter   // peer requests answered as owner
+	ClusterForwardErrors *Counter   // failed forward exchanges
+	ClusterPeersUp       *Gauge     // remote peers currently accepting traffic
+	ClusterPeersTotal    *Gauge     // remote peers configured
+	ClusterConns         *Gauge     // pooled peer connections established
+	ClusterForwardOK     *Counter   // forwarded exchanges that succeeded
+	ClusterForwardFailed *Counter   // forwarded exchanges that failed
+	ClusterForwardSecs   *Histogram // pgmr_cluster_forward_seconds
+
 	// SLO policy controller (internal/policy, DESIGN.md §12). Mirrored from
 	// the controller snapshot after every batch dispatch; all zero when the
 	// server runs without a policy.
@@ -87,6 +102,7 @@ type Metrics struct {
 	responses   map[int]*Counter // responses by HTTP status code
 	policyRoles map[string]*Gauge
 	stageCosts  map[string]*Gauge
+	lastCluster ClusterSample // previous cumulative snapshot, for counter deltas
 }
 
 // NewMetrics builds a bundle on a fresh registry. maxMembers sizes the
@@ -140,6 +156,18 @@ func NewMetrics(maxMembers int) *Metrics {
 		AbftUncorrectable: r.Gauge("pgmr_abft_uncorrectable", "Detected faults that persisted across re-execution; the member's votes abstained (cumulative)."),
 
 		QueueWait: r.Histogram("pgmr_queue_wait_seconds", "Time images spent in the batcher admission queue before dispatch.", latency),
+
+		ClusterOwned:         r.Counter("pgmr_cluster_owned_total", "Images computed locally as their consistent-hash ring owner."),
+		ClusterForwarded:     r.Counter("pgmr_cluster_forwarded_total", "Images answered by their remote ring owner."),
+		ClusterFallback:      r.Counter("pgmr_cluster_fallback_total", "Images computed locally because their remote owner was unreachable."),
+		ClusterServed:        r.Counter("pgmr_cluster_served_total", "Peer classify requests answered by this node as owner."),
+		ClusterForwardErrors: r.Counter("pgmr_cluster_forward_errors_total", "Forward exchanges that failed (timeout, dead peer, rejection)."),
+		ClusterPeersUp:       r.Gauge("pgmr_cluster_peers_up", "Remote cluster peers currently accepting traffic (breaker closed)."),
+		ClusterPeersTotal:    r.Gauge("pgmr_cluster_peers_total", "Remote cluster peers configured."),
+		ClusterConns:         r.Gauge("pgmr_cluster_conns", "Pooled peer connections currently established."),
+		ClusterForwardOK:     r.Counter("pgmr_cluster_forward_total", "Forwarded classify exchanges by outcome.", Label{"outcome", "ok"}),
+		ClusterForwardFailed: r.Counter("pgmr_cluster_forward_total", "Forwarded classify exchanges by outcome.", Label{"outcome", "error"}),
+		ClusterForwardSecs:   r.Histogram("pgmr_cluster_forward_seconds", "Latency of forwarded classify exchanges in seconds.", latency),
 
 		PolicyTier:         r.Gauge("pgmr_policy_tier", "Current SLO-controller degradation tier (0 = static configuration)."),
 		PolicyStageDepth:   r.Gauge("pgmr_policy_stage_depth", "Members activated through the last policy-observed stage."),
@@ -198,6 +226,51 @@ func (m *Metrics) ObserveCacheProbe(p CacheProbe) {
 	m.CacheL2Backlog.Set(p.L2Backlog)
 	m.CacheL2Flushed.Set(int64(p.L2Flushed))
 	m.CacheL2Dropped.Set(int64(p.L2Dropped))
+}
+
+// ClusterSample is one cumulative snapshot of the cluster routing counters,
+// mirrored from the clustered backend after each batch dispatch. Declared
+// here (rather than importing internal/cluster) so telemetry stays a leaf
+// package.
+type ClusterSample struct {
+	Owned, Forwarded, Fallback uint64
+	Served, ForwardErrors      uint64
+	PeersUp, PeersTotal, Conns int
+}
+
+// ObserveCluster advances the pgmr_cluster_* counters by the delta between
+// this cumulative snapshot and the previous one, and refreshes the peer
+// gauges. Counters never move backwards: a snapshot that regresses (e.g.
+// after a backend swap) only resets the baseline.
+func (m *Metrics) ObserveCluster(s ClusterSample) {
+	m.mu.Lock()
+	last := m.lastCluster
+	m.lastCluster = s
+	m.mu.Unlock()
+	delta := func(c *Counter, now, prev uint64) {
+		if now > prev {
+			c.Add(now - prev)
+		}
+	}
+	delta(m.ClusterOwned, s.Owned, last.Owned)
+	delta(m.ClusterForwarded, s.Forwarded, last.Forwarded)
+	delta(m.ClusterFallback, s.Fallback, last.Fallback)
+	delta(m.ClusterServed, s.Served, last.Served)
+	delta(m.ClusterForwardErrors, s.ForwardErrors, last.ForwardErrors)
+	m.ClusterPeersUp.Set(int64(s.PeersUp))
+	m.ClusterPeersTotal.Set(int64(s.PeersTotal))
+	m.ClusterConns.Set(int64(s.Conns))
+}
+
+// ObserveForward records one forwarded classify exchange — the hook a
+// clustered backend's ObserveForward option points at.
+func (m *Metrics) ObserveForward(d time.Duration, ok bool) {
+	if ok {
+		m.ClusterForwardOK.Inc()
+	} else {
+		m.ClusterForwardFailed.Inc()
+	}
+	m.ClusterForwardSecs.Observe(d.Seconds())
 }
 
 // ObserveDecision ingests one decision outcome: the reliability verdict,

@@ -22,10 +22,12 @@ package polygraph
 import (
 	"context"
 	"fmt"
+	"net"
 	"time"
 
 	"repro/internal/cache"
 	"repro/internal/cache/persist"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/model"
@@ -161,10 +163,67 @@ type Options struct {
 	// Policy tunes the SLO controller; nil selects defaults. Ignored unless
 	// SLO is positive.
 	Policy *PolicyOptions
+	// Cluster, when non-nil, joins this system to a scale-out serving
+	// cluster (DESIGN.md §13): classification requests are routed by a
+	// consistent-hash ring over the content-addressed image key, so each
+	// unique image is computed (and cached) on exactly one owner node,
+	// turning N processes into one coherent prediction cache. Decisions are
+	// identical to single-node serving; an unreachable owner degrades to
+	// local compute, never to an error.
+	Cluster *ClusterOptions
 	// Quiet suppresses training progress output.
 	Quiet bool
 	// Progress, when non-nil and not Quiet, receives training notes.
 	Progress func(format string, args ...any)
+}
+
+// ClusterOptions configures scale-out cluster membership (Options.Cluster).
+// Every node of a cluster must be built with the same benchmark and system
+// configuration — forwarded requests carry the configuration fingerprint
+// and the owner rejects mismatches.
+type ClusterOptions struct {
+	// NodeID is this node's identity; it must be a key of Peers.
+	NodeID string
+	// Peers maps node id → TCP address for every cluster member, this node
+	// included. All nodes must agree on this map.
+	Peers map[string]string
+	// Listener, when non-nil, is the pre-bound listener the node serves
+	// peer traffic on (useful for in-process harnesses and :0 ports). When
+	// nil, Build listens on Peers[NodeID].
+	Listener net.Listener
+	// Replicas is the virtual-node count per peer on the consistent-hash
+	// ring; 0 selects the cluster package default.
+	Replicas int
+	// ForwardTimeout bounds one forwarded classify exchange before the
+	// image degrades to local compute. 0 selects 2s.
+	ForwardTimeout time.Duration
+	// DialTimeout bounds one connection attempt to a peer. 0 selects 1s.
+	DialTimeout time.Duration
+	// Backoff is how long a peer is held down after a connection failure
+	// (forwards fail fast to local fallback meanwhile). 0 selects 500ms.
+	Backoff time.Duration
+	// ObserveForward, when non-nil, receives the latency and outcome of
+	// every forwarded exchange — the serving layer points it at the
+	// pgmr_cluster_forward_seconds histogram.
+	ObserveForward func(d time.Duration, ok bool)
+}
+
+// ClusterStats is a point-in-time snapshot of the cluster routing counters;
+// the zero value is returned when the system is not clustered.
+type ClusterStats struct {
+	// Owned counts images this node computed as their ring owner; Forwarded
+	// counts images answered by their remote owner; Fallback counts images
+	// whose owner was unreachable and that were computed locally instead.
+	Owned, Forwarded, Fallback uint64
+	// Served counts remote peers' requests this node answered as owner.
+	Served uint64
+	// ForwardErrors counts failed forward exchanges (timeouts, dead peers,
+	// rejections); each degraded to a Fallback compute.
+	ForwardErrors uint64
+	// PeersUp/PeersTotal describe the remote peer set and how many of them
+	// currently accept traffic; Conns counts pooled peer connections.
+	PeersUp, PeersTotal int
+	Conns               int
 }
 
 // PolicyOptions tunes the SLO controller (Options.SLO). Zero fields select
@@ -245,6 +304,7 @@ type System struct {
 	sys       *core.System
 	benchmark model.Benchmark
 	inShape   []int
+	cluster   *cluster.Node
 }
 
 // BenchmarkNames lists the supported benchmark identifiers (paper Table II).
@@ -390,17 +450,20 @@ func Build(benchmark string, opts Options) (*System, error) {
 		// descriptor.
 		sys.Policy = ctl
 	}
+	// The fingerprint salt carries the precision bits (they rewrite network
+	// weights, which the member names cannot express). It feeds both the
+	// prediction-cache keys and the cluster routing fingerprint — which must
+	// agree, because cluster routing is ownership over cache keys.
+	salt := fmt.Sprintf("bits=%d", opts.PrecisionBits)
 	if opts.Cache != nil {
 		// Attach last, once the configuration is final: the key fingerprint
 		// covers thresholds, staging, member set and the per-member backend
-		// schedule, and the salt carries the precision bits (they rewrite
-		// network weights, which the member names cannot express).
+		// schedule.
 		ccfg := cache.Config{
 			MaxBytes: opts.Cache.MaxBytes,
 			TTL:      opts.Cache.TTL,
 			Shards:   opts.Cache.Shards,
 		}
-		salt := fmt.Sprintf("bits=%d", opts.PrecisionBits)
 		if opts.Cache.Dir != "" {
 			_, err := sys.EnableTieredCache(ccfg, persist.Config{
 				Dir:      opts.Cache.Dir,
@@ -414,7 +477,34 @@ func Build(benchmark string, opts Options) (*System, error) {
 			sys.EnableCache(ccfg, salt)
 		}
 	}
-	return &System{sys: sys, benchmark: b, inShape: ds.InShape}, nil
+	s := &System{sys: sys, benchmark: b, inShape: ds.InShape}
+	if cl := opts.Cluster; cl != nil {
+		node, err := cluster.New(cluster.Config{
+			NodeID:         cl.NodeID,
+			Peers:          cl.Peers,
+			Backend:        sys,
+			Fingerprint:    sys.ConfigFingerprint(salt),
+			Replicas:       cl.Replicas,
+			ForwardTimeout: cl.ForwardTimeout,
+			DialTimeout:    cl.DialTimeout,
+			Backoff:        cl.Backoff,
+			ObserveForward: cl.ObserveForward,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("polygraph: %w", err)
+		}
+		ln := cl.Listener
+		if ln == nil {
+			ln, err = net.Listen("tcp", cl.Peers[cl.NodeID])
+			if err != nil {
+				node.Close()
+				return nil, fmt.Errorf("polygraph: cluster listen: %w", err)
+			}
+		}
+		go node.Serve(ln)
+		s.cluster = node
+	}
+	return s, nil
 }
 
 func defaultCandidates() []model.Variant {
@@ -463,7 +553,13 @@ func (s *System) ClassifyContext(ctx context.Context, im Image) (Prediction, err
 	if err := s.checkImage(im); err != nil {
 		return Prediction{}, err
 	}
-	d, err := s.sys.ClassifyContext(ctx, im.tensor())
+	var d core.Decision
+	var err error
+	if s.cluster != nil {
+		d, err = s.cluster.Classify(ctx, im.tensor())
+	} else {
+		d, err = s.sys.ClassifyContext(ctx, im.tensor())
+	}
 	if err != nil {
 		return Prediction{}, err
 	}
@@ -496,7 +592,13 @@ func (s *System) ClassifyBatchContext(ctx context.Context, images []Image) ([]Pr
 		}
 		xs[i] = im.tensor()
 	}
-	ds, err := s.sys.ClassifyBatchContext(ctx, xs)
+	var ds []core.Decision
+	var err error
+	if s.cluster != nil {
+		ds, err = s.cluster.ClassifyBatch(ctx, xs)
+	} else {
+		ds, err = s.sys.ClassifyBatchContext(ctx, xs)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -561,14 +663,50 @@ func (s *System) FlushCache() error {
 	return s.sys.Cache.FlushL2()
 }
 
-// Close flushes and closes the persistent cache tier, if any. Classify
-// remains usable afterwards (the cache degrades to memory-only); call it
-// before process exit so the write-behind tail reaches disk.
+// Close leaves the cluster (peer connections and the transport listener
+// are torn down) and flushes and closes the persistent cache tier, if any.
+// Classify remains usable afterwards — cluster routing degrades to local
+// compute and the cache to memory-only; call it before process exit so the
+// write-behind tail reaches disk.
 func (s *System) Close() error {
+	if s.cluster != nil {
+		s.cluster.Close()
+	}
 	if s.sys.Cache == nil {
 		return nil
 	}
 	return s.sys.Cache.Close()
+}
+
+// Clustered reports whether the system is a cluster member.
+func (s *System) Clustered() bool { return s.cluster != nil }
+
+// ClusterNodeID returns this node's cluster identity, or "" when the
+// system is not clustered.
+func (s *System) ClusterNodeID() string {
+	if s.cluster == nil {
+		return ""
+	}
+	return s.cluster.NodeID()
+}
+
+// ClusterStats snapshots the cluster routing counters; the zero value is
+// returned when the system is not clustered.
+func (s *System) ClusterStats() ClusterStats {
+	if s.cluster == nil {
+		return ClusterStats{}
+	}
+	st := s.cluster.Stats()
+	return ClusterStats{
+		Owned:         st.Owned,
+		Forwarded:     st.Forwarded,
+		Fallback:      st.Fallback,
+		Served:        st.Served,
+		ForwardErrors: st.ForwardErrors,
+		PeersUp:       st.PeersUp,
+		PeersTotal:    st.PeersTotal,
+		Conns:         st.Conns,
+	}
 }
 
 // AbftCounts is a snapshot of the ABFT verification counters (zero unless

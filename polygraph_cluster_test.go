@@ -1,0 +1,139 @@
+package polygraph
+
+import (
+	"fmt"
+	"net"
+	"reflect"
+	"testing"
+)
+
+// buildClusterT stands up an n-node cluster of identically configured
+// systems peered over loopback, each with its own prediction cache, and
+// registers teardown. Listeners are pre-bound so the shared membership map
+// carries real ports before the first Build.
+func buildClusterT(t *testing.T, n int, backend string) []*System {
+	t.Helper()
+	peers := map[string]string{}
+	lns := make([]net.Listener, n)
+	ids := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		ids[i] = fmt.Sprintf("n%d", i)
+		peers[ids[i]] = ln.Addr().String()
+	}
+	nodes := make([]*System, n)
+	for i := range ids {
+		sys, err := Build("lenet5", Options{
+			Members: 3, Quiet: true, Backend: backend,
+			Cache: &CacheOptions{MaxBytes: 8 << 20},
+			Cluster: &ClusterOptions{
+				NodeID: ids[i], Peers: peers, Listener: lns[i],
+			},
+		})
+		if err != nil {
+			t.Fatalf("building node %s: %v", ids[i], err)
+		}
+		t.Cleanup(func() { sys.Close() })
+		nodes[i] = sys
+	}
+	return nodes
+}
+
+// TestClusteredServingMatchesSingleProcess pins the cluster's core promise
+// at the public API: a 1-node and a 3-node cluster return predictions
+// DeepEqual-identical to a single un-clustered process, for every numeric
+// backend, whichever node the request arrives at, cold and warm. It also
+// verifies the routing invariants observable through the public stats:
+// every image is either owned or forwarded (never fallback with all peers
+// up), owners answer exactly the forwards sent, and — because followers
+// never cache remote results — the summed cache misses across the cluster
+// equal the single-process miss count, i.e. each unique image was computed
+// by exactly one node.
+func TestClusteredServingMatchesSingleProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("zoo-backed cluster test in -short mode")
+	}
+	images, _, err := TestImages("lenet5", 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, backend := range []string{"", "f32", "int8"} {
+		name := backend
+		if name == "" {
+			name = "f64"
+		}
+		t.Run(name, func(t *testing.T) {
+			base, err := Build("lenet5", Options{
+				Members: 3, Quiet: true, Backend: backend,
+				Cache: &CacheOptions{MaxBytes: 8 << 20},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer base.Close()
+			want, err := base.ClassifyBatch(images)
+			if err != nil {
+				t.Fatal(err)
+			}
+			baseMisses := base.CacheStats().Misses
+
+			for _, n := range []int{1, 3} {
+				t.Run(fmt.Sprintf("nodes=%d", n), func(t *testing.T) {
+					nodes := buildClusterT(t, n, backend)
+					if !nodes[0].Clustered() || nodes[0].ClusterNodeID() != "n0" {
+						t.Fatalf("node 0 not clustered as n0: %v %q",
+							nodes[0].Clustered(), nodes[0].ClusterNodeID())
+					}
+					// Two passes from every node: cold populates the
+					// partitioned cache, warm must serve identically.
+					for pass := 0; pass < 2; pass++ {
+						for _, sys := range nodes {
+							got, err := sys.ClassifyBatch(images)
+							if err != nil {
+								t.Fatalf("pass %d node %s: %v", pass, sys.ClusterNodeID(), err)
+							}
+							if !reflect.DeepEqual(got, want) {
+								t.Fatalf("pass %d node %s diverges from single-process predictions",
+									pass, sys.ClusterNodeID())
+							}
+						}
+					}
+
+					var owned, forwarded, served, misses uint64
+					for _, sys := range nodes {
+						st := sys.ClusterStats()
+						if st.Fallback != 0 || st.ForwardErrors != 0 {
+							t.Errorf("node %s degraded with every peer up: %+v", sys.ClusterNodeID(), st)
+						}
+						perNode := uint64(2 * len(images))
+						if st.Owned+st.Forwarded != perNode {
+							t.Errorf("node %s owned=%d forwarded=%d, want sum %d",
+								sys.ClusterNodeID(), st.Owned, st.Forwarded, perNode)
+						}
+						owned += st.Owned
+						forwarded += st.Forwarded
+						served += st.Served
+						misses += sys.CacheStats().Misses
+					}
+					if served != forwarded {
+						t.Errorf("served=%d != forwarded=%d across the cluster", served, forwarded)
+					}
+					if n == 1 && forwarded != 0 {
+						t.Errorf("1-node cluster forwarded %d images", forwarded)
+					}
+					// Exclusivity at the public API: followers never cache
+					// remote results, so every unique image misses exactly
+					// once cluster-wide — on its ring owner.
+					if misses != baseMisses {
+						t.Errorf("cluster-wide cache misses %d, single-process %d: some image was computed on more than one node",
+							misses, baseMisses)
+					}
+				})
+			}
+		})
+	}
+}
