@@ -1,0 +1,48 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/tensor"
+)
+
+// TestPrepackDecisionIdentity is the system-level prepack acceptance gate:
+// for every zoo topology, numeric backend, SIMD setting, and batch size,
+// the full PolygraphMR decision — label, confidence, votes, reliability,
+// RADE activation count — is exactly DeepEqual with the prepacked paths on
+// and off. Prepacking reorders storage and loop structure, never
+// arithmetic, so unlike the cross-backend tests there is no tolerance:
+// every field including Confidence must be bit-identical.
+func TestPrepackDecisionIdentity(t *testing.T) {
+	for _, b := range model.Benchmarks() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			for _, backend := range []Backend{BackendF64, BackendF32, BackendInt8} {
+				backend := backend
+				t.Run(backend.String(), func(t *testing.T) {
+					sys, xs := backendSystem(t, b, backend)
+					for _, simd := range []bool{false, true} {
+						if simd && !tensor.SIMDAvailable() {
+							continue
+						}
+						prevSIMD := tensor.SetSIMD(simd)
+						for _, bsz := range []int{1, 2, 7, 32} {
+							prev := tensor.SetPrepack(true)
+							on := sys.ClassifyBatch(xs[:bsz])
+							tensor.SetPrepack(false)
+							off := sys.ClassifyBatch(xs[:bsz])
+							tensor.SetPrepack(prev)
+							if !reflect.DeepEqual(on, off) {
+								t.Fatalf("simd=%v B=%d: decisions differ between prepack on and off:\non:  %+v\noff: %+v",
+									simd, bsz, on, off)
+							}
+						}
+						tensor.SetSIMD(prevSIMD)
+					}
+				})
+			}
+		})
+	}
+}

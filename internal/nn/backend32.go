@@ -185,6 +185,11 @@ type conv32 struct {
 
 	weight *tensor.T32 // [OutC, InC*KH*KW]
 	bias   []float32   // [OutC]
+
+	// winoU32 is the prepacked Winograd filter transform (DESIGN.md §14),
+	// computed once at compile time for 3×3/s1/p1 kernels. nil for other
+	// shapes; the forward also honours the tensor.SetPrepack kill-switch.
+	winoU32 []float32
 }
 
 func newConv32(c *Conv2D) *conv32 {
@@ -192,11 +197,15 @@ func newConv32(c *Conv2D) *conv32 {
 	for i, v := range c.bias.Value.Data {
 		bias[i] = float32(v)
 	}
-	return &conv32{
+	cc := &conv32{
 		inC: c.InC, outC: c.OutC, kh: c.KH, kw: c.KW, stride: c.Stride, pad: c.Pad,
 		weight: tensor.To32(c.weight.Value),
 		bias:   bias,
 	}
+	if cc.kh == 3 && cc.kw == 3 && cc.stride == 1 && cc.pad == 1 {
+		cc.winoU32 = tensor.PackWinoFilter32(cc.weight, cc.outC, cc.inC)
+	}
+	return cc
 }
 
 func (c *conv32) geometry(in []int) tensor.ConvGeom {
@@ -214,19 +223,30 @@ func (c *conv32) forward(src *tensor.T32, inShape []int, bsz int, a *tensor.Aren
 
 	if !tensor.SIMDEnabled() && tensor.WinogradEligible(g) {
 		dst := a.NewRaw(bsz, c.outC*ohw)
-		tensor.WinogradConv3x3F32(dst, src, bsz, c.outC, c.weight, c.bias, g, a)
+		if c.winoU32 != nil && tensor.PrepackEnabled() {
+			tensor.WinogradConv3x3F32Pre(dst, src, bsz, c.outC, c.winoU32, c.bias, g, a)
+		} else {
+			tensor.WinogradConv3x3F32(dst, src, bsz, c.outC, c.weight, c.bias, g, a)
+		}
 		if s := a.Abft(); s != nil {
 			s.Record(tensor.VerifyWinogradConv32(dst, src, bsz, c.outC, c.weight, c.bias, g))
 		}
 		return dst, []int{c.outC, oh, ow}
 	}
 
-	cols := a.NewRaw(ckk, bsz*ohw)
-	tensor.Im2ColBatch32(cols, src, bsz, g)
 	cm := a.NewRaw(c.outC, bsz*ohw)
-	tensor.GemmInto32Fast(cm, c.weight, cols)
-	if s := a.Abft(); s != nil {
-		s.Record(tensor.VerifyGemm32(cm, c.weight, cols))
+	if tensor.PrepackEnabled() && a.Abft() == nil && bsz*ohw >= tensor.ImplicitConvMinN {
+		// Implicit GEMM: the im2col operand is generated block-by-block
+		// inside the panel loop, never materialized (DESIGN.md §14).
+		tensor.ConvGemmIm2Col32(cm, c.weight, src.Data[:bsz*c.inC*g.InH*g.InW], bsz, g)
+	} else {
+		// Verified mode needs the materialized cols for the checksum pass.
+		cols := a.NewRaw(ckk, bsz*ohw)
+		tensor.Im2ColBatch32(cols, src, bsz, g)
+		tensor.GemmInto32Fast(cm, c.weight, cols)
+		if s := a.Abft(); s != nil {
+			s.Record(tensor.VerifyGemm32(cm, c.weight, cols))
+		}
 	}
 
 	dst := a.NewRaw(bsz, c.outC*ohw)

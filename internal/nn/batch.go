@@ -150,20 +150,36 @@ func (c *Conv2D) forwardBatchArena(src *tensor.T, inShape []int, bsz int, st *ba
 
 	if tensor.WinogradEligible(g) {
 		dst := st.a.NewRaw(bsz, c.OutC*ohw)
-		tensor.WinogradConv3x3(dst, src, bsz, c.OutC, c.weight.Value, c.bias.Value.Data, g, st.a)
+		if c.winoU != nil && tensor.PrepackEnabled() {
+			// Compile-time filter transform (Network.Prepack); input and
+			// output transforms are identical, so results match the
+			// transform-per-call path bit for bit. Verification below is
+			// unaffected: VerifyWinogradConv works from image + weights.
+			tensor.WinogradConv3x3Pre(dst, src, bsz, c.OutC, c.winoU, c.bias.Value.Data, g, st.a)
+		} else {
+			tensor.WinogradConv3x3(dst, src, bsz, c.OutC, c.weight.Value, c.bias.Value.Data, g, st.a)
+		}
 		if s := st.a.Abft(); s != nil {
 			s.Record(tensor.VerifyWinogradConv(dst, src, bsz, c.OutC, c.weight.Value, c.bias.Value.Data, g))
 		}
 		return dst, []int{c.OutC, oh, ow}
 	}
 
-	cols := st.a.NewRaw(ckk, bsz*ohw)
-	tensor.Im2ColBatch(cols, st.imageViews(src, inShape, bsz), g)
-
 	cm := st.a.NewRaw(c.OutC, bsz*ohw)
-	tensor.GemmInto(cm, c.weight.Value, cols)
-	if s := st.a.Abft(); s != nil {
-		s.Record(tensor.VerifyGemm(cm, c.weight.Value, cols))
+	if tensor.PrepackEnabled() && st.a.Abft() == nil && bsz*ohw >= tensor.ImplicitConvMinN {
+		// Implicit GEMM: the [ckk, B*OH*OW] column matrix is generated
+		// panel by panel inside the GEMM instead of being materialized —
+		// bit-identical to the explicit lowering below. Verified mode
+		// keeps the explicit path: the column-checksum verifier needs the
+		// materialized B operand.
+		tensor.ConvGemmIm2Col(cm, c.weight.Value, src.Data[:bsz*c.InC*g.InH*g.InW], bsz, g)
+	} else {
+		cols := st.a.NewRaw(ckk, bsz*ohw)
+		tensor.Im2ColBatch(cols, st.imageViews(src, inShape, bsz), g)
+		tensor.GemmInto(cm, c.weight.Value, cols)
+		if s := st.a.Abft(); s != nil {
+			s.Record(tensor.VerifyGemm(cm, c.weight.Value, cols))
+		}
 	}
 
 	dst := st.a.NewRaw(bsz, c.OutC*ohw)

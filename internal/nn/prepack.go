@@ -1,0 +1,47 @@
+package nn
+
+import "repro/internal/tensor"
+
+// Compile-time weight prepacking for the f64 reference path (DESIGN.md
+// §14). The f32/int8 backends pack inside Compile32/CompileInt8; the f64
+// path has no compile step, so Prepack is its equivalent: a one-time walk
+// that precomputes everything the batched forward otherwise rederives
+// from the (frozen) weights on every call — today the Winograd filter
+// transform of each eligible convolution.
+
+// Prepack precomputes per-layer packed weight forms for the batched
+// inference path. Call it once on a frozen network (core.PrepareBackends
+// does); results are bit-identical with or without it. Safe to call
+// repeatedly; Conv2D.Backward invalidates stale packs if the network is
+// trained afterwards. Not safe to call concurrently with inference on
+// the same network.
+func (n *Network) Prepack() {
+	for _, l := range n.Layers {
+		prepackLayer(l)
+	}
+}
+
+func prepackLayer(l Layer) {
+	switch t := l.(type) {
+	case *Conv2D:
+		t.prepackWeights()
+	case *ResidualBlock:
+		t.conv1.prepackWeights()
+		t.conv2.prepackWeights()
+		if t.proj != nil {
+			t.proj.prepackWeights()
+		}
+	case *DenseUnit:
+		t.conv.prepackWeights()
+	}
+}
+
+// prepackWeights computes the packed forms a Conv2D can precompute: the
+// Winograd filter transform when the kernel shape permits the F(4×4,3×3)
+// path (spatial eligibility is re-checked per forward, but U itself only
+// depends on the kernel being 3×3/s1/p1).
+func (c *Conv2D) prepackWeights() {
+	if c.KH == 3 && c.KW == 3 && c.Stride == 1 && c.Pad == 1 {
+		c.winoU = tensor.PackWinoFilter(c.weight.Value, c.OutC, c.InC)
+	}
+}

@@ -1,0 +1,198 @@
+package nn_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// withPrepack runs f twice — prepacked paths enabled and disabled — and
+// returns both result sets for comparison. Restores the global switch.
+func withPrepack[R any](f func() R) (on, off R) {
+	prev := tensor.SetPrepack(true)
+	on = f()
+	tensor.SetPrepack(false)
+	off = f()
+	tensor.SetPrepack(prev)
+	return on, off
+}
+
+// TestPrepackBitIdenticalF64 locks the f64 tentpole contract across the
+// zoo: Prepack + the implicit-GEMM/prepacked-Winograd batched forward is
+// bit-identical to the legacy materializing path for every topology, batch
+// size, SIMD setting, and with verification enabled.
+func TestPrepackBitIdenticalF64(t *testing.T) {
+	for _, f := range backendFixtures(t) {
+		f := f
+		f.net.Prepack()
+		t.Run(f.name, func(t *testing.T) {
+			withBackendSIMD(t, func(t *testing.T) {
+				for _, verified := range []bool{false, true} {
+					for _, bsz := range []int{1, 2, 7, 32} {
+						run := func() [][]float64 {
+							a := tensor.NewArena()
+							if verified {
+								a.SetAbft(&tensor.AbftStats{})
+							}
+							outs := f.net.InferBatchArena(f.xs[:bsz], a)
+							rows := make([][]float64, len(outs))
+							for i, o := range outs {
+								rows[i] = append([]float64(nil), o.Data...)
+							}
+							return rows
+						}
+						on, off := withPrepack(run)
+						for i := range on {
+							for j := range on[i] {
+								if on[i][j] != off[i][j] {
+									t.Fatalf("verified=%v B=%d image %d class %d: prepack %v legacy %v",
+										verified, bsz, i, j, on[i][j], off[i][j])
+								}
+							}
+						}
+					}
+				}
+			})
+		})
+	}
+}
+
+// TestPrepackBitIdenticalF32Int8 is the same contract for the compiled
+// backends: Compile32/CompileInt8 pack at compile time, and their forwards
+// must match the legacy per-call paths bit-exactly under every SIMD ×
+// verified × batch-size combination.
+func TestPrepackBitIdenticalF32Int8(t *testing.T) {
+	for _, f := range backendFixtures(t) {
+		f := f
+		t.Run(f.name, func(t *testing.T) {
+			net32, err := f.net.Compile32()
+			if err != nil {
+				t.Fatal(err)
+			}
+			net8, err := f.net.CompileInt8(f.xs[:8])
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, b := range []struct {
+				name string
+				net  *nn.Net32
+			}{{"f32", net32}, {"int8", net8}} {
+				b := b
+				t.Run(b.name, func(t *testing.T) {
+					withBackendSIMD(t, func(t *testing.T) {
+						for _, verified := range []bool{false, true} {
+							for _, bsz := range []int{1, 2, 7, 32} {
+								run := func() [][]float64 {
+									a := tensor.NewArena32()
+									if verified {
+										a.SetAbft(&tensor.AbftStats{})
+									}
+									return b.net.InferBatch(f.xs[:bsz], a)
+								}
+								on, off := withPrepack(run)
+								for i := range on {
+									for j := range on[i] {
+										if on[i][j] != off[i][j] {
+											t.Fatalf("verified=%v B=%d image %d class %d: prepack %v legacy %v",
+												verified, bsz, i, j, on[i][j], off[i][j])
+										}
+									}
+								}
+							}
+						}
+					})
+				})
+			}
+		})
+	}
+}
+
+// TestPrepackSharedNetworkConcurrent hammers one compiled (and prepacked)
+// network from many goroutines with private arenas — the serving layout.
+// Run under -race this locks that the prepacked forward paths (pooled
+// generation blocks, shared packed weight buffers) are data-race free and
+// deterministic across goroutines.
+func TestPrepackSharedNetworkConcurrent(t *testing.T) {
+	fs := backendFixtures(t)
+	f := fs[1] // convnet: conv-heavy, exercises every implicit path
+	f.net.Prepack()
+	net32, err := f.net.Compile32()
+	if err != nil {
+		t.Fatal(err)
+	}
+	net8, err := f.net.CompileInt8(f.xs[:8])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	prev := tensor.SetPrepack(true)
+	defer tensor.SetPrepack(prev)
+
+	want32 := net32.InferBatch(f.xs[:8], tensor.NewArena32())
+	want8 := net8.InferBatch(f.xs[:8], tensor.NewArena32())
+	wantF64 := func() [][]float64 {
+		a := tensor.NewArena()
+		outs := f.net.InferBatchArena(f.xs[:8], a)
+		rows := make([][]float64, len(outs))
+		for i, o := range outs {
+			rows[i] = append([]float64(nil), o.Data...)
+		}
+		return rows
+	}()
+
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan string, workers*3)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for iter := 0; iter < 5; iter++ {
+				a32 := tensor.NewArena32()
+				if got := net32.InferBatch(f.xs[:8], a32); !rowsEqual(got, want32) {
+					errs <- "f32 rows diverged across goroutines"
+					return
+				}
+				a32.Reset()
+				if got := net8.InferBatch(f.xs[:8], a32); !rowsEqual(got, want8) {
+					errs <- "int8 rows diverged across goroutines"
+					return
+				}
+				a := tensor.NewArena()
+				outs := f.net.InferBatchArena(f.xs[:8], a)
+				for i, o := range outs {
+					for j, v := range o.Data {
+						if v != wantF64[i][j] {
+							errs <- "f64 rows diverged across goroutines"
+							return
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+func rowsEqual(a, b [][]float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}

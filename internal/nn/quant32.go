@@ -31,10 +31,11 @@ import (
 type qconv32 struct {
 	inC, outC, kh, kw, stride, pad int
 
-	qw   tensor.QuantWeights
-	deq  []float32
-	corr []int32
-	bias []float32
+	qw    tensor.QuantWeights
+	shift *tensor.PackedConvShift // compile-time kernel-column panels (stride-1 only)
+	deq   []float32
+	corr  []int32
+	bias  []float32
 
 	invScale float32
 	zp       uint8
@@ -49,6 +50,9 @@ func newQConv32(c *Conv2D, scale float32, zp uint8) *qconv32 {
 		bias:     make([]float32, c.OutC),
 		invScale: 1 / scale,
 		zp:       zp,
+	}
+	if c.Stride == 1 && c.InC*c.KH*c.KW <= tensor.MaxQuantK {
+		q.shift = tensor.PackConvShiftU8(q.qw.Bits, c.OutC, c.InC, c.KH, c.KW)
 	}
 	for oc := 0; oc < c.OutC; oc++ {
 		q.deq[oc] = float32(float64(scale) * q.qw.Scale[oc])
@@ -70,14 +74,30 @@ func (q *qconv32) forward(src *tensor.T32, inShape []int, bsz int, a *tensor.Are
 
 	qsrc := a.Bytes(len(src.Data))
 	tensor.QuantizeU8(qsrc, src.Data, q.invScale, q.zp)
-	qcols := a.Bytes(ckk * bohw)
-	tensor.Im2ColBatchU8(qcols, qsrc, bsz, g, q.zp)
 
 	acc := a.Int32s(q.outC * bohw)
 	colsum := a.Int32s(bohw)
-	tensor.GemmU8Into(acc, colsum, q.qw.Bits, qcols, q.outC, ckk, bohw)
-	if s := a.Abft(); s != nil {
-		s.Record(tensor.VerifyGemmU8(acc, colsum, q.qw.Bits, qcols, q.outC, ckk, bohw))
+	if tensor.PrepackEnabled() && a.Abft() == nil {
+		if q.shift != nil {
+			// Direct shift convolution: no im2col operand at all — the
+			// kernels consume the padded channel-interleaved image through
+			// the compile-time kernel-column weight panels (DESIGN.md §14).
+			// int32 accumulation is order-independent, so the result is
+			// exact.
+			tensor.ConvDirectU8(acc, colsum, q.shift, qsrc[:bsz*q.inC*g.InH*g.InW], bsz, g, q.zp)
+		} else {
+			// Strided convs: implicit GEMM, the byte im2col operand
+			// generated per panel instead of materialized.
+			tensor.ConvGemmU8Im2Col(acc, colsum, q.qw.Bits, q.outC, qsrc[:bsz*q.inC*g.InH*g.InW], bsz, g, q.zp)
+		}
+	} else {
+		// Verified mode needs the materialized operand for the checksum pass.
+		qcols := a.Bytes(ckk * bohw)
+		tensor.Im2ColBatchU8(qcols, qsrc, bsz, g, q.zp)
+		tensor.GemmU8Into(acc, colsum, q.qw.Bits, qcols, q.outC, ckk, bohw)
+		if s := a.Abft(); s != nil {
+			s.Record(tensor.VerifyGemmU8(acc, colsum, q.qw.Bits, qcols, q.outC, ckk, bohw))
+		}
 	}
 
 	dst := a.NewRaw(bsz, q.outC*ohw)
@@ -91,17 +111,24 @@ func (q *qconv32) forward(src *tensor.T32, inShape []int, bsz int, a *tensor.Are
 	return dst, []int{q.outC, oh, ow}
 }
 
-// qdense32 is the quantized fully connected node. Activations are
-// quantized transposed into the [In, B] layout the uint8 GEMM wants as its
-// right operand, and the [Out, B] dequantized product is scattered back to
-// the engine's [B, Out] row layout.
+// qdense32 is the quantized fully connected node. The prepacked path
+// (default) keeps activations in their natural [B, In] row layout and runs
+// them against the compile-time transposed weight pack [In, Out], so the
+// per-call activation transpose, the output scatter, and the weight-side
+// column-sum pass all disappear; the zero-point correction uses the
+// activation row sums instead. With prepacking disabled the legacy
+// orientation — quantize-transpose to [In, B], GEMM to [Out, B], scatter
+// back — runs instead; both produce bit-identical outputs (the int32
+// accumulators are order-independent and the dequant epilogues perform
+// the same operations in the same order).
 type qdense32 struct {
 	in, out int
 
-	qw   tensor.QuantWeights
-	deq  []float32
-	corr []int32
-	bias []float32
+	qw     tensor.QuantWeights
+	packed *tensor.PackedU8T // compile-time [In, Out] transpose of qw
+	deq    []float32
+	corr   []int32
+	bias   []float32
 
 	invScale float32
 	zp       uint8
@@ -117,6 +144,7 @@ func newQDense32(d *Dense, scale float32, zp uint8) *qdense32 {
 		invScale: 1 / scale,
 		zp:       zp,
 	}
+	q.packed = tensor.PackQuantTranspose(q.qw)
 	for o := 0; o < d.Out; o++ {
 		q.deq[o] = float32(float64(scale) * q.qw.Scale[o])
 		q.corr[o] = int32(zp) * q.qw.RowSum[o]
@@ -128,6 +156,9 @@ func newQDense32(d *Dense, scale float32, zp uint8) *qdense32 {
 func (q *qdense32) forward(src *tensor.T32, inShape []int, bsz int, a *tensor.Arena32) (*tensor.T32, []int) {
 	if prodShape(inShape) != q.in {
 		panic(fmt.Sprintf("nn: qdense32: batched input of %d elements, want %d", prodShape(inShape), q.in))
+	}
+	if tensor.PrepackEnabled() {
+		return q.forwardPrepacked(src, bsz, a)
 	}
 	qb := a.Bytes(q.in * bsz)
 	tensor.QuantizeTransposeU8(qb, src.Data[:bsz*q.in], bsz, q.in, q.invScale, q.zp)
@@ -148,6 +179,41 @@ func (q *qdense32) forward(src *tensor.T32, inShape []int, bsz int, a *tensor.Ar
 		drow := dst.Data[b*q.out : (b+1)*q.out]
 		for o := 0; o < q.out; o++ {
 			drow[o] = rows.Data[o*bsz+b]
+		}
+	}
+	return dst, []int{q.out}
+}
+
+// forwardPrepacked is the activations-major qdense32 path against the
+// compile-time weight transpose. The accumulator value for (b, o) is the
+// same dot product as the legacy orientation's (o, b) — int32 addition is
+// order-independent — and the dequant epilogue performs the identical
+// operation sequence (c − 128·rowsum − corr, convert, ×deq, +bias) as
+// tensor.DequantRow, so outputs are bit-identical to the legacy path.
+func (q *qdense32) forwardPrepacked(src *tensor.T32, bsz int, a *tensor.Arena32) (*tensor.T32, []int) {
+	qa := a.Bytes(bsz * q.in)
+	tensor.QuantizeU8(qa, src.Data[:bsz*q.in], q.invScale, q.zp)
+
+	acc := a.Int32s(bsz * q.out)
+	tensor.GemmU8PreInto(acc, qa, q.packed.Bits, bsz, q.in, q.out)
+	if s := a.Abft(); s != nil {
+		// The verifier's injection and repair seams write through the
+		// colsum slice, so hand it a scratch copy of the precomputed sums.
+		cs := a.Int32s(q.out)
+		copy(cs, q.packed.ColSum)
+		s.Record(tensor.VerifyGemmU8(acc, cs, qa, q.packed.Bits, bsz, q.in, q.out))
+	}
+
+	dst := a.NewRaw(bsz, q.out)
+	for b := 0; b < bsz; b++ {
+		var rs int32
+		for _, v := range qa[b*q.in : (b+1)*q.in] {
+			rs += int32(v)
+		}
+		arow := acc[b*q.out : (b+1)*q.out]
+		drow := dst.Data[b*q.out : (b+1)*q.out]
+		for o := 0; o < q.out; o++ {
+			drow[o] = float32(arow[o]-128*rs-q.corr[o])*q.deq[o] + q.bias[o]
 		}
 	}
 	return dst, []int{q.out}

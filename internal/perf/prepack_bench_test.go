@@ -1,0 +1,129 @@
+package perf
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/tensor"
+)
+
+// Measured prepack benchmarks (DESIGN.md §14). Running with -bench collects
+// the prepack-on vs prepack-off comparison and TestMain writes the
+// BENCH_prepack.json report. Every entry measures at GOMAXPROCS=1 so the
+// speedup isolates the per-core win of the prepacked/implicit paths from
+// parallel scaling, and carries decisions_identical — 1 when the full
+// decision set under prepacking DeepEquals the legacy path's — because a
+// throughput number from a path that changed answers would be meaningless.
+
+// benchGOMAXPROCS1 pins the process to one core for the duration of fn.
+func benchGOMAXPROCS1(fn func()) {
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	fn()
+}
+
+// BenchmarkPrepackClassifyBatch measures the 4-member convnet system's
+// ClassifyBatch at B=32 per numeric backend, prepacked paths on, against
+// the legacy-path baseline (prepack off) measured in the same process:
+// speedup_prepack is the headline ≥1.3× acceptance metric.
+func BenchmarkPrepackClassifyBatch(b *testing.B) {
+	for _, backend := range []core.Backend{core.BackendF64, core.BackendF32, core.BackendInt8} {
+		b.Run(backend.String(), func(b *testing.B) {
+			sys, xs := quantSystem(b, backend)
+			benchGOMAXPROCS1(func() {
+				prevPre := tensor.SetPrepack(false)
+				off := sys.ClassifyBatch(xs)
+				baseline := math.MaxFloat64
+				for rep := 0; rep < 4; rep++ {
+					start := time.Now()
+					sys.ClassifyBatch(xs)
+					if e := float64(time.Since(start).Nanoseconds()); rep > 0 && e < baseline {
+						baseline = e
+					}
+				}
+
+				tensor.SetPrepack(true)
+				on := sys.ClassifyBatch(xs)
+				identical := 0.0
+				if reflect.DeepEqual(on, off) {
+					identical = 1.0
+				}
+				e := timeOp(b, func() { sys.ClassifyBatch(xs) })
+				tensor.SetPrepack(prevPre)
+
+				imgPerSec := float64(len(xs)) * 1e9 / e.NsPerOp
+				speedup := baseline / e.NsPerOp
+				e.Metrics = map[string]float64{
+					"img_per_sec":         imgPerSec,
+					"speedup_prepack":     speedup,
+					"decisions_identical": identical,
+				}
+				b.ReportMetric(imgPerSec, "img/s")
+				b.ReportMetric(speedup, "x_legacy")
+				b.ReportMetric(identical, "identical")
+			})
+		})
+	}
+}
+
+// BenchmarkPrepackConvGemm isolates the implicit-GEMM convolution against
+// the explicit im2col + GEMM pipeline it replaces, on the B=32 convnet conv
+// shapes, f32 backend (the SIMD path the system benchmark leans on).
+func BenchmarkPrepackConvGemm(b *testing.B) {
+	shapes := []struct {
+		name string
+		g    tensor.ConvGeom
+		outC int
+	}{
+		{"conv1_3to8_32x32", tensor.ConvGeom{InC: 3, InH: 32, InW: 32, KH: 3, KW: 3, Stride: 1, Pad: 1}, 8},
+		{"conv2_8to12_16x16", tensor.ConvGeom{InC: 8, InH: 16, InW: 16, KH: 3, KW: 3, Stride: 1, Pad: 1}, 12},
+	}
+	const bsz = 32
+	rng := rand.New(rand.NewSource(17))
+	for _, s := range shapes {
+		b.Run(fmt.Sprintf("%s_B%d", s.name, bsz), func(b *testing.B) {
+			g := s.g
+			k := g.InC * g.KH * g.KW
+			n := bsz * g.OutH() * g.OutW()
+			chw := g.InC * g.InH * g.InW
+			weight := tensor.New32(s.outC, k)
+			src := tensor.New32(bsz, chw)
+			for i := range weight.Data {
+				weight.Data[i] = float32(rng.NormFloat64())
+			}
+			for i := range src.Data {
+				src.Data[i] = float32(rng.NormFloat64())
+			}
+			cm := tensor.New32(s.outC, n)
+			cols := tensor.New32(k, n)
+
+			benchGOMAXPROCS1(func() {
+				baseline := math.MaxFloat64
+				for rep := 0; rep < 4; rep++ {
+					start := time.Now()
+					tensor.Im2ColBatch32(cols, src, bsz, g)
+					tensor.GemmInto32Fast(cm, weight, cols)
+					if e := float64(time.Since(start).Nanoseconds()); rep > 0 && e < baseline {
+						baseline = e
+					}
+				}
+				tensor.ConvGemmIm2Col32(cm, weight, src.Data, bsz, g) // warm pools
+				e := timeOp(b, func() { tensor.ConvGemmIm2Col32(cm, weight, src.Data, bsz, g) })
+				gflops := 2 * float64(s.outC) * float64(k) * float64(n) / e.NsPerOp
+				speedup := baseline / e.NsPerOp
+				e.Metrics = map[string]float64{
+					"gflops":          gflops,
+					"speedup_prepack": speedup,
+				}
+				b.ReportMetric(gflops, "gflops")
+				b.ReportMetric(speedup, "x_explicit")
+			})
+		})
+	}
+}

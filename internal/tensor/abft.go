@@ -979,7 +979,7 @@ func verifyGemmU8Cols[I int32 | int64](c, colsum []int32, a, b []uint8, m, k, n 
 		ok := false
 		for r := 0; r < abftMaxRetries; r++ {
 			callAbftRetryHook(r)
-			gemmU8Col(c, a, b, k, n, 0, m, j)
+			gemmU8Col(c, a, b, k, n, n, 0, m, j)
 			// k ≤ MaxQuantK keeps Σ_p b[p][j] ≤ k·255 far below 2³¹, so the
 			// reference value is the exact int32 the kernel computes.
 			colsum[j] = int32(csRef[j])

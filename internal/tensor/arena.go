@@ -47,7 +47,10 @@ func (a *Arena) New(shape ...int) *T {
 	}
 	bucket := a.free[n]
 	if len(bucket) == 0 {
-		t := New(shape...)
+		// Fresh buffers are cache-line aligned (and zero-filled by the
+		// allocator) so kernel panels drawn from the arena start on cache
+		// lines; recycled buffers keep their original aligned backing.
+		t := &T{Shape: append([]int(nil), shape...), Data: AlignedF64(n)}
 		a.used = append(a.used, t)
 		return t
 	}
@@ -78,7 +81,7 @@ func (a *Arena) NewRaw(shape ...int) *T {
 	}
 	bucket := a.free[n]
 	if len(bucket) == 0 {
-		t := New(shape...)
+		t := &T{Shape: append([]int(nil), shape...), Data: AlignedF64(n)}
 		a.used = append(a.used, t)
 		return t
 	}

@@ -1,0 +1,19 @@
+//go:build pgmrdebug
+
+package tensor
+
+import (
+	"fmt"
+	"unsafe"
+)
+
+// Debug builds (-tags pgmrdebug) verify that every buffer entering an
+// AVX2 kernel from the prepacked path really carries the cache-line
+// alignment the pack allocators promise. Release builds compile this to
+// nothing (assert_release.go).
+
+func assertAligned64(name string, p unsafe.Pointer) {
+	if uintptr(p)&(cacheLine-1) != 0 {
+		panic(fmt.Sprintf("tensor: %s operand %p not %d-byte aligned", name, p, cacheLine))
+	}
+}

@@ -1,0 +1,9 @@
+//go:build !pgmrdebug
+
+package tensor
+
+import "unsafe"
+
+// Release builds: alignment asserts compile away (see assert_debug.go).
+
+func assertAligned64(string, unsafe.Pointer) {}

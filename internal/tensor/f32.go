@@ -107,7 +107,7 @@ func (p *rawPool[E]) get(n int) []E {
 	bucket := p.free[n]
 	var s []E
 	if len(bucket) == 0 {
-		s = make([]E, n)
+		s = alignedSlice[E](n)
 	} else {
 		s = bucket[len(bucket)-1]
 		bucket[len(bucket)-1] = nil
@@ -167,7 +167,9 @@ func (a *Arena32) NewRaw(shape ...int) *T32 {
 	}
 	bucket := a.free[n]
 	if len(bucket) == 0 {
-		t := New32(shape...)
+		// Fresh buffers are cache-line aligned, like Arena's (recycled
+		// ones keep their aligned backing).
+		t := &T32{Shape: append([]int(nil), shape...), Data: AlignedF32(n)}
 		a.used = append(a.used, t)
 		return t
 	}

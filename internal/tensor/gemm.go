@@ -131,7 +131,9 @@ func gemmMain[F Float](cd, ad, bd []F, m, k, n int) {
 		workers = panels
 	}
 	if macs < gemmParallelMACs || workers <= 1 {
-		gemmPanel(cd, ad, bd, m, k, n, 0, n, gemmScratch[F](k))
+		pack := gemmScratch[F](k)
+		gemmPanel(cd, ad, bd, m, k, n, 0, n, scratchSlice(pack))
+		gemmScratchPut(pack)
 		return
 	}
 	var next atomic.Int64
@@ -141,6 +143,8 @@ func gemmMain[F Float](cd, ad, bd []F, m, k, n int) {
 		go func() {
 			defer wg.Done()
 			pack := gemmScratch[F](k)
+			defer gemmScratchPut(pack)
+			ps := scratchSlice(pack)
 			for {
 				p := int(next.Add(1)) - 1
 				if p >= panels {
@@ -148,20 +152,63 @@ func gemmMain[F Float](cd, ad, bd []F, m, k, n int) {
 				}
 				j0 := p * gemmNC
 				j1 := min(j0+gemmNC, n)
-				gemmPanel(cd, ad, bd, m, k, n, j0, j1, pack)
+				gemmPanel(cd, ad, bd, m, k, n, j0, j1, ps)
 			}
 		}()
 	}
 	wg.Wait()
 }
 
+// gemmPackPool64/32 recycle the column-pair pack buffers of the long-K
+// path so steady-state GEMM calls allocate nothing (the buffers used to be
+// made fresh per call). Buffers are cache-line aligned like every other
+// packed panel.
+var (
+	gemmPackPool64 = sync.Pool{New: func() any { s := AlignedF64(2 * gemmKC); return &s }}
+	gemmPackPool32 = sync.Pool{New: func() any { s := AlignedF32(2 * gemmKC); return &s }}
+)
+
 // gemmScratch returns the pack buffer for a K dimension of k, or nil when
-// every K-block takes the pack-free direct path.
-func gemmScratch[F Float](k int) []F {
+// every K-block takes the pack-free direct path. Non-nil buffers come from
+// a sync.Pool; return them with gemmScratchPut. The pooled value is the
+// *pointer* to the slice and callers hand the same pointer back, so a
+// steady-state get/put cycle allocates nothing — not even the slice-header
+// box that Put(&local) would heap-allocate.
+func gemmScratch[F Float](k int) *[]F {
 	if k <= gemmDirectK {
 		return nil
 	}
-	return make([]F, 2*gemmKC)
+	var zero F
+	switch any(zero).(type) {
+	case float64:
+		return any(gemmPackPool64.Get().(*[]float64)).(*[]F)
+	case float32:
+		return any(gemmPackPool32.Get().(*[]float32)).(*[]F)
+	}
+	s := make([]F, 2*gemmKC)
+	return &s
+}
+
+// gemmScratchPut recycles a buffer obtained from gemmScratch (nil is a
+// no-op).
+func gemmScratchPut[F Float](p *[]F) {
+	if p == nil {
+		return
+	}
+	switch v := any(p).(type) {
+	case *[]float64:
+		gemmPackPool64.Put(v)
+	case *[]float32:
+		gemmPackPool32.Put(v)
+	}
+}
+
+// scratchSlice unwraps a gemmScratch result for the kernels (nil → nil).
+func scratchSlice[F Float](p *[]F) []F {
+	if p == nil {
+		return nil
+	}
+	return *p
 }
 
 // gemmPanel computes the column panel C[:, j0:j1) = A×B[:, j0:j1),
@@ -174,7 +221,7 @@ func gemmPanel[F Float](cd, ad, bd []F, m, k, n, j0, j1 int, pack []F) {
 		if kc <= gemmDirectK {
 			gemmBlockDirect(cd, ad, bd, m, k, n, j0, j1, p0, kc, first)
 		} else {
-			gemmBlockPacked(cd, ad, bd, m, k, n, j0, j1, p0, kc, first, pack)
+			gemmBlockPacked(cd, ad, bd[p0*n:], m, k, n, n, j0, j1, p0, kc, first, pack)
 		}
 	}
 }
@@ -183,33 +230,38 @@ func gemmPanel[F Float](cd, ad, bd []F, m, k, n, j0, j1 int, pack []F) {
 // in place. The column range is swept in gemmJB-wide sub-panels so the kc
 // live B-row fragments stay cache-resident across all row groups.
 func gemmBlockDirect[F Float](cd, ad, bd []F, m, k, n, j0, j1, p0, kc int, first bool) {
+	bblk := bd[p0*n:]
 	for jj := j0; jj < j1; jj += gemmJB {
 		je := min(jj+gemmJB, j1)
 		i := 0
 		for ; i+4 <= m; i += 4 {
 			if kc == 3 && k == 3 {
-				gemmQuadK3(cd, ad, bd, n, i, jj, je)
+				gemmQuadK3(cd, ad, bd, n, n, i, jj, je)
 			} else {
-				gemmQuadDirect(cd, ad, bd, k, n, i, jj, je, p0, kc, first)
+				gemmQuadDirect(cd, ad, bblk, k, n, n, i, jj, je, p0, kc, first)
 			}
 		}
 		for ; i < m; i++ {
-			gemmRowDirect(cd, ad, bd, k, n, i, jj, je, p0, kc, first)
+			gemmRowDirect(cd, ad, bblk, k, n, n, i, jj, je, p0, kc, first)
 		}
 	}
 }
 
 // gemmQuadDirect computes (or, when first is false, accumulates into) the
 // 4-row output strip C[i:i+4, j0:j1) over one K-block, reading B in place.
-func gemmQuadDirect[F Float](cd, ad, bd []F, k, n, i, j0, j1, p0, kc int, first bool) {
+// bblk holds the B rows of the current K-block — bblk[p*ldb+j] is
+// B[p0+p][j] — so both the legacy path (bblk = bd[p0*n:], ldb = n) and the
+// implicit-GEMM path (bblk = a freshly generated im2col block, ldb = block
+// width) feed the identical accumulation chains. ldc is C's row stride.
+func gemmQuadDirect[F Float](cd, ad, bblk []F, k, ldc, ldb, i, j0, j1, p0, kc int, first bool) {
 	a0 := ad[i*k+p0:][:kc]
 	a1 := ad[(i+1)*k+p0:][:kc]
 	a2 := ad[(i+2)*k+p0:][:kc]
 	a3 := ad[(i+3)*k+p0:][:kc]
-	r0 := cd[i*n:]
-	r1 := cd[(i+1)*n:]
-	r2 := cd[(i+2)*n:]
-	r3 := cd[(i+3)*n:]
+	r0 := cd[i*ldc:]
+	r1 := cd[(i+1)*ldc:]
+	r2 := cd[(i+2)*ldc:]
+	r3 := cd[(i+3)*ldc:]
 	j := j0
 	for ; j+2 <= j1; j += 2 {
 		var c00, c01, c10, c11, c20, c21, c30, c31 F
@@ -219,10 +271,10 @@ func gemmQuadDirect[F Float](cd, ad, bd []F, k, n, i, j0, j1, p0, kc int, first 
 			c20, c21 = r2[j], r2[j+1]
 			c30, c31 = r3[j], r3[j+1]
 		}
-		bi := p0*n + j
+		bi := j
 		for p := 0; p < kc; p++ {
-			b0, b1 := bd[bi], bd[bi+1]
-			bi += n
+			b0, b1 := bblk[bi], bblk[bi+1]
+			bi += ldb
 			av0, av1, av2, av3 := a0[p], a1[p], a2[p], a3[p]
 			c00 += av0 * b0
 			c01 += av0 * b1
@@ -243,10 +295,10 @@ func gemmQuadDirect[F Float](cd, ad, bd []F, k, n, i, j0, j1, p0, kc int, first 
 		if !first {
 			c0, c1, c2, c3 = r0[j], r1[j], r2[j], r3[j]
 		}
-		bi := p0*n + j
+		bi := j
 		for p := 0; p < kc; p++ {
-			bv := bd[bi]
-			bi += n
+			bv := bblk[bi]
+			bi += ldb
 			c0 += a0[p] * bv
 			c1 += a1[p] * bv
 			c2 += a2[p] * bv
@@ -260,19 +312,19 @@ func gemmQuadDirect[F Float](cd, ad, bd []F, k, n, i, j0, j1, p0, kc int, first 
 // k = InC, which is 3 for RGB input): all twelve A values are hoisted into
 // registers and each output column costs three B loads shared by four
 // rows. Only valid when the whole K dimension is the single block, so the
-// strip is written, not accumulated.
-func gemmQuadK3[F Float](cd, ad, bd []F, n, i, j0, j1 int) {
+// strip is written, not accumulated. ldb/ldc are B's and C's row strides.
+func gemmQuadK3[F Float](cd, ad, bd []F, ldc, ldb, i, j0, j1 int) {
 	a00, a01, a02 := ad[i*3], ad[i*3+1], ad[i*3+2]
 	a10, a11, a12 := ad[(i+1)*3], ad[(i+1)*3+1], ad[(i+1)*3+2]
 	a20, a21, a22 := ad[(i+2)*3], ad[(i+2)*3+1], ad[(i+2)*3+2]
 	a30, a31, a32 := ad[(i+3)*3], ad[(i+3)*3+1], ad[(i+3)*3+2]
 	b0 := bd[j0:j1]
-	b1 := bd[n+j0 : n+j1]
-	b2 := bd[2*n+j0 : 2*n+j1]
-	r0 := cd[i*n+j0 : i*n+j1]
-	r1 := cd[(i+1)*n+j0 : (i+1)*n+j1]
-	r2 := cd[(i+2)*n+j0 : (i+2)*n+j1]
-	r3 := cd[(i+3)*n+j0 : (i+3)*n+j1]
+	b1 := bd[ldb+j0 : ldb+j1]
+	b2 := bd[2*ldb+j0 : 2*ldb+j1]
+	r0 := cd[i*ldc+j0 : i*ldc+j1]
+	r1 := cd[(i+1)*ldc+j0 : (i+1)*ldc+j1]
+	r2 := cd[(i+2)*ldc+j0 : (i+2)*ldc+j1]
+	r3 := cd[(i+3)*ldc+j0 : (i+3)*ldc+j1]
 	for x, v0 := range b0 {
 		v1, v2 := b1[x], b2[x]
 		r0[x] = a00*v0 + a01*v1 + a02*v2
@@ -282,19 +334,20 @@ func gemmQuadK3[F Float](cd, ad, bd []F, n, i, j0, j1 int) {
 	}
 }
 
-// gemmRowDirect handles the m%4 remainder rows of the direct path.
-func gemmRowDirect[F Float](cd, ad, bd []F, k, n, i, j0, j1, p0, kc int, first bool) {
+// gemmRowDirect handles the m%4 remainder rows of the direct path. Like
+// gemmQuadDirect, bblk[p*ldb+j] is B[p0+p][j].
+func gemmRowDirect[F Float](cd, ad, bblk []F, k, ldc, ldb, i, j0, j1, p0, kc int, first bool) {
 	arow := ad[i*k+p0:][:kc]
-	row := cd[i*n:]
+	row := cd[i*ldc:]
 	for j := j0; j < j1; j++ {
 		var acc F
 		if !first {
 			acc = row[j]
 		}
-		bi := p0*n + j
+		bi := j
 		for _, av := range arow {
-			acc += av * bd[bi]
-			bi += n
+			acc += av * bblk[bi]
+			bi += ldb
 		}
 		row[j] = acc
 	}
@@ -302,31 +355,33 @@ func gemmRowDirect[F Float](cd, ad, bd []F, k, n, i, j0, j1, p0, kc int, first b
 
 // gemmBlockPacked applies one long K-block to the panel, packing each B
 // column pair into contiguous scratch first: the packed block is re-read
-// by every 4-row group from L1 instead of striding n-element rows.
-func gemmBlockPacked[F Float](cd, ad, bd []F, m, k, n, j0, j1, p0, kc int, first bool, pack []F) {
+// by every 4-row group from L1 instead of striding n-element rows. As with
+// gemmQuadDirect, bblk[p*ldb+j] is B[p0+p][j] (legacy: bblk = bd[p0*n:],
+// ldb = n; implicit: a generated im2col block) and ldc is C's row stride.
+func gemmBlockPacked[F Float](cd, ad, bblk []F, m, k, ldc, ldb, j0, j1, p0, kc int, first bool, pack []F) {
 	p1 := p0 + kc
 	j := j0
 	for ; j+2 <= j1; j += 2 {
 		bp := pack[:2*kc]
 		for p := 0; p < kc; p++ {
-			bp[2*p] = bd[(p0+p)*n+j]
-			bp[2*p+1] = bd[(p0+p)*n+j+1]
+			bp[2*p] = bblk[p*ldb+j]
+			bp[2*p+1] = bblk[p*ldb+j+1]
 		}
 		i := 0
 		for ; i+4 <= m; i += 4 {
-			gemm4x2(cd, ad, bp, k, n, i, j, p0, kc, first)
+			gemm4x2(cd, ad, bp, k, ldc, i, j, p0, kc, first)
 		}
 		for ; i < m; i++ {
 			arow := ad[i*k+p0 : i*k+p1]
 			var c0, c1 F
 			if !first {
-				c0, c1 = cd[i*n+j], cd[i*n+j+1]
+				c0, c1 = cd[i*ldc+j], cd[i*ldc+j+1]
 			}
 			for p, av := range arow {
 				c0 += av * bp[2*p]
 				c1 += av * bp[2*p+1]
 			}
-			cd[i*n+j], cd[i*n+j+1] = c0, c1
+			cd[i*ldc+j], cd[i*ldc+j+1] = c0, c1
 		}
 	}
 	if j < j1 { // odd trailing column
@@ -334,12 +389,12 @@ func gemmBlockPacked[F Float](cd, ad, bd []F, m, k, n, j0, j1, p0, kc int, first
 			arow := ad[i*k+p0 : i*k+p1]
 			var acc F
 			if !first {
-				acc = cd[i*n+j]
+				acc = cd[i*ldc+j]
 			}
 			for p, av := range arow {
-				acc += av * bd[(p0+p)*n+j]
+				acc += av * bblk[p*ldb+j]
 			}
-			cd[i*n+j] = acc
+			cd[i*ldc+j] = acc
 		}
 	}
 }
@@ -350,16 +405,16 @@ func gemmBlockPacked[F Float](cd, ad, bd []F, m, k, n, j0, j1, p0, kc int, first
 // K-block and resume from the values already in C afterwards, so the
 // per-element accumulation chain is exactly the ascending-k order of the
 // i-k-j kernel.
-func gemm4x2[F Float](cd, ad, bp []F, k, n, i, j int, p0, kc int, first bool) {
+func gemm4x2[F Float](cd, ad, bp []F, k, ldc, i, j int, p0, kc int, first bool) {
 	a0 := ad[i*k+p0 : i*k+p0+kc]
 	a1 := ad[(i+1)*k+p0:][:kc]
 	a2 := ad[(i+2)*k+p0:][:kc]
 	a3 := ad[(i+3)*k+p0:][:kc]
 
-	c0 := cd[i*n+j:]
-	c1 := cd[(i+1)*n+j:]
-	c2 := cd[(i+2)*n+j:]
-	c3 := cd[(i+3)*n+j:]
+	c0 := cd[i*ldc+j:]
+	c1 := cd[(i+1)*ldc+j:]
+	c2 := cd[(i+2)*ldc+j:]
+	c3 := cd[(i+3)*ldc+j:]
 	var c00, c01, c10, c11, c20, c21, c30, c31 F
 	if !first {
 		c00, c01 = c0[0], c0[1]

@@ -270,16 +270,59 @@ func GemmU8Into(c, colsum []int32, a, b []uint8, m, k, n int) {
 	wg.Wait()
 }
 
-// gemmU8Panel computes the column panel C[:, j0:j1) and colsum[j0:j1).
-func gemmU8Panel(c, colsum []int32, a, b []uint8, m, k, n, j0, j1 int) {
-	cs := colsum[j0:j1]
-	for x := range cs {
-		cs[x] = 0
+// GemmU8PreInto is GemmU8Into for a prepacked B operand whose column sums
+// are already known (PackedU8T carries them): same product, same sharding,
+// same kernels, but the per-call colsum pass is skipped entirely.
+func GemmU8PreInto(c []int32, a, b []uint8, m, k, n int) {
+	if k > MaxQuantK {
+		panic(fmt.Sprintf("tensor: GemmU8PreInto k=%d exceeds MaxQuantK=%d", k, MaxQuantK))
 	}
-	for p := 0; p < k; p++ {
-		row := b[p*n+j0 : p*n+j1]
-		for x, v := range row {
-			cs[x] += int32(v)
+	if len(a) != m*k || len(b) != k*n || len(c) < m*n {
+		panic(fmt.Sprintf("tensor: GemmU8PreInto size mismatch m=%d k=%d n=%d (a=%d b=%d c=%d)", m, k, n, len(a), len(b), len(c)))
+	}
+	macs := m * n * k
+	workers := runtime.GOMAXPROCS(0)
+	panels := (n + gemmNC - 1) / gemmNC
+	if workers > panels {
+		workers = panels
+	}
+	if macs < gemmParallelMACs || workers <= 1 {
+		gemmU8Panel(c, nil, a, b, m, k, n, 0, n)
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				p := int(next.Add(1)) - 1
+				if p >= panels {
+					return
+				}
+				j0 := p * gemmNC
+				j1 := min(j0+gemmNC, n)
+				gemmU8Panel(c, nil, a, b, m, k, n, j0, j1)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// gemmU8Panel computes the column panel C[:, j0:j1) and, when colsum is
+// non-nil, colsum[j0:j1) (nil = prepacked B, sums precomputed).
+func gemmU8Panel(c, colsum []int32, a, b []uint8, m, k, n, j0, j1 int) {
+	if colsum != nil {
+		cs := colsum[j0:j1]
+		for x := range cs {
+			cs[x] = 0
+		}
+		for p := 0; p < k; p++ {
+			row := b[p*n+j0 : p*n+j1]
+			for x, v := range row {
+				cs[x] += int32(v)
+			}
 		}
 	}
 	if useSIMD() && k > 0 {
@@ -299,7 +342,7 @@ func gemmU8Panel(c, colsum []int32, a, b []uint8, m, k, n, j0, j1 int) {
 			}
 		}
 		for i := 0; i < m; i++ {
-			gemmU8Row(c, a, b, k, n, i, jv, j1)
+			gemmU8Row(c, a, b, k, n, n, i, jv, j1)
 		}
 		return
 	}
@@ -309,14 +352,14 @@ func gemmU8Panel(c, colsum []int32, a, b []uint8, m, k, n, j0, j1 int) {
 		for ; i+4 <= m; i += 4 {
 			j := jj
 			for ; j+4 <= je; j += 4 {
-				gemmU8Quad(c, a, b, k, n, i, j)
+				gemmU8Quad(c, a, b, k, n, n, i, j)
 			}
 			for ; j < je; j++ {
-				gemmU8Col(c, a, b, k, n, i, i+4, j)
+				gemmU8Col(c, a, b, k, n, n, i, i+4, j)
 			}
 		}
 		for ; i < m; i++ {
-			gemmU8Row(c, a, b, k, n, i, jj, je)
+			gemmU8Row(c, a, b, k, n, n, i, jj, je)
 		}
 	}
 }
@@ -325,8 +368,10 @@ func gemmU8Panel(c, colsum []int32, a, b []uint8, m, k, n, j0, j1 int) {
 // SWAR accumulators: each uint64 holds two independent int32 dot products
 // (columns j,j+1 in the low/high lanes of one accumulator, j+2,j+3 in the
 // next), so one 64-bit multiply-add advances two MACs. Four B bytes are
-// loaded once per k step and shared by all four rows.
-func gemmU8Quad(c []int32, a, b []uint8, k, n, i, j int) {
+// loaded once per k step and shared by all four rows. ldc/ldb are C's and
+// B's row strides (both n on the explicit path; the implicit conv path
+// passes a generated block with ldb = block width).
+func gemmU8Quad(c []int32, a, b []uint8, k, ldc, ldb, i, j int) {
 	a0 := a[i*k : (i+1)*k]
 	a1 := a[(i+1)*k:][:k]
 	a2 := a[(i+2)*k:][:k]
@@ -337,7 +382,7 @@ func gemmU8Quad(c []int32, a, b []uint8, k, n, i, j int) {
 		brow := b[bi : bi+4]
 		v0 := uint64(brow[0]) | uint64(brow[1])<<32
 		v1 := uint64(brow[2]) | uint64(brow[3])<<32
-		bi += n
+		bi += ldb
 		w0, w1, w2, w3 := uint64(a0[p]), uint64(a1[p]), uint64(a2[p]), uint64(a3[p])
 		q00 += v0 * w0
 		q01 += v1 * w0
@@ -348,10 +393,10 @@ func gemmU8Quad(c []int32, a, b []uint8, k, n, i, j int) {
 		q30 += v0 * w3
 		q31 += v1 * w3
 	}
-	r0 := c[i*n+j:][:4]
-	r1 := c[(i+1)*n+j:][:4]
-	r2 := c[(i+2)*n+j:][:4]
-	r3 := c[(i+3)*n+j:][:4]
+	r0 := c[i*ldc+j:][:4]
+	r1 := c[(i+1)*ldc+j:][:4]
+	r2 := c[(i+2)*ldc+j:][:4]
+	r3 := c[(i+3)*ldc+j:][:4]
 	r0[0], r0[1], r0[2], r0[3] = int32(uint32(q00)), int32(q00>>32), int32(uint32(q01)), int32(q01>>32)
 	r1[0], r1[1], r1[2], r1[3] = int32(uint32(q10)), int32(q10>>32), int32(uint32(q11)), int32(q11>>32)
 	r2[0], r2[1], r2[2], r2[3] = int32(uint32(q20)), int32(q20>>32), int32(uint32(q21)), int32(q21>>32)
@@ -359,21 +404,21 @@ func gemmU8Quad(c []int32, a, b []uint8, k, n, i, j int) {
 }
 
 // gemmU8Col handles a single remainder column for rows [i0, i1).
-func gemmU8Col(c []int32, a, b []uint8, k, n, i0, i1, j int) {
+func gemmU8Col(c []int32, a, b []uint8, k, ldc, ldb, i0, i1, j int) {
 	for i := i0; i < i1; i++ {
 		arow := a[i*k : (i+1)*k]
 		var acc int32
 		bi := j
 		for _, av := range arow {
 			acc += int32(av) * int32(b[bi])
-			bi += n
+			bi += ldb
 		}
-		c[i*n+j] = acc
+		c[i*ldc+j] = acc
 	}
 }
 
 // gemmU8Row handles the m%4 remainder rows over columns [j0, j1).
-func gemmU8Row(c []int32, a, b []uint8, k, n, i, j0, j1 int) {
+func gemmU8Row(c []int32, a, b []uint8, k, ldc, ldb, i, j0, j1 int) {
 	arow := a[i*k : (i+1)*k]
 	j := j0
 	for ; j+2 <= j1; j += 2 {
@@ -382,17 +427,17 @@ func gemmU8Row(c []int32, a, b []uint8, k, n, i, j0, j1 int) {
 		for p, av := range arow {
 			_ = p
 			q += (uint64(b[bi]) | uint64(b[bi+1])<<32) * uint64(av)
-			bi += n
+			bi += ldb
 		}
-		c[i*n+j], c[i*n+j+1] = int32(uint32(q)), int32(q>>32)
+		c[i*ldc+j], c[i*ldc+j+1] = int32(uint32(q)), int32(q>>32)
 	}
 	if j < j1 {
 		var acc int32
 		bi := j
 		for _, av := range arow {
 			acc += int32(av) * int32(b[bi])
-			bi += n
+			bi += ldb
 		}
-		c[i*n+j] = acc
+		c[i*ldc+j] = acc
 	}
 }

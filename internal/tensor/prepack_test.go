@@ -1,0 +1,495 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+	"unsafe"
+)
+
+// The prepack correctness bar (DESIGN.md §14): every prepacked or implicit
+// execution path is bit-identical to its legacy counterpart. These tests
+// sweep randomized geometries plus hand-picked shapes that force each
+// dispatch arm — small, serial, parallel, direct-K, packed-K, SIMD and
+// scalar — and compare element-by-element with ==, not a tolerance.
+
+// implicitGeoms returns the geometry × batch sweep shared by the implicit
+// GEMM identity tests: random small cases for border/stride coverage plus
+// fixed shapes that push the drivers through the packed long-K path
+// (InC·KH·KW > gemmDirectK), multi-panel n (> gemmNC), and the parallel
+// threshold (m·n·k ≥ gemmParallelMACs).
+func implicitGeoms(rng *rand.Rand) []struct {
+	g         ConvGeom
+	bsz, outC int
+} {
+	cases := []struct {
+		g         ConvGeom
+		bsz, outC int
+	}{
+		// Long-K packed path: k = 16·3·3 = 144 > gemmDirectK (128).
+		{ConvGeom{InC: 16, InH: 10, InW: 10, KH: 3, KW: 3, Stride: 1, Pad: 1}, 6, 8},
+		// Parallel path: m·n·k = 32·2048·144 ≈ 9.4M ≥ gemmParallelMACs, and
+		// n = 2048 spans several gemmNC panels.
+		{ConvGeom{InC: 16, InH: 18, InW: 18, KH: 3, KW: 3, Stride: 1, Pad: 1}, 8, 32},
+		// K3 direct kernel: 1-channel 3×3 stride-1 (kc == k == 3... no: k=9).
+		{ConvGeom{InC: 1, InH: 8, InW: 8, KH: 3, KW: 3, Stride: 1, Pad: 1}, 2, 4},
+		// 1×1 kernel, k = InC exactly.
+		{ConvGeom{InC: 3, InH: 7, InW: 7, KH: 1, KW: 1, Stride: 1, Pad: 0}, 3, 5},
+		// Strided, padded, rectangular kernel.
+		{ConvGeom{InC: 2, InH: 11, InW: 9, KH: 5, KW: 3, Stride: 2, Pad: 2}, 4, 6},
+	}
+	for i := 0; i < 30; i++ {
+		cases = append(cases, struct {
+			g         ConvGeom
+			bsz, outC int
+		}{randomGeom(rng), 1 + rng.Intn(7), 1 + rng.Intn(9)})
+	}
+	return cases
+}
+
+// TestImplicitGemmF64BitIdentical locks ConvGemmIm2Col against the explicit
+// Im2ColBatch + GemmInto pipeline, bit-exact, across the dispatch sweep.
+func TestImplicitGemmF64BitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(141))
+	for ci, tc := range implicitGeoms(rng) {
+		g, bsz := tc.g, tc.bsz
+		k := g.InC * g.KH * g.KW
+		n := bsz * g.OutH() * g.OutW()
+		chw := g.InC * g.InH * g.InW
+
+		weight := New(tc.outC, k)
+		weight.FillNormal(rng, 0, 1)
+		srcs := make([]*T, bsz)
+		packed := make([]float64, bsz*chw)
+		for b := range srcs {
+			srcs[b] = New(g.InC, g.InH, g.InW)
+			srcs[b].FillNormal(rng, 0, 1)
+			copy(packed[b*chw:], srcs[b].Data)
+		}
+
+		cols := New(k, n)
+		Im2ColBatch(cols, srcs, g)
+		want := New(tc.outC, n)
+		GemmInto(want, weight, cols)
+
+		got := New(tc.outC, n)
+		got.FillUniform(rng, -9, 9) // must be fully overwritten
+		ConvGemmIm2Col(got, weight, packed, bsz, g)
+
+		for i, v := range got.Data {
+			if v != want.Data[i] {
+				t.Fatalf("case %d (geom %+v bsz %d): element %d: implicit %v explicit %v", ci, g, bsz, i, v, want.Data[i])
+			}
+		}
+	}
+}
+
+// TestImplicitGemm32BitIdentical locks ConvGemmIm2Col32 against
+// Im2ColBatch32 + GemmInto32Fast under both SIMD settings.
+func TestImplicitGemm32BitIdentical(t *testing.T) {
+	for _, simd := range []bool{true, false} {
+		prev := SetSIMD(simd)
+		rng := rand.New(rand.NewSource(142))
+		for ci, tc := range implicitGeoms(rng) {
+			g, bsz := tc.g, tc.bsz
+			k := g.InC * g.KH * g.KW
+			n := bsz * g.OutH() * g.OutW()
+			chw := g.InC * g.InH * g.InW
+
+			weight := New32(tc.outC, k)
+			src := New32(bsz, chw)
+			for i := range weight.Data {
+				weight.Data[i] = float32(rng.NormFloat64())
+			}
+			for i := range src.Data {
+				src.Data[i] = float32(rng.NormFloat64())
+			}
+
+			cols := New32(k, n)
+			Im2ColBatch32(cols, src, bsz, g)
+			want := New32(tc.outC, n)
+			GemmInto32Fast(want, weight, cols)
+
+			got := New32(tc.outC, n)
+			for i := range got.Data {
+				got.Data[i] = 777
+			}
+			ConvGemmIm2Col32(got, weight, src.Data, bsz, g)
+
+			for i, v := range got.Data {
+				if v != want.Data[i] {
+					t.Fatalf("simd=%v case %d (geom %+v bsz %d): element %d: implicit %v explicit %v", simd, ci, g, bsz, i, v, want.Data[i])
+				}
+			}
+		}
+		SetSIMD(prev)
+	}
+}
+
+// TestImplicitGemmU8BitIdentical locks ConvGemmU8Im2Col (accumulators and
+// column sums) against Im2ColBatchU8 + GemmU8Into under both SIMD settings.
+func TestImplicitGemmU8BitIdentical(t *testing.T) {
+	for _, simd := range []bool{true, false} {
+		prev := SetSIMD(simd)
+		rng := rand.New(rand.NewSource(143))
+		for ci, tc := range implicitGeoms(rng) {
+			g, bsz := tc.g, tc.bsz
+			k := g.InC * g.KH * g.KW
+			n := bsz * g.OutH() * g.OutW()
+			chw := g.InC * g.InH * g.InW
+			zp := uint8(rng.Intn(256))
+
+			a := make([]uint8, tc.outC*k)
+			qsrc := make([]uint8, bsz*chw)
+			rng.Read(a)
+			rng.Read(qsrc)
+
+			qcols := make([]uint8, k*n)
+			Im2ColBatchU8(qcols, qsrc, bsz, g, zp)
+			wantC := make([]int32, tc.outC*n)
+			wantCS := make([]int32, n)
+			GemmU8Into(wantC, wantCS, a, qcols, tc.outC, k, n)
+
+			gotC := make([]int32, tc.outC*n)
+			gotCS := make([]int32, n)
+			for i := range gotC {
+				gotC[i] = -9
+			}
+			ConvGemmU8Im2Col(gotC, gotCS, a, tc.outC, qsrc, bsz, g, zp)
+
+			for i, v := range gotC {
+				if v != wantC[i] {
+					t.Fatalf("simd=%v case %d (geom %+v bsz %d zp %d): acc %d: implicit %d explicit %d", simd, ci, g, bsz, zp, i, v, wantC[i])
+				}
+			}
+			for j, v := range gotCS {
+				if v != wantCS[j] {
+					t.Fatalf("simd=%v case %d: colsum %d: implicit %d explicit %d", simd, ci, j, v, wantCS[j])
+				}
+			}
+		}
+		SetSIMD(prev)
+	}
+}
+
+// TestConvDirectU8BitIdentical locks the direct shift convolution —
+// kernel-column weight panels over the padded channel-interleaved image —
+// against Im2ColBatchU8 + GemmU8Into, accumulators and column sums both,
+// under both SIMD settings. Only stride-1 geometries are eligible (the
+// qconv32 dispatch gates on the same predicate).
+func TestConvDirectU8BitIdentical(t *testing.T) {
+	for _, simd := range []bool{true, false} {
+		prev := SetSIMD(simd)
+		rng := rand.New(rand.NewSource(144))
+		tested := 0
+		for ci, tc := range implicitGeoms(rng) {
+			g, bsz := tc.g, tc.bsz
+			if g.Stride != 1 {
+				continue
+			}
+			tested++
+			k := g.InC * g.KH * g.KW
+			n := bsz * g.OutH() * g.OutW()
+			chw := g.InC * g.InH * g.InW
+			zp := uint8(rng.Intn(256))
+
+			a := make([]uint8, tc.outC*k)
+			qsrc := make([]uint8, bsz*chw)
+			rng.Read(a)
+			rng.Read(qsrc)
+
+			qcols := make([]uint8, k*n)
+			Im2ColBatchU8(qcols, qsrc, bsz, g, zp)
+			wantC := make([]int32, tc.outC*n)
+			wantCS := make([]int32, n)
+			GemmU8Into(wantC, wantCS, a, qcols, tc.outC, k, n)
+
+			pack := PackConvShiftU8(a, tc.outC, g.InC, g.KH, g.KW)
+			gotC := make([]int32, tc.outC*n)
+			gotCS := make([]int32, n)
+			for i := range gotC {
+				gotC[i] = -9
+			}
+			for i := range gotCS {
+				gotCS[i] = -9
+			}
+			ConvDirectU8(gotC, gotCS, pack, qsrc, bsz, g, zp)
+
+			for i, v := range gotC {
+				if v != wantC[i] {
+					t.Fatalf("simd=%v case %d (geom %+v bsz %d zp %d): acc %d: direct %d explicit %d", simd, ci, g, bsz, zp, i, v, wantC[i])
+				}
+			}
+			for j, v := range gotCS {
+				if v != wantCS[j] {
+					t.Fatalf("simd=%v case %d (geom %+v): colsum %d: direct %d explicit %d", simd, ci, g, j, v, wantCS[j])
+				}
+			}
+		}
+		if tested < 10 {
+			t.Fatalf("simd=%v: only %d stride-1 geometries tested — sweep too thin", simd, tested)
+		}
+		SetSIMD(prev)
+	}
+}
+
+// TestGemmU8PreIntoMatchesGemmU8Into verifies the colsum-free uint8 GEMM
+// entry point produces the exact accumulators of GemmU8Into, and that
+// PackQuantTranspose's precomputed ColSum equals the per-call column sums
+// GemmU8Into derives — the two halves of the prepacked int8 Dense path.
+func TestGemmU8PreIntoMatchesGemmU8Into(t *testing.T) {
+	for _, simd := range []bool{true, false} {
+		prev := SetSIMD(simd)
+		rng := rand.New(rand.NewSource(144))
+		for trial := 0; trial < 40; trial++ {
+			m := 1 + rng.Intn(9)
+			k := 1 + rng.Intn(200)
+			n := 1 + rng.Intn(150)
+			a := make([]uint8, m*k)
+			b := make([]uint8, k*n)
+			rng.Read(a)
+			rng.Read(b)
+
+			want := make([]int32, m*n)
+			wantCS := make([]int32, n)
+			GemmU8Into(want, wantCS, a, b, m, k, n)
+
+			got := make([]int32, m*n)
+			GemmU8PreInto(got, a, b, m, k, n)
+			for i, v := range got {
+				if v != want[i] {
+					t.Fatalf("simd=%v trial %d (m=%d k=%d n=%d): acc %d: pre %d legacy %d", simd, trial, m, k, n, i, v, want[i])
+				}
+			}
+
+			// ColSum of a pack of B's transpose is the column sums of B.
+			q := QuantWeights{M: n, K: k, Bits: transposeU8(b, k, n), Scale: make([]float64, n), RowSum: make([]int32, n)}
+			p := PackQuantTranspose(q)
+			for j, v := range p.ColSum {
+				if v != wantCS[j] {
+					t.Fatalf("simd=%v trial %d: ColSum[%d]=%d, GemmU8Into colsum %d", simd, trial, j, v, wantCS[j])
+				}
+			}
+		}
+		SetSIMD(prev)
+	}
+}
+
+func transposeU8(b []uint8, k, n int) []uint8 {
+	out := make([]uint8, n*k)
+	for p := 0; p < k; p++ {
+		for j := 0; j < n; j++ {
+			out[j*k+p] = b[p*n+j]
+		}
+	}
+	return out
+}
+
+// TestWinogradPreBitIdentical locks the prepacked-U Winograd drivers
+// against the transform-per-call originals, f64 and f32.
+func TestWinogradPreBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(145))
+	g := ConvGeom{InC: 3, InH: 8, InW: 8, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	outC, bsz := 5, 4
+	ohw := g.OutH() * g.OutW()
+	chw := g.InC * g.InH * g.InW
+
+	weight := New(outC, g.InC*9)
+	weight.FillNormal(rng, 0, 1)
+	bias := make([]float64, outC)
+	for i := range bias {
+		bias[i] = rng.NormFloat64()
+	}
+	src := New(bsz, chw)
+	src.FillNormal(rng, 0, 1)
+
+	a := NewArena()
+	want := New(bsz, outC*ohw)
+	WinogradConv3x3(want, src, bsz, outC, weight, bias, g, a)
+
+	u := PackWinoFilter(weight, outC, g.InC)
+	a.Reset()
+	got := New(bsz, outC*ohw)
+	WinogradConv3x3Pre(got, src, bsz, outC, u, bias, g, a)
+	for i, v := range got.Data {
+		if v != want.Data[i] {
+			t.Fatalf("f64 element %d: pre %v legacy %v", i, v, want.Data[i])
+		}
+	}
+
+	w32 := To32(weight)
+	b32 := make([]float32, outC)
+	for i, v := range bias {
+		b32[i] = float32(v)
+	}
+	s32 := New32(bsz, chw)
+	for i, v := range src.Data {
+		s32.Data[i] = float32(v)
+	}
+	a32 := NewArena32()
+	want32 := New32(bsz, outC*ohw)
+	WinogradConv3x3F32(want32, s32, bsz, outC, w32, b32, g, a32)
+
+	u32 := PackWinoFilter32(w32, outC, g.InC)
+	a32.Reset()
+	got32 := New32(bsz, outC*ohw)
+	WinogradConv3x3F32Pre(got32, s32, bsz, outC, u32, b32, g, a32)
+	for i, v := range got32.Data {
+		if v != want32.Data[i] {
+			t.Fatalf("f32 element %d: pre %v legacy %v", i, v, want32.Data[i])
+		}
+	}
+}
+
+// TestAlignedAllocators checks the cache-line contract of every aligned
+// allocator: base address on a 64-byte boundary, exact length, and capacity
+// clipped so appends cannot step off the aligned block.
+func TestAlignedAllocators(t *testing.T) {
+	for _, n := range []int{1, 7, 64, 1000, 16384} {
+		f64 := AlignedF64(n)
+		f32 := AlignedF32(n)
+		i32 := AlignedI32(n)
+		u8 := AlignedU8(n)
+		if !Aligned64(f64) || !Aligned64(f32) || !Aligned64(i32) || !Aligned64(u8) {
+			t.Fatalf("n=%d: misaligned base (f64=%v f32=%v i32=%v u8=%v)", n, Aligned64(f64), Aligned64(f32), Aligned64(i32), Aligned64(u8))
+		}
+		if len(f64) != n || cap(f64) != n || len(u8) != n || cap(u8) != n {
+			t.Fatalf("n=%d: len/cap not clipped (f64 %d/%d, u8 %d/%d)", n, len(f64), cap(f64), len(u8), cap(u8))
+		}
+		gs := alignedSlice[float32](n)
+		if !Aligned64(gs) || len(gs) != n || cap(gs) != n {
+			t.Fatalf("n=%d: alignedSlice misaligned or unclipped (%d/%d)", n, len(gs), cap(gs))
+		}
+	}
+	if uintptr(unsafe.Pointer(&AlignedF64(8)[0]))&63 != 0 {
+		t.Fatal("AlignedF64 base not 64-byte aligned")
+	}
+}
+
+// TestSetPrepackToggle checks the kill-switch plumbing: default on,
+// SetPrepack returns the previous state, PrepackEnabled tracks it.
+func TestSetPrepackToggle(t *testing.T) {
+	if !PrepackEnabled() {
+		t.Fatal("prepack should default to enabled")
+	}
+	if prev := SetPrepack(false); !prev {
+		t.Fatal("SetPrepack(false) should report previous=true")
+	}
+	if PrepackEnabled() {
+		t.Fatal("PrepackEnabled should be false after SetPrepack(false)")
+	}
+	if prev := SetPrepack(true); prev {
+		t.Fatal("SetPrepack(true) should report previous=false")
+	}
+	if !PrepackEnabled() {
+		t.Fatal("PrepackEnabled should be true after SetPrepack(true)")
+	}
+}
+
+// TestPackQuantTransposeRoundTrip is the deterministic companion of
+// FuzzPrepackRoundTrip: pack → unpack reconstructs the weights bit-exactly
+// and ColSum matches a direct recount.
+func TestPackQuantTransposeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(146))
+	for trial := 0; trial < 50; trial++ {
+		m := 1 + rng.Intn(16)
+		k := 1 + rng.Intn(300)
+		bits := make([]uint8, m*k)
+		rng.Read(bits)
+		q := QuantWeights{M: m, K: k, Bits: bits, Scale: make([]float64, m), RowSum: make([]int32, m)}
+
+		p := PackQuantTranspose(q)
+		if p.K != k || p.N != m || !Aligned64(p.Bits) || !Aligned64(p.ColSum) {
+			t.Fatalf("trial %d: pack metadata/alignment wrong (K=%d N=%d)", trial, p.K, p.N)
+		}
+		back := p.Unpack()
+		for i, v := range back {
+			if v != bits[i] {
+				t.Fatalf("trial %d: unpack[%d]=%d, want %d", trial, i, v, bits[i])
+			}
+		}
+		for o := 0; o < m; o++ {
+			var sum int32
+			for _, v := range bits[o*k : (o+1)*k] {
+				sum += int32(v)
+			}
+			if p.ColSum[o] != sum {
+				t.Fatalf("trial %d: ColSum[%d]=%d, want %d", trial, o, p.ColSum[o], sum)
+			}
+		}
+	}
+}
+
+// FuzzPrepackRoundTrip throws arbitrary weight byte matrices at the
+// transposed pack and demands bit-exact reconstruction plus exact column
+// sums — the pack must be pure data movement for any shape and content.
+func FuzzPrepackRoundTrip(f *testing.F) {
+	f.Add(uint8(3), []byte("prepack roundtrip"))
+	f.Add(uint8(1), []byte{})
+	f.Add(uint8(16), make([]byte, 400))
+	f.Fuzz(func(t *testing.T, mr uint8, raw []byte) {
+		m := int(mr)%16 + 1
+		k := len(raw)/m + 1
+		bits := make([]uint8, m*k)
+		copy(bits, raw)
+		q := QuantWeights{M: m, K: k, Bits: bits, Scale: make([]float64, m), RowSum: make([]int32, m)}
+
+		p := PackQuantTranspose(q)
+		back := p.Unpack()
+		if len(back) != len(bits) {
+			t.Fatalf("unpack length %d, want %d", len(back), len(bits))
+		}
+		for i, v := range back {
+			if v != bits[i] {
+				t.Fatalf("m=%d k=%d: unpack[%d]=%d, want %d", m, k, i, v, bits[i])
+			}
+		}
+		for o := 0; o < m; o++ {
+			var sum int32
+			for _, v := range bits[o*k : (o+1)*k] {
+				sum += int32(v)
+			}
+			if p.ColSum[o] != sum {
+				t.Fatalf("m=%d k=%d: ColSum[%d]=%d, want %d", m, k, o, p.ColSum[o], sum)
+			}
+		}
+	})
+}
+
+// TestImplicitGemmZeroAlloc checks the steady-state allocation contract:
+// once the block and pack pools are warm, a serial-sized implicit conv call
+// performs zero heap allocations — the full point of the pointer-cycling
+// sync.Pool plumbing.
+func TestImplicitGemmZeroAlloc(t *testing.T) {
+	g := ConvGeom{InC: 16, InH: 10, InW: 10, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	bsz, outC := 2, 8 // serial: m·n·k ≈ 230k MACs, under gemmParallelMACs
+	k := g.InC * g.KH * g.KW
+	n := bsz * g.OutH() * g.OutW()
+	chw := g.InC * g.InH * g.InW
+
+	rng := rand.New(rand.NewSource(147))
+	weight := New(outC, k)
+	weight.FillNormal(rng, 0, 1)
+	src := make([]float64, bsz*chw)
+	for i := range src {
+		src[i] = rng.NormFloat64()
+	}
+	cm := New(outC, n)
+
+	run := func() { ConvGemmIm2Col(cm, weight, src, bsz, g) }
+	run() // warm the pools
+	if allocs := testing.AllocsPerRun(20, run); allocs != 0 {
+		t.Fatalf("steady-state ConvGemmIm2Col allocates %.1f times per call, want 0", allocs)
+	}
+
+	a := make([]uint8, outC*k)
+	qsrc := make([]uint8, bsz*chw)
+	rng.Read(a)
+	rng.Read(qsrc)
+	acc := make([]int32, outC*n)
+	colsum := make([]int32, n)
+	runU8 := func() { ConvGemmU8Im2Col(acc, colsum, a, outC, qsrc, bsz, g, 0) }
+	runU8()
+	if allocs := testing.AllocsPerRun(20, runU8); allocs != 0 {
+		t.Fatalf("steady-state ConvGemmU8Im2Col allocates %.1f times per call, want 0", allocs)
+	}
+}

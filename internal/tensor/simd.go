@@ -55,24 +55,26 @@ func GemmInto32Fast(c, a, b *T32) {
 		}
 	}
 	if mb < m {
-		gemm32ScalarRegion(cd, ad, bd, mb, m, 0, nb, k, n)
+		gemm32ScalarRegion(cd, ad, bd, mb, m, 0, nb, k, n, n)
 	}
 	if nb < n {
-		gemm32ScalarRegion(cd, ad, bd, 0, m, nb, n, k, n)
+		gemm32ScalarRegion(cd, ad, bd, 0, m, nb, n, k, n, n)
 	}
 }
 
 // gemm32ScalarRegion computes the C sub-block [i0,i1)×[j0,j1) with the
-// scalar i-k-j kernel — the remainder path of GemmInto32Fast.
-func gemm32ScalarRegion(cd, ad, bd []float32, i0, i1, j0, j1, k, n int) {
+// scalar i-k-j kernel — the remainder path of GemmInto32Fast. ldc/ldb are
+// C's and B's row strides (both n on the explicit path; the implicit conv
+// path passes a generated block with ldb = block width).
+func gemm32ScalarRegion(cd, ad, bd []float32, i0, i1, j0, j1, k, ldc, ldb int) {
 	for i := i0; i < i1; i++ {
-		crow := cd[i*n+j0 : i*n+j1]
+		crow := cd[i*ldc+j0 : i*ldc+j1]
 		for x := range crow {
 			crow[x] = 0
 		}
 		for p := 0; p < k; p++ {
 			av := ad[i*k+p]
-			brow := bd[p*n+j0 : p*n+j1]
+			brow := bd[p*ldb+j0 : p*ldb+j1]
 			for x, bv := range brow {
 				crow[x] += av * bv
 			}

@@ -50,6 +50,17 @@ func u8GemmRow32(a *uint8, b *uint8, ldb int, c *int32, k int)
 //go:noescape
 func u8Gemm2x32(a *uint8, lda int, b *uint8, ldb int, c *int32, ldc int, k int)
 
+// u8GemmRow32Acc / u8Gemm2x32Acc are the accumulating variants (c += block
+// product instead of c =) used by the direct-convolution driver to fold
+// the per-kernel-column partial products in-register. Same exact-arithmetic
+// contract — int32 adds of non-negative partials bounded by MaxQuantK·255².
+//
+//go:noescape
+func u8GemmRow32Acc(a *uint8, b *uint8, ldb int, c *int32, k int)
+
+//go:noescape
+func u8Gemm2x32Acc(a *uint8, lda int, b *uint8, ldb int, c *int32, ldc int, k int)
+
 // quantizeU8AVX quantizes n float32 values (n a multiple of 32) to uint8:
 // dst[i] = clamp(trunc(src[i]·invScale + z + 0.5), 0, 255), bit-identical
 // to QuantizeU8's scalar loop including its out-of-range and NaN behavior.

@@ -22,6 +22,14 @@ func u8Gemm2x32(a *uint8, lda int, b *uint8, ldb int, c *int32, ldc int, k int) 
 	panic("tensor: SIMD kernel called on non-amd64 target")
 }
 
+func u8GemmRow32Acc(a *uint8, b *uint8, ldb int, c *int32, k int) {
+	panic("tensor: SIMD kernel called on non-amd64 target")
+}
+
+func u8Gemm2x32Acc(a *uint8, lda int, b *uint8, ldb int, c *int32, ldc int, k int) {
+	panic("tensor: SIMD kernel called on non-amd64 target")
+}
+
 func quantizeU8AVX(dst *uint8, src *float32, n int, invScale float32, z float32) {
 	panic("tensor: SIMD kernel called on non-amd64 target")
 }

@@ -60,6 +60,29 @@ func WinogradConv3x3(dst, src *T, bsz, outC int, weight *T, bias []float64, g Co
 	winoConv(dst.Data, src.Data, bsz, outC, weight.Data, bias, g, u.Data, v.Data, mm.Data)
 }
 
+// WinogradConv3x3Pre is WinogradConv3x3 with a prepacked filter transform:
+// u is the 36×OutC×InC buffer PackWinoFilter computed from the weights at
+// compile time, so the per-call U = G·g·Gᵀ recomputation is skipped. The
+// input/output transforms and the 36 transform-domain GEMMs are unchanged
+// — results are bit-identical to WinogradConv3x3 on the same weights.
+func WinogradConv3x3Pre(dst, src *T, bsz, outC int, u []float64, bias []float64, g ConvGeom, a *Arena) {
+	if !WinogradEligible(g) {
+		panic(fmt.Sprintf("tensor: WinogradConv3x3Pre on ineligible geometry %+v", g))
+	}
+	inC, h, w := g.InC, g.InH, g.InW
+	hw := h * w
+	if len(src.Data) != bsz*inC*hw || len(dst.Data) != bsz*outC*hw {
+		panic(fmt.Sprintf("tensor: WinogradConv3x3Pre buffer sizes src=%d dst=%d for B=%d geom %+v", len(src.Data), len(dst.Data), bsz, g))
+	}
+	if len(u) != 36*outC*inC || len(bias) != outC {
+		panic(fmt.Sprintf("tensor: WinogradConv3x3Pre u %d / bias %d mismatch OutC=%d InC=%d", len(u), len(bias), outC, inC))
+	}
+	tt := bsz * (h / 4) * (w / 4)
+	v := a.NewRaw(36, inC*tt)
+	mm := a.NewRaw(36, outC*tt)
+	winoConvPre(dst.Data, src.Data, bsz, outC, bias, g, u, v.Data, mm.Data)
+}
+
 // WinogradConv3x3F32 is WinogradConv3x3 for the float32 backend: identical
 // transforms and GEMM blocking, instantiated at float32, with scratch from
 // an Arena32.
@@ -84,18 +107,45 @@ func WinogradConv3x3F32(dst, src *T32, bsz, outC int, weight *T32, bias []float3
 	winoConv(dst.Data, src.Data, bsz, outC, weight.Data, bias, g, u.Data, v.Data, mm.Data)
 }
 
+// WinogradConv3x3F32Pre is WinogradConv3x3Pre for the float32 backend,
+// consuming a PackWinoFilter32 buffer.
+func WinogradConv3x3F32Pre(dst, src *T32, bsz, outC int, u []float32, bias []float32, g ConvGeom, a *Arena32) {
+	if !WinogradEligible(g) {
+		panic(fmt.Sprintf("tensor: WinogradConv3x3F32Pre on ineligible geometry %+v", g))
+	}
+	inC, h, w := g.InC, g.InH, g.InW
+	hw := h * w
+	if len(src.Data) != bsz*inC*hw || len(dst.Data) != bsz*outC*hw {
+		panic(fmt.Sprintf("tensor: WinogradConv3x3F32Pre buffer sizes src=%d dst=%d for B=%d geom %+v", len(src.Data), len(dst.Data), bsz, g))
+	}
+	if len(u) != 36*outC*inC || len(bias) != outC {
+		panic(fmt.Sprintf("tensor: WinogradConv3x3F32Pre u %d / bias %d mismatch OutC=%d InC=%d", len(u), len(bias), outC, inC))
+	}
+	tt := bsz * (h / 4) * (w / 4)
+	v := a.NewRaw(36, inC*tt)
+	mm := a.NewRaw(36, outC*tt)
+	winoConvPre(dst.Data, src.Data, bsz, outC, bias, g, u, v.Data, mm.Data)
+}
+
 // winoConv is the width-generic Winograd pipeline shared by the f64 and
 // f32 entry points: filter and input transforms, the 36 transform-domain
 // GEMMs (through the same gemmMain dispatch GemmInto uses, preserving the
 // f64 path's blocking and parallelization bit for bit), and the fused
 // output transform + bias add.
 func winoConv[F Float](dst, src []F, bsz, outC int, wd []F, bias []F, g ConvGeom, u, v, mm []F) {
+	winoFilter(u, wd, outC, g.InC)
+	winoConvPre(dst, src, bsz, outC, bias, g, u, v, mm)
+}
+
+// winoConvPre is winoConv from the filter transform on: u already holds
+// U = G·g·Gᵀ — either freshly computed (winoConv) or prepacked at compile
+// time (WinogradConv3x3Pre), the same values either way.
+func winoConvPre[F Float](dst, src []F, bsz, outC int, bias []F, g ConvGeom, u, v, mm []F) {
 	inC, h, w := g.InC, g.InH, g.InW
 	th, tw := h/4, w/4
 	tiles := th * tw
 	tt := bsz * tiles
 
-	winoFilter(u, wd, outC, inC)
 	winoInput(v, src, bsz, inC, h, w, th, tw, tt)
 
 	// 36 transform-domain GEMMs: M[f] = U[f] (OutC×InC) × V[f] (InC×tt).
